@@ -1,0 +1,175 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (reduced default sizes; the dls_experiments CLI scales them up) and
+   micro-benchmarks each experiment's computational kernel with
+   Bechamel — one Test.make group per table/figure.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module E = Dls_experiments
+module Prng = Dls_util.Prng
+open Dls_core
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: reproduction series (the paper's tables and figures)        *)
+(* ------------------------------------------------------------------ *)
+
+let reproduction () =
+  Format.printf "=== Reproduction series (reduced sizes; see EXPERIMENTS.md) ===@.@.";
+  Format.printf "%a@." E.Report.pp_table (E.Table1.grid_table ());
+  Format.printf "%a@." E.Report.pp_table
+    (E.Table1.stats_table (E.Table1.sample_stats ~per_k:3 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Fig5.table (E.Fig5.run ~ks:[ 5; 15; 25; 35 ] ~per_k:3 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Fig6.table (E.Fig6.run ~ks:[ 15; 20 ] ~per_k:2 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Fig7.table (E.Fig7.run ~ks:[ 10; 20; 30 ] ~per_k:2 ~lprr_max_k:15 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Aggregate.table (E.Aggregate.run ~per_k:3 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Ablation.rounding_table (E.Ablation.rounding_policy ~ks:[ 8 ] ~per_k:3 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Ablation.tight_table (E.Ablation.network_tight ~ks:[ 5; 10; 15 ] ~per_k:4 ()));
+  Format.printf "%a@." E.Report.pp_table
+    (E.Ablation.workload_table (E.Ablation.workload ~per_setting:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks, one group per table/figure       *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed inputs are allocated outside the staged closures so only the
+   kernel under study is measured. *)
+
+let problem_of ~seed ~k =
+  let rng = Prng.create ~seed in
+  E.Measure.sample_problem rng ~k
+
+let table1_tests =
+  (* Kernel of Table 1: instantiating a random platform from the grid. *)
+  let rng = Prng.create ~seed:100 in
+  Test.make_grouped ~name:"table1"
+    [ Test.make ~name:"generate-k15"
+        (Staged.stage (fun () ->
+             ignore (E.Measure.sample_problem rng ~k:15)));
+      Test.make ~name:"generate-k45"
+        (Staged.stage (fun () ->
+             ignore (E.Measure.sample_problem rng ~k:45))) ]
+
+let fig5_tests =
+  (* Kernels of Figure 5: the LP relaxation bound, G, and LPRG. *)
+  let p10 = problem_of ~seed:101 ~k:10 in
+  let p20 = problem_of ~seed:102 ~k:20 in
+  Test.make_grouped ~name:"fig5"
+    [ Test.make ~name:"lp-bound-k10"
+        (Staged.stage (fun () ->
+             ignore (Heuristics.lp_bound ~objective:Lp_relax.Maxmin p10)));
+      Test.make ~name:"lp-bound-k20"
+        (Staged.stage (fun () ->
+             ignore (Heuristics.lp_bound ~objective:Lp_relax.Maxmin p20)));
+      Test.make ~name:"greedy-k20"
+        (Staged.stage (fun () -> ignore (Greedy.solve p20)));
+      Test.make ~name:"lprg-k10"
+        (Staged.stage (fun () ->
+             ignore (Lprg.solve ~objective:Lp_relax.Maxmin p10))) ]
+
+let fig6_tests =
+  (* Kernel of Figure 6: LPRR's iterated rounding (one LP per route). *)
+  let p8 = problem_of ~seed:103 ~k:8 in
+  let rng = Prng.create ~seed:104 in
+  Test.make_grouped ~name:"fig6"
+    [ Test.make ~name:"lprr-k8"
+        (Staged.stage (fun () ->
+             ignore (Lprr.solve ~objective:Lp_relax.Maxmin ~rng p8)));
+      Test.make ~name:"lprr-equal-prob-k8"
+        (Staged.stage (fun () ->
+             ignore (Lprr.solve_equal_probability ~objective:Lp_relax.Maxmin ~rng p8))) ]
+
+let fig7_tests =
+  (* Figure 7 compares heuristic running times; these kernels are the
+     timed units. *)
+  let p30 = problem_of ~seed:105 ~k:30 in
+  Test.make_grouped ~name:"fig7"
+    [ Test.make ~name:"greedy-k30"
+        (Staged.stage (fun () -> ignore (Greedy.solve p30)));
+      Test.make ~name:"lpr-k30"
+        (Staged.stage (fun () -> ignore (Lpr.solve ~objective:Lp_relax.Maxmin p30))) ]
+
+let engine_tests =
+  (* Ablation: dense tableau vs sparse revised simplex on the same
+     relaxation (DESIGN.md's solver substitution). *)
+  let p25 = problem_of ~seed:107 ~k:25 in
+  Test.make_grouped ~name:"lp-engine"
+    [ Test.make ~name:"sparse-k25"
+        (Staged.stage (fun () ->
+             ignore (Lp_relax.solve ~engine:`Sparse ~objective:Lp_relax.Maxmin p25)));
+      Test.make ~name:"dense-k25"
+        (Staged.stage (fun () ->
+             ignore (Lp_relax.solve ~engine:`Dense ~objective:Lp_relax.Maxmin p25))) ]
+
+let extension_tests =
+  (* Kernels of the beyond-the-paper extensions. *)
+  let platform = Dls_core.Problem.platform (problem_of ~seed:108 ~k:8) in
+  let apps =
+    [ { Pipeline.source = 0; payoff = 1.0;
+        stages =
+          [ { Pipeline.work = 1.0; expansion = 2.0 };
+            { Pipeline.work = 4.0; expansion = 0.0 } ] } ]
+  in
+  let gadget = Reduction.build (Dls_graph.Graph.cycle 5) in
+  Test.make_grouped ~name:"extensions"
+    [ Test.make ~name:"pipeline-2stage-k8"
+        (Staged.stage (fun () -> ignore (Pipeline.solve platform apps)));
+      Test.make ~name:"mip-gadget-c5"
+        (Staged.stage (fun () -> ignore (Mip.solve gadget))) ]
+
+let substrate_tests =
+  (* Cross-cutting kernels: schedule reconstruction (Section 3.2) and
+     the flow-level simulator used for validation. *)
+  let p = problem_of ~seed:106 ~k:10 in
+  let alloc = Greedy.solve p in
+  let exact = Schedule.exact_of_float alloc in
+  Test.make_grouped ~name:"substrate"
+    [ Test.make ~name:"schedule-build-k10"
+        (Staged.stage (fun () -> ignore (Schedule.build exact)));
+      Test.make ~name:"flowsim-20periods-k10"
+        (Staged.stage (fun () ->
+             ignore (Dls_flowsim.Simulator.run ~periods:20 p alloc)));
+      Test.make ~name:"feasibility-check-k10"
+        (Staged.stage (fun () -> ignore (Allocation.check p alloc))) ]
+
+let run_benchmarks () =
+  Format.printf "@.=== Bechamel micro-benchmarks ===@.@.";
+  let cfg = Benchmark.cfg ~limit:120 ~quota:(Time.second 1.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let groups =
+    [ table1_tests; fig5_tests; fig6_tests; fig7_tests; substrate_tests;
+      engine_tests; extension_tests ]
+  in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] group in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+      List.iter
+        (fun name ->
+          let result = Hashtbl.find results name in
+          let estimate =
+            match Analyze.OLS.estimates result with
+            | Some (t :: _) -> t
+            | Some [] | None -> Float.nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square result with Some r -> r | None -> Float.nan
+          in
+          Format.printf "%-32s %12.1f ns/run   (r² = %.3f)@." name estimate r2)
+        (List.sort compare names))
+    groups
+
+let () =
+  reproduction ();
+  run_benchmarks ();
+  Format.printf "@.done.@."

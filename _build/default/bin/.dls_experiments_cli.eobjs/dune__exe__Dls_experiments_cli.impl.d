@@ -1,0 +1,1 @@
+bin/dls_experiments_cli.ml: Arg Cmd Cmdliner Dls_experiments Format Logs Logs_fmt Option Term

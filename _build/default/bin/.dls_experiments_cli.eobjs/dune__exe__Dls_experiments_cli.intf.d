@@ -1,0 +1,1 @@
+bin/dls_experiments_cli.mli:

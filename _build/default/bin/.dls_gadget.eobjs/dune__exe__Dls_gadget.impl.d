@@ -1,0 +1,1 @@
+bin/dls_gadget.ml: Allocation Arg Cmd Cmdliner Dls_core Dls_graph Dls_platform Dls_util Float Format Fun Heuristics List Lp_relax Mip Problem Reduction Stdlib String Term

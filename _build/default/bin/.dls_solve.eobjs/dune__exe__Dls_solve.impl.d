@@ -1,0 +1,1 @@
+bin/dls_solve.ml: Allocation Analysis Arg Cmd Cmdliner Dls_core Dls_experiments Dls_flowsim Dls_platform Dls_util Fairness Format Heuristics List Lp_relax Problem Schedule Term Viz

@@ -1,0 +1,1 @@
+bin/dls_solve.mli:

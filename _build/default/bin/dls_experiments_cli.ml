@@ -1,0 +1,190 @@
+(* Command-line driver regenerating every table and figure of the paper.
+
+   Subcommands: table1, fig5, fig6, fig7, aggregate, all.  Each prints a
+   fixed-width table to stdout and optionally writes CSV next to it. *)
+
+open Cmdliner
+module E = Dls_experiments
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let out_arg =
+  let doc = "Also write the result as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let seed_arg default =
+  let doc = "PRNG seed; equal seeds reproduce runs exactly." in
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let per_k_arg default =
+  let doc = "Random platforms per value of K." in
+  Arg.(value & opt int default & info [ "per-k" ] ~docv:"N" ~doc)
+
+let ks_arg default =
+  let doc = "Values of K (number of clusters) to sweep." in
+  Arg.(value & opt (list int) default & info [ "ks" ] ~docv:"K,K,..." ~doc)
+
+let emit ?out table =
+  Format.printf "%a" E.Report.pp_table table;
+  match out with
+  | Some path ->
+    E.Report.write_csv ~path table;
+    Format.printf "CSV written to %s@." path
+  | None -> ()
+
+let table1_cmd =
+  let run out =
+    setup_logs ();
+    emit ?out (E.Table1.grid_table ());
+    emit (E.Table1.stats_table (E.Table1.sample_stats ()))
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the Table 1 parameter grid and platform statistics.")
+    Term.(const run $ out_arg)
+
+let fig5_cmd =
+  let run seed ks per_k out =
+    setup_logs ();
+    emit ?out (E.Fig5.table (E.Fig5.run ~seed ~ks ~per_k ()))
+  in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:"LPRG and G vs the LP upper bound, by K (Figure 5).")
+    Term.(const run $ seed_arg 1 $ ks_arg [ 5; 15; 25; 35; 45; 55 ] $ per_k_arg 4
+          $ out_arg)
+
+let fig6_cmd =
+  let run seed ks per_k out =
+    setup_logs ();
+    emit ?out (E.Fig6.table (E.Fig6.run ~seed ~ks ~per_k ()))
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"LPRR vs G on small topologies (Figure 6).")
+    Term.(const run $ seed_arg 2 $ ks_arg [ 15; 20; 25 ] $ per_k_arg 4 $ out_arg)
+
+let fig7_cmd =
+  let lprr_max_k_arg =
+    let doc = "Measure LPRR only for K up to $(docv) (it costs K^2 LP solves)." in
+    Arg.(value & opt int 20 & info [ "lprr-max-k" ] ~docv:"K" ~doc)
+  in
+  let run seed ks per_k lprr_max_k out =
+    setup_logs ();
+    emit ?out (E.Fig7.table (E.Fig7.run ~seed ~ks ~per_k ~lprr_max_k ()))
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Running times of the heuristics, by K (Figure 7).")
+    Term.(const run $ seed_arg 3 $ ks_arg [ 10; 20; 30; 40 ] $ per_k_arg 3
+          $ lprr_max_k_arg $ out_arg)
+
+let aggregate_cmd =
+  let run seed ks per_k out =
+    setup_logs ();
+    emit ?out (E.Aggregate.table (E.Aggregate.run ~seed ~ks ~per_k ()))
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Whole-sweep aggregates of Section 6.1 (LPRG/G ratios, LPR poorness).")
+    Term.(const run $ seed_arg 4 $ ks_arg [ 5; 15; 25; 35; 45 ] $ per_k_arg 4
+          $ out_arg)
+
+let ablation_cmd =
+  let run seed out =
+    setup_logs ();
+    emit ?out (E.Ablation.rounding_table (E.Ablation.rounding_policy ~seed ()));
+    emit (E.Ablation.tight_table (E.Ablation.network_tight ~seed:(seed + 1) ()));
+    emit (E.Ablation.workload_table (E.Ablation.workload ~seed:(seed + 2) ()));
+    emit (E.Ablation.topology_table (E.Ablation.topology_models ~seed:(seed + 3) ()));
+    emit (E.Ablation.baseline_table (E.Ablation.unbounded_baseline ~seed:(seed + 4) ()))
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Ablations: LPRR rounding policy, network-tight regime, workload \
+          sensitivity.")
+    Term.(const run $ seed_arg 6 $ out_arg)
+
+let sweep_cmd =
+  let count_arg =
+    let doc = "Platforms per value of K." in
+    Arg.(value & opt int 5 & info [ "per-k" ] ~docv:"N" ~doc)
+  in
+  let with_lprr_arg =
+    Arg.(value & flag
+         & info [ "with-lprr" ] ~doc:"Also run LPRR on every platform (K^2 LP solves).")
+  in
+  let run seed ks per_k with_lprr out =
+    setup_logs ();
+    let oc = match out with Some path -> Some (open_out path) | None -> None in
+    let emit_line line =
+      match oc with
+      | Some oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      | None -> print_endline line
+    in
+    emit_line E.Sweep.csv_header;
+    let completed, skipped =
+      E.Sweep.run ~seed ~ks ~per_k ~with_lprr
+        ~on_record:(fun r -> emit_line (E.Sweep.to_csv_row r))
+        ()
+    in
+    Option.iter close_out oc;
+    Format.eprintf "sweep: %d platforms evaluated, %d skipped@." completed skipped
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Stream a sampled Table 1 campaign as CSV (one row per platform: \
+          grid point, LP bounds, heuristic values, timings).")
+    Term.(const run $ seed_arg 12 $ ks_arg [ 5; 15; 25; 35; 45; 55 ] $ count_arg
+          $ with_lprr_arg $ out_arg)
+
+let adaptivity_cmd =
+  let run seed out =
+    setup_logs ();
+    match E.Adaptivity.run ~seed () with
+    | Ok trace -> emit ?out (E.Adaptivity.table trace)
+    | Error msg ->
+      Format.eprintf "adaptivity run failed: %s@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "adaptivity"
+       ~doc:
+         "Static plan vs per-period re-optimization under bandwidth variation \
+          (the paper's motivation (iii)).")
+    Term.(const run $ seed_arg 9 $ out_arg)
+
+let all_cmd =
+  let run seed =
+    setup_logs ();
+    emit (E.Table1.grid_table ());
+    emit (E.Table1.stats_table (E.Table1.sample_stats ~seed ()));
+    emit (E.Fig5.table (E.Fig5.run ~seed ()));
+    emit (E.Fig6.table (E.Fig6.run ~seed:(seed + 1) ()));
+    emit (E.Fig7.table (E.Fig7.run ~seed:(seed + 2) ()));
+    emit (E.Aggregate.table (E.Aggregate.run ~seed:(seed + 3) ()));
+    emit (E.Ablation.rounding_table (E.Ablation.rounding_policy ~seed:(seed + 4) ()));
+    emit (E.Ablation.tight_table (E.Ablation.network_tight ~seed:(seed + 5) ()));
+    emit (E.Ablation.workload_table (E.Ablation.workload ~seed:(seed + 6) ()));
+    match E.Adaptivity.run ~seed:(seed + 7) () with
+    | Ok trace -> emit (E.Adaptivity.table trace)
+    | Error msg -> Format.eprintf "adaptivity run failed: %s@." msg
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment with default sizes.")
+    Term.(const run $ seed_arg 1)
+
+let () =
+  let info =
+    Cmd.info "dls_experiments" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the evaluation of 'A realistic network/application model for \
+         scheduling divisible loads on large-scale platforms' (IPDPS 2005)."
+  in
+  exit (Cmd.eval (Cmd.group info [ table1_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
+                                   aggregate_cmd; ablation_cmd; adaptivity_cmd;
+                                   sweep_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/cluster_equivalence.ml: Allocation Dls_core Dls_graph Dls_platform Format List Lprg Problem

@@ -1,0 +1,1 @@
+examples/fairness_priorities.ml: Allocation Dls_core Dls_graph Dls_platform Format Lp_relax Lprg Problem

@@ -1,0 +1,1 @@
+examples/finite_campaign.ml: Array Dls_core Dls_graph Dls_num Dls_platform Format List Lp_relax Lprg Makespan Problem Schedule Timeline

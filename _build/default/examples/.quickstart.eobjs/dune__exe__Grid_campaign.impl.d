@@ -1,0 +1,1 @@
+examples/grid_campaign.ml: Allocation Dls_core Dls_experiments Dls_flowsim Dls_util Format Heuristics List Lp_relax Problem Schedule

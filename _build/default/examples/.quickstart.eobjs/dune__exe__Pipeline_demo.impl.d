@@ -1,0 +1,1 @@
+examples/pipeline_demo.ml: Array Dls_core Dls_graph Dls_platform Format Heuristics List Lp_relax Pipeline Problem

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocation Dls_core Dls_graph Dls_platform Format Heuristics Lp_relax Lprg Problem

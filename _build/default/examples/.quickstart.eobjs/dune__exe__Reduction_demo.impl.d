@@ -1,0 +1,1 @@
+examples/reduction_demo.ml: Allocation Dls_core Dls_graph Dls_num Dls_platform Format Heuristics List Lp_relax Problem Reduction String

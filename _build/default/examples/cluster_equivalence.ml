@@ -1,0 +1,63 @@
+(* From machine rooms to the two-parameter cluster model.
+
+   Section 2 of the paper reduces each institution's internal network to
+   a single equivalent speed s_k using classical divisible-load-theory
+   formulas.  This example derives the s_k of three differently shaped
+   sites (a flat star, a two-level tree, a one-port legacy cluster),
+   assembles the Grid platform from them, and schedules two applications
+   across the result.
+
+   Run with: dune exec examples/cluster_equivalence.exe *)
+
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+module Eq = Dls_platform.Equivalence
+open Dls_core
+
+let () =
+  (* Site 1: front-end (10 units/s) + 8 identical workers behind
+     gigabit-ish links; bounded multiport egress. *)
+  let site1 =
+    Eq.star ~root:10.0 ~workers:(List.init 8 (fun _ -> (12.0, 9.0)))
+  in
+  let s1 = Eq.multiport_speed ~egress_cap:60.0 site1 in
+
+  (* Site 2: two racks behind the front-end, each rack head feeding four
+     nodes — a depth-2 tree. *)
+  let rack () =
+    { Eq.compute = 2.0;
+      children = List.init 4 (fun _ -> (8.0, Eq.leaf 6.0)) }
+  in
+  let site2 = { Eq.compute = 5.0; children = [ (30.0, rack ()); (30.0, rack ()) ] } in
+  let s2 = Eq.multiport_speed site2 in
+
+  (* Site 3: an old bus cluster — the front-end serves one node at a
+     time (one-port). *)
+  let site3 = Eq.star ~root:4.0 ~workers:[ (20.0, 10.0); (20.0, 10.0); (5.0, 30.0) ] in
+  let s3 = Eq.one_port_speed site3 in
+
+  Format.printf "equivalent speeds: site1 = %.1f, site2 = %.1f, site3 = %.1f@.@."
+    s1 s2 s3;
+
+  (* Assemble the Grid: the three sites in a triangle. *)
+  let topology = G.cycle 3 in
+  let backbones =
+    [| { P.bw = 8.0; max_connect = 3 }; { P.bw = 5.0; max_connect = 2 };
+       { P.bw = 12.0; max_connect = 4 } |]
+  in
+  let clusters =
+    [| { P.speed = s1; local_bw = 25.0; router = 0 };
+       { P.speed = s2; local_bw = 20.0; router = 1 };
+       { P.speed = s3; local_bw = 15.0; router = 2 } |]
+  in
+  let problem =
+    Problem.make (P.make ~clusters ~topology ~backbones) ~payoffs:[| 1.0; 1.0; 0.0 |]
+  in
+  match Lprg.solve problem with
+  | Error msg -> Format.eprintf "LPRG failed: %s@." msg
+  | Ok alloc ->
+    assert (Allocation.is_feasible problem alloc);
+    Format.printf "%a@." Allocation.pp alloc;
+    Format.printf "MAXMIN = %.2f, SUM = %.2f@."
+      (Allocation.maxmin_objective problem alloc)
+      (Allocation.sum_objective problem alloc)

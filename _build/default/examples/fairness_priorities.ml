@@ -1,0 +1,63 @@
+(* Fairness and priorities: how the payoff factors pi_k steer MAX-MIN
+   resource sharing.
+
+   Two data-source clusters compete for one compute farm.  Under MAXMIN
+   the solver equalizes pi_k * alpha_k, so an application with payoff 2
+   receives *half* the load units of a payoff-1 application ("computing
+   one unit of load for an application with payoff factor 2 is twice as
+   worthwhile", Section 3.1).  Under SUM, the whole farm goes to
+   whichever route is cheapest, payoffs merely scale the total.
+
+   Run with: dune exec examples/fairness_priorities.exe *)
+
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+open Dls_core
+
+let platform () =
+  (* Routers: 0 (farm) - 1 (source A) and 0 - 2 (source B). *)
+  let topology = G.star 3 in
+  let backbones =
+    [| { P.bw = 25.0; max_connect = 4 }; { P.bw = 25.0; max_connect = 4 } |]
+  in
+  let clusters =
+    [| { P.speed = 60.0; local_bw = 80.0; router = 0 };  (* farm *)
+       { P.speed = 0.0; local_bw = 50.0; router = 1 };  (* source A *)
+       { P.speed = 0.0; local_bw = 50.0; router = 2 } |]  (* source B *)
+  in
+  P.make ~clusters ~topology ~backbones
+
+let describe problem label =
+  match Lprg.solve ~objective:Lp_relax.Maxmin problem with
+  | Error msg -> Format.eprintf "%s: LPRG failed: %s@." label msg
+  | Ok alloc ->
+    assert (Allocation.is_feasible problem alloc);
+    let a1 = Allocation.app_throughput alloc 1 in
+    let a2 = Allocation.app_throughput alloc 2 in
+    Format.printf
+      "%s:@.  A1 gets %.2f load/unit time (payoff %.1f, weighted %.2f)@.  A2 gets %.2f load/unit time (payoff %.1f, weighted %.2f)@."
+      label a1 (Problem.payoff problem 1)
+      (a1 *. Problem.payoff problem 1)
+      a2 (Problem.payoff problem 2)
+      (a2 *. Problem.payoff problem 2)
+
+let () =
+  let p = platform () in
+  (* Equal priorities: the farm splits evenly. *)
+  describe (Problem.make p ~payoffs:[| 0.0; 1.0; 1.0 |]) "equal payoffs (1, 1)";
+  Format.printf "@.";
+  (* A2 is twice as worthwhile per unit: MAX-MIN equalizes the weighted
+     throughputs, so A2 receives half the raw load of A1. *)
+  describe (Problem.make p ~payoffs:[| 0.0; 1.0; 2.0 |]) "weighted payoffs (1, 2)";
+  Format.printf "@.";
+  (* SUM with the same weights: fairness is gone; the farm's capacity
+     goes wherever it pays the most. *)
+  let problem = Problem.make p ~payoffs:[| 0.0; 1.0; 2.0 |] in
+  match Lprg.solve ~objective:Lp_relax.Sum problem with
+  | Error msg -> Format.eprintf "SUM LPRG failed: %s@." msg
+  | Ok alloc ->
+    Format.printf
+      "SUM objective with payoffs (1, 2): A1 = %.2f, A2 = %.2f (total payoff %.2f)@."
+      (Allocation.app_throughput alloc 1)
+      (Allocation.app_throughput alloc 2)
+      (Allocation.sum_objective problem alloc)

@@ -1,0 +1,71 @@
+(* From steady state to a finished campaign.
+
+   The paper optimizes the steady-state regime; real campaigns are
+   finite.  This example takes the quickstart platform, reconstructs the
+   periodic schedule (Section 3.2), and runs two finite workloads
+   through it: the makespan estimate, its asymptotic optimality as loads
+   grow, the explicit Gantt timeline of the first few periods, and the
+   sequential-baseline comparison.
+
+   Run with: dune exec examples/finite_campaign.exe *)
+
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+module Q = Dls_num.Rat
+open Dls_core
+
+let () =
+  let topology = G.path_graph 3 in
+  let backbones =
+    [| { P.bw = 10.0; max_connect = 2 }; { P.bw = 6.0; max_connect = 4 } |]
+  in
+  let clusters =
+    [| { P.speed = 20.0; local_bw = 30.0; router = 0 };
+       { P.speed = 80.0; local_bw = 40.0; router = 1 };
+       { P.speed = 15.0; local_bw = 25.0; router = 2 } |]
+  in
+  let problem =
+    Problem.make (P.make ~clusters ~topology ~backbones) ~payoffs:[| 1.0; 0.0; 1.0 |]
+  in
+  match Lprg.solve ~objective:Lp_relax.Maxmin problem with
+  | Error msg -> Format.eprintf "LPRG failed: %s@." msg
+  | Ok alloc ->
+    let schedule = Schedule.build (Schedule.exact_of_float ~approx_max_den:100 alloc) in
+    assert (Schedule.validate problem schedule = Ok ());
+    Format.printf "steady state: A0 at %s, A2 at %s load/unit time@.@."
+      (Q.to_string (Schedule.app_throughput schedule 0))
+      (Q.to_string (Schedule.app_throughput schedule 2));
+
+    let workloads = [| Q.of_int 600; Q.zero; Q.of_int 450 |] in
+    (match Makespan.periodic schedule ~workloads with
+     | Error msg -> Format.eprintf "makespan failed: %s@." msg
+     | Ok e ->
+       Format.printf
+         "campaign of %s + %s load units: %s periods, makespan %.2f (lower bound %.2f, efficiency %.1f%%)@."
+         (Q.to_string workloads.(0)) (Q.to_string workloads.(2))
+         (Dls_num.Bigint.to_string e.Makespan.periods)
+         (Q.to_float e.Makespan.makespan)
+         (Q.to_float e.Makespan.lower_bound)
+         (100.0 *. e.Makespan.efficiency));
+    Format.printf "asymptotic optimality (efficiency as loads scale):@.";
+    List.iter
+      (fun scale ->
+        Format.printf "  x%-6d -> %.4f@." scale
+          (Makespan.asymptotic_efficiency schedule ~workloads ~scale))
+      [ 1; 10; 100; 1000 ];
+
+    (match Makespan.sequential_baseline problem ~workloads with
+     | Ok total ->
+       Format.printf
+         "@.sequential baseline (one application at a time): %.2f time units@."
+         (Q.to_float total)
+     | Error msg -> Format.eprintf "baseline failed: %s@." msg);
+
+    (* A small campaign so the Gantt stays readable. *)
+    let small = [| Q.of_int 60; Q.zero; Q.of_int 45 |] in
+    match Timeline.build problem schedule ~workloads:small with
+    | Error msg -> Format.eprintf "timeline failed: %s@." msg
+    | Ok tl ->
+      assert (Timeline.validate tl = Ok ());
+      Format.printf "@.explicit timeline for a small campaign (60 + 45 units):@.%a@."
+        Timeline.pp tl

@@ -1,0 +1,46 @@
+(* Quickstart: two university clusters and one idle compute farm.
+
+   Builds a platform by hand, schedules two competing divisible-load
+   applications with the LPRG heuristic, and prints the steady-state
+   allocation next to the LP upper bound.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+open Dls_core
+
+let () =
+  (* Topology: three routers in a line; backbone links with the paper's
+     two parameters — per-connection bandwidth and a connection cap. *)
+  let topology = G.path_graph 3 in
+  let backbones =
+    [| { P.bw = 10.0; max_connect = 2 };  (* l0: router 0 -- router 1 *)
+       { P.bw = 6.0; max_connect = 4 } |]  (* l1: router 1 -- router 2 *)
+  in
+  (* Clusters: C0 and C2 hold application data and modest compute; C1 is
+     a fast farm with no application of its own. *)
+  let clusters =
+    [| { P.speed = 20.0; local_bw = 30.0; router = 0 };
+       { P.speed = 80.0; local_bw = 40.0; router = 1 };
+       { P.speed = 15.0; local_bw = 25.0; router = 2 } |]
+  in
+  let platform = P.make ~clusters ~topology ~backbones in
+  let problem = Problem.make platform ~payoffs:[| 1.0; 0.0; 1.0 |] in
+
+  Format.printf "%a@.@." Problem.pp problem;
+
+  match Lprg.solve ~objective:Lp_relax.Maxmin problem with
+  | Error msg -> Format.eprintf "LPRG failed: %s@." msg
+  | Ok alloc ->
+    assert (Allocation.is_feasible problem alloc);
+    Format.printf "LPRG allocation (MAXMIN objective):@.%a@." Allocation.pp alloc;
+    Format.printf "application throughputs: A0 = %.2f, A2 = %.2f@."
+      (Allocation.app_throughput alloc 0)
+      (Allocation.app_throughput alloc 2);
+    Format.printf "MAXMIN = %.2f   SUM = %.2f@."
+      (Allocation.maxmin_objective problem alloc)
+      (Allocation.sum_objective problem alloc);
+    (match Heuristics.lp_bound ~objective:Lp_relax.Maxmin problem with
+     | Ok bound -> Format.printf "LP upper bound on MAXMIN = %.2f@." bound
+     | Error msg -> Format.eprintf "LP bound failed: %s@." msg)

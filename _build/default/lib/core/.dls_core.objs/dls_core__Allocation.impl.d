@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Dls_platform Float Format List Problem

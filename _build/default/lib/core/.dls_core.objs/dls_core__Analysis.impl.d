@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Allocation Array Dls_platform Float Format List Printf Problem

@@ -1,0 +1,1 @@
+lib/core/fairness.ml: Allocation Array Float List Problem

@@ -1,0 +1,1 @@
+lib/core/greedy.ml: Allocation Array Dls_platform Float List Problem Residual

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Dls_util Greedy Lp_relax Lpr Lprg Lprr Result String

@@ -1,0 +1,1 @@
+lib/core/lpr.ml: Allocation Array Dls_platform Float Lp_relax Problem

@@ -1,0 +1,1 @@
+lib/core/lpr.mli: Allocation Lp_relax Problem

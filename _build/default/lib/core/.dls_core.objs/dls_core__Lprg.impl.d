@@ -1,0 +1,1 @@
+lib/core/lprg.ml: Greedy Lp_relax Lpr Problem Residual

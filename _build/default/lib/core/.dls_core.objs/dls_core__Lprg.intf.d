@@ -1,0 +1,1 @@
+lib/core/lprg.mli: Allocation Lp_relax Problem

@@ -1,0 +1,1 @@
+lib/core/lprr.ml: Allocation Array Dls_platform Dls_util Float Hashtbl List Lp_relax Problem Stdlib

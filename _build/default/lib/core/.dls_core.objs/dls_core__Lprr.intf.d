@@ -1,0 +1,1 @@
+lib/core/lprr.mli: Allocation Dls_util Lp_relax Problem

@@ -1,0 +1,1 @@
+lib/core/makespan.ml: Array Dls_num Lp_relax Printf Problem Schedule Stdlib

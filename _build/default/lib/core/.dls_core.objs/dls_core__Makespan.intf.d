@@ -1,0 +1,1 @@
+lib/core/makespan.mli: Dls_num Problem Schedule

@@ -1,0 +1,1 @@
+lib/core/mip.ml: Allocation Array Dls_platform Float Fun List Lp_relax Printf Problem Stdlib

@@ -1,0 +1,1 @@
+lib/core/mip.mli: Allocation Lp_relax Problem

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Dls_lp Dls_platform Float Fun List Lp_relax Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dls_platform Lp_relax

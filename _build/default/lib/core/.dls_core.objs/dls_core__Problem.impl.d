@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Dls_platform Float Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Allocation Array Dls_graph Dls_platform Fun List Problem Stdlib

@@ -1,0 +1,1 @@
+lib/core/residual.ml: Allocation Array Dls_platform Float Format List Stdlib

@@ -1,0 +1,1 @@
+lib/core/residual.mli: Allocation Dls_platform Format

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Allocation Array Dls_num Dls_platform Format List Printf Problem

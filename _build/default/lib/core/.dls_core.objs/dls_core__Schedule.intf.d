@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Allocation Dls_num Format Problem

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Array Dls_num Dls_platform Format Hashtbl List Option Printf Problem Schedule Stdlib

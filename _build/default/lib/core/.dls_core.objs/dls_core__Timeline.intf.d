@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Dls_num Format Problem Schedule

@@ -1,0 +1,1 @@
+lib/core/unbounded_baseline.ml: Allocation Array Dls_platform Float List Lp_relax Problem

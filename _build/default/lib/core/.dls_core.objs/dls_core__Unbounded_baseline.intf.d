@@ -1,0 +1,1 @@
+lib/core/unbounded_baseline.mli: Allocation Lp_relax Problem

@@ -1,0 +1,1 @@
+lib/core/viz.ml: Allocation Array Buffer Dls_platform Float Fun Printf Problem

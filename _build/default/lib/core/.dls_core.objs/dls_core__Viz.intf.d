@@ -1,0 +1,1 @@
+lib/core/viz.mli: Allocation Problem

@@ -1,0 +1,84 @@
+module P = Dls_platform.Platform
+
+type resource =
+  | Cpu of int
+  | Local_link of int
+  | Connections of int
+  | Route_bandwidth of int * int
+
+type usage = {
+  resource : resource;
+  used : float;
+  capacity : float;
+  utilization : float;
+}
+
+let make_usage resource used capacity =
+  let utilization =
+    if capacity > 0.0 then used /. capacity else if used > 0.0 then infinity else 0.0
+  in
+  { resource; used; capacity; utilization }
+
+let utilization problem alloc =
+  let p = Problem.platform problem in
+  let kk = Problem.num_clusters problem in
+  let entries = ref [] in
+  let add resource used capacity =
+    if used > 0.0 || capacity > 0.0 then
+      entries := make_usage resource used capacity :: !entries
+  in
+  for l = 0 to kk - 1 do
+    let load = ref 0.0 in
+    for k = 0 to kk - 1 do
+      load := !load +. alloc.Allocation.alpha.(k).(l)
+    done;
+    add (Cpu l) !load (P.speed p l)
+  done;
+  for k = 0 to kk - 1 do
+    let traffic = ref 0.0 in
+    for l = 0 to kk - 1 do
+      if l <> k then
+        traffic :=
+          !traffic +. alloc.Allocation.alpha.(k).(l) +. alloc.Allocation.alpha.(l).(k)
+    done;
+    add (Local_link k) !traffic (P.local_bw p k)
+  done;
+  for link = 0 to P.num_backbones p - 1 do
+    let used =
+      List.fold_left
+        (fun acc (k, l) -> acc + alloc.Allocation.beta.(k).(l))
+        0 (P.routes_through p link)
+    in
+    add (Connections link) (float_of_int used)
+      (float_of_int (P.backbone p link).P.max_connect)
+  done;
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      if k <> l && alloc.Allocation.alpha.(k).(l) > 0.0 then begin
+        match P.route_bottleneck p k l with
+        | None -> ()
+        | Some bw when bw = infinity -> ()
+        | Some bw ->
+          add (Route_bandwidth (k, l))
+            alloc.Allocation.alpha.(k).(l)
+            (float_of_int alloc.Allocation.beta.(k).(l) *. bw)
+      end
+    done
+  done;
+  List.sort
+    (fun a b -> Float.compare b.utilization a.utilization)
+    !entries
+
+let bottlenecks ?(threshold = 0.999) problem alloc =
+  List.filter (fun u -> u.utilization >= threshold) (utilization problem alloc)
+
+let pp_usage fmt u =
+  let name =
+    match u.resource with
+    | Cpu k -> Printf.sprintf "cpu(C%d)" k
+    | Local_link k -> Printf.sprintf "local-link(C%d)" k
+    | Connections i -> Printf.sprintf "connections(l%d)" i
+    | Route_bandwidth (k, l) -> Printf.sprintf "route-bw(C%d->C%d)" k l
+  in
+  Format.fprintf fmt "%-22s %8.3f / %-8.3f (%.1f%%)" name u.used u.capacity
+    (100.0 *. u.utilization)

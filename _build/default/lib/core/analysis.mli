@@ -1,0 +1,30 @@
+(** Capacity-utilization analysis of an allocation.
+
+    Answers the operator's question "what limits my throughput?": for
+    each platform constraint of Equations 1–4, how much of its capacity
+    the allocation consumes.  Constraints at (or numerically above) full
+    utilization are the bottlenecks — the resources whose upgrade the
+    steady-state throughput would actually respond to, mirroring the
+    shadow-price information of the LP duals at the allocation level. *)
+
+type resource =
+  | Cpu of int  (** cluster compute (Eq. 1) *)
+  | Local_link of int  (** cluster serial link (Eq. 2) *)
+  | Connections of int  (** backbone connection slots (Eq. 3) *)
+  | Route_bandwidth of int * int  (** beta * bw ceiling of a route (Eq. 4) *)
+
+type usage = {
+  resource : resource;
+  used : float;
+  capacity : float;
+  utilization : float;  (** [used / capacity]; 0 when capacity is 0 and unused *)
+}
+
+val utilization : Problem.t -> Allocation.t -> usage list
+(** Every constraint with non-zero capacity or usage, sorted by
+    decreasing utilization. *)
+
+val bottlenecks : ?threshold:float -> Problem.t -> Allocation.t -> usage list
+(** The entries at utilization [>= threshold] (default 0.999). *)
+
+val pp_usage : Format.formatter -> usage -> unit

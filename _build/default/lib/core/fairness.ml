@@ -1,0 +1,24 @@
+let weighted_throughputs problem alloc =
+  Array.of_list
+    (List.map
+       (fun k -> Problem.payoff problem k *. Allocation.app_throughput alloc k)
+       (Problem.active problem))
+
+let jain_index problem alloc =
+  let xs = weighted_throughputs problem alloc in
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 xs in
+    let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+    if sum_sq <= 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)
+  end
+
+let min_over_max problem alloc =
+  let xs = weighted_throughputs problem alloc in
+  if Array.length xs = 0 then 1.0
+  else begin
+    let mn = Array.fold_left Float.min infinity xs in
+    let mx = Array.fold_left Float.max 0.0 xs in
+    if mx <= 0.0 then 1.0 else Float.max 0.0 (mn /. mx)
+  end

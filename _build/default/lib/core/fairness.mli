@@ -1,0 +1,20 @@
+(** Fairness metrics over per-application weighted throughputs.
+
+    MAXMIN optimizes the worst-off application; these metrics summarize
+    how {e evenly} an allocation actually treats the whole population —
+    useful when comparing G (whose fairness is step-granular) with LPRR
+    (near max-min fair) beyond the single min value the paper plots.
+    All metrics apply to the payoff-weighted throughputs
+    [pi_k * alpha_k] of active applications. *)
+
+val weighted_throughputs : Problem.t -> Allocation.t -> float array
+(** [pi_k * alpha_k] for each active application, in cluster order. *)
+
+val jain_index : Problem.t -> Allocation.t -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] in [1/n, 1]: 1
+    when all weighted throughputs are equal, [1/n] when one application
+    holds everything.  1 by convention when no application is active or
+    nothing is allocated. *)
+
+val min_over_max : Problem.t -> Allocation.t -> float
+(** Worst-to-best ratio in [0, 1]; 1 when perfectly even. *)

@@ -1,0 +1,116 @@
+module P = Dls_platform.Platform
+
+let eps = 1e-9
+
+(* Benefit of executing work of application [k] on remote cluster [m]
+   using one fresh connection: min { g_k, g_{k,m}, g_m, s_m } (step 4 of
+   the paper's pseudo-code), over residual capacities. *)
+let remote_benefit platform residual ~k ~m =
+  let v =
+    Float.min
+      (Float.min (Residual.local_bw residual k) (Residual.bottleneck platform residual k m))
+      (Float.min (Residual.local_bw residual m) (Residual.speed residual m))
+  in
+  Float.max 0.0 v
+
+(* Step 5's local cap: the largest amount some other application could
+   have executed on [k] through the network. *)
+let local_cap platform residual ~k =
+  let kk = P.num_clusters platform in
+  let best = ref 0.0 in
+  for m = 0 to kk - 1 do
+    if m <> k then begin
+      let v =
+        Float.min
+          (Float.min (Residual.local_bw residual k)
+             (Residual.bottleneck platform residual k m))
+          (Float.min (Residual.local_bw residual m) (Residual.speed residual k))
+      in
+      if v > !best then best := v
+    end
+  done;
+  !best
+
+let refine problem residual start =
+  let platform = Problem.platform problem in
+  let kk = P.num_clusters platform in
+  let alloc = Allocation.copy start in
+  let throughput = Array.init kk (Allocation.app_throughput alloc) in
+  let remaining = ref (Problem.active problem) in
+  (* Every iteration either removes an application or allocates work.
+     Remote allocations consume connection slots (finitely many) and
+     local ones consume speed in steps of the current cap, so the loop
+     terminates; the budget is a guard against degenerate float caps
+     (documented in DESIGN.md), after which each surviving application
+     just takes its remaining local speed. *)
+  let budget = ref (100_000 + (2_000 * kk * kk)) in
+  let score k = Problem.payoff problem k *. throughput.(k) in
+  let drop k = remaining := List.filter (fun a -> a <> k) !remaining in
+  while !remaining <> [] && !budget > 0 do
+    decr budget;
+    (* Step 3: application with the smallest pi_k * alpha_k; ties to the
+       higher payoff, then the smaller index. *)
+    let k =
+      List.fold_left
+        (fun best a ->
+          let c = Float.compare (score a) (score best) in
+          if c < 0 then a
+          else if c > 0 then best
+          else if Problem.payoff problem a > Problem.payoff problem best then a
+          else best)
+        (List.hd !remaining) (List.tl !remaining)
+    in
+    (* Step 4: most profitable target cluster; ties prefer local, then
+       the smaller index. *)
+    let best_l = ref k and best_benefit = ref (Residual.speed residual k) in
+    for m = 0 to kk - 1 do
+      if m <> k then begin
+        let b = remote_benefit platform residual ~k ~m in
+        if b > !best_benefit +. eps then begin
+          best_benefit := b;
+          best_l := m
+        end
+      end
+    done;
+    if !best_benefit <= eps then
+      (* Step 4's exit: nothing profitable remains for this application. *)
+      drop k
+    else begin
+      let l = !best_l in
+      if l = k then begin
+        (* Step 5, local branch: allocate only what another application
+           could have used here; if no one can reach us, take it all. *)
+        let cap = local_cap platform residual ~k in
+        let amount = if cap <= eps then Residual.speed residual k else cap in
+        let amount = Float.min amount (Residual.speed residual k) in
+        if amount > eps then begin
+          Residual.consume_local residual k amount;
+          alloc.Allocation.alpha.(k).(k) <- alloc.Allocation.alpha.(k).(k) +. amount;
+          throughput.(k) <- throughput.(k) +. amount
+        end
+        else drop k
+      end
+      else begin
+        let amount = !best_benefit in
+        Residual.consume_remote platform residual ~src:k ~dst:l amount;
+        alloc.Allocation.alpha.(k).(l) <- alloc.Allocation.alpha.(k).(l) +. amount;
+        alloc.Allocation.beta.(k).(l) <- alloc.Allocation.beta.(k).(l) + 1;
+        throughput.(k) <- throughput.(k) +. amount
+      end
+    end
+  done;
+  (* Budget exhausted (degenerate caps): drain remaining local speed in
+     one pass so the result is still a sensible allocation. *)
+  List.iter
+    (fun k ->
+      let s = Residual.speed residual k in
+      if s > eps then begin
+        Residual.consume_local residual k s;
+        alloc.Allocation.alpha.(k).(k) <- alloc.Allocation.alpha.(k).(k) +. s
+      end)
+    !remaining;
+  alloc
+
+let solve problem =
+  let platform = Problem.platform problem in
+  refine problem (Residual.full platform) (Allocation.zero (P.num_clusters platform))

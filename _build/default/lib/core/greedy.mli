@@ -1,0 +1,26 @@
+(** The greedy heuristic G (Section 5.1 of the paper).
+
+    At each step G selects the application with the smallest relative
+    share [alpha_k * pi_k] so far (ties to the highest payoff), compares
+    the benefit of computing locally against opening one connection to
+    each reachable cluster, allocates the most profitable amount, and
+    updates the residual capacities.  The local-allocation amount is
+    deliberately capped at the largest amount any {e other} application
+    could have run there, to avoid starving remote applications of the
+    cluster early on.
+
+    Two deviations from the paper's pseudo-code, both required for
+    termination and documented in DESIGN.md: applications with payoff 0
+    are never selected (they have no work to place), and when the
+    local-cap formula yields 0 while the cluster still has speed left —
+    i.e. no other application can reach the cluster at all — the full
+    remaining speed is allocated. *)
+
+val solve : Problem.t -> Allocation.t
+(** Run G from the full platform capacities and an empty allocation. *)
+
+val refine : Problem.t -> Residual.t -> Allocation.t -> Allocation.t
+(** [refine problem residual start] continues G from a partial
+    allocation and its residual capacities (the LPRG composition,
+    Section 5.2.2).  [residual] is consumed (mutated); [start] is not
+    modified — a refined copy is returned. *)

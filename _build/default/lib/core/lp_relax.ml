@@ -1,0 +1,208 @@
+module P = Dls_platform.Platform
+
+type objective = Sum | Maxmin
+
+type 'num solution = {
+  alpha : 'num array array;
+  beta : 'num array array;
+  objective_value : 'num;
+  iterations : int;
+}
+
+type 'num outcome = Solution of 'num solution | Failed of string
+
+let remote_pairs problem =
+  let p = Problem.platform problem in
+  let kk = P.num_clusters p in
+  let acc = ref [] in
+  for k = kk - 1 downto 0 do
+    if Problem.is_active problem k then
+      for l = kk - 1 downto 0 do
+        if k <> l then begin
+          match P.route p k l with
+          | Some (_ :: _) -> acc := (k, l) :: !acc
+          | Some [] | None -> ()
+        end
+      done
+  done;
+  !acc
+
+module Encode (F : Dls_lp.Field.S) = struct
+  module M = Dls_lp.Model.Make (F)
+
+  (* Variable layout: one alpha variable per admissible (k, l) pair —
+     always (k, k) for active k; (k, l) when a route exists — plus, for
+     MAXMIN, one auxiliary variable t with rows t <= pi_k * alpha_k.
+     [solver] lets the float instance route the model to the sparse
+     revised simplex. *)
+  let solve ?solver ?(objective = Maxmin) ?(fixed = []) ?max_iterations problem =
+    let solve_model = match solver with Some f -> f | None -> M.solve in
+    let p = Problem.platform problem in
+    let kk = P.num_clusters p in
+    let active = Problem.active problem in
+    let zero_solution () =
+      { alpha = Array.make_matrix kk kk F.zero;
+        beta = Array.make_matrix kk kk F.zero;
+        objective_value = F.zero;
+        iterations = 0 }
+    in
+    if active = [] then Solution (zero_solution ())
+    else begin
+      let fixed_tbl = Hashtbl.create 16 in
+      List.iter
+        (fun ((k, l), v) ->
+          if v < 0 then invalid_arg "Lp_relax: negative fixed beta";
+          Hashtbl.replace fixed_tbl (k, l) v)
+        fixed;
+      let m = M.create () in
+      let vars = Array.make_matrix kk kk None in
+      let bottleneck = Array.make_matrix kk kk infinity in
+      List.iter
+        (fun k ->
+          for l = 0 to kk - 1 do
+            let admissible =
+              if l = k then true
+              else (
+                match P.route p k l with Some _ -> true | None -> false)
+            in
+            if admissible then begin
+              let v = M.add_var ~name:(Printf.sprintf "a_%d_%d" k l) m in
+              vars.(k).(l) <- Some v;
+              if l <> k then begin
+                match P.route_bottleneck p k l with
+                | Some bw -> bottleneck.(k).(l) <- bw
+                | None -> assert false
+              end
+            end
+          done)
+        active;
+      (* Pinned pairs: alpha <= v * g as an upper bound. *)
+      Hashtbl.iter
+        (fun (k, l) v ->
+          match vars.(k).(l) with
+          | Some var when k <> l && Float.is_finite bottleneck.(k).(l) ->
+            M.set_upper_bound m var
+              (F.mul (F.of_int v) (F.of_float bottleneck.(k).(l)))
+          | Some _ | None ->
+            invalid_arg "Lp_relax: fixed beta on a pair without a backbone route")
+        fixed_tbl;
+      (* Equation 7b: per-cluster compute capacity. *)
+      for l = 0 to kk - 1 do
+        let terms = ref [] in
+        for k = 0 to kk - 1 do
+          match vars.(k).(l) with
+          | Some v -> terms := (v, F.one) :: !terms
+          | None -> ()
+        done;
+        if !terms <> [] then M.add_le m !terms (F.of_float (P.speed p l))
+      done;
+      (* Equation 7c: per-cluster local link, outgoing plus incoming. *)
+      for k = 0 to kk - 1 do
+        let terms = ref [] in
+        for l = 0 to kk - 1 do
+          if l <> k then begin
+            (match vars.(k).(l) with
+             | Some v -> terms := (v, F.one) :: !terms
+             | None -> ());
+            match vars.(l).(k) with
+            | Some v -> terms := (v, F.one) :: !terms
+            | None -> ()
+          end
+        done;
+        if !terms <> [] then M.add_le m !terms (F.of_float (P.local_bw p k))
+      done;
+      (* Equation 7d with betas eliminated: each unpinned crossing pair
+         charges alpha/g slots; each pinned pair charges the constant v. *)
+      let infeasible = ref None in
+      for link = 0 to P.num_backbones p - 1 do
+        let terms = ref [] in
+        let rhs = ref (F.of_int (P.backbone p link).P.max_connect) in
+        List.iter
+          (fun (k, l) ->
+            match vars.(k).(l) with
+            | None -> ()
+            | Some v -> begin
+              match Hashtbl.find_opt fixed_tbl (k, l) with
+              | Some fixed_v -> rhs := F.sub !rhs (F.of_int fixed_v)
+              | None ->
+                let g = bottleneck.(k).(l) in
+                terms := (v, F.div F.one (F.of_float g)) :: !terms
+            end)
+          (P.routes_through p link);
+        if F.compare !rhs F.zero < 0 then
+          infeasible := Some (Printf.sprintf "pinned connections exceed backbone %d" link)
+        else if !terms <> [] then M.add_le m !terms !rhs
+      done;
+      match !infeasible with
+      | Some msg -> Failed msg
+      | None ->
+        (* Objective. *)
+        let alpha_terms k =
+          List.filter_map
+            (fun l -> Option.map (fun v -> (v, F.one)) vars.(k).(l))
+            (List.init kk Fun.id)
+        in
+        (match objective with
+         | Sum ->
+           let terms =
+             List.concat_map
+               (fun k ->
+                 let pi = F.of_float (Problem.payoff problem k) in
+                 List.map (fun (v, _) -> (v, pi)) (alpha_terms k))
+               active
+           in
+           M.set_objective m terms
+         | Maxmin ->
+           let t = M.add_var ~name:"t" m in
+           List.iter
+             (fun k ->
+               let pi = F.of_float (Problem.payoff problem k) in
+               let row =
+                 (t, F.one)
+                 :: List.map (fun (v, _) -> (v, F.neg pi)) (alpha_terms k)
+               in
+               M.add_le m row F.zero)
+             active;
+           M.set_objective m [ (t, F.one) ]);
+        let result = solve_model ?max_iterations m in
+        (match result.M.status with
+         | M.Solver.Optimal ->
+           let alpha = Array.make_matrix kk kk F.zero in
+           let beta = Array.make_matrix kk kk F.zero in
+           for k = 0 to kk - 1 do
+             for l = 0 to kk - 1 do
+               match vars.(k).(l) with
+               | None -> ()
+               | Some v ->
+                 let a = result.M.value v in
+                 alpha.(k).(l) <- a;
+                 if k <> l && Float.is_finite bottleneck.(k).(l) then begin
+                   match Hashtbl.find_opt fixed_tbl (k, l) with
+                   | Some fv -> beta.(k).(l) <- F.of_int fv
+                   | None -> beta.(k).(l) <- F.div a (F.of_float bottleneck.(k).(l))
+                 end
+             done
+           done;
+           Solution
+             { alpha; beta;
+               objective_value = result.M.objective;
+               iterations = result.M.iterations }
+         | M.Solver.Infeasible -> Failed "LP infeasible"
+         | M.Solver.Unbounded -> Failed "LP unbounded (malformed problem)"
+         | M.Solver.Iteration_limit -> Failed "simplex iteration budget exhausted")
+    end
+end
+
+module Float_encoder = Encode (Dls_lp.Field.Float)
+module Exact_encoder = Encode (Dls_lp.Field.Exact)
+
+let solve ?(engine = `Sparse) ?objective ?fixed ?max_iterations problem =
+  let solver =
+    match engine with
+    | `Sparse -> Dls_lp.Model.Float.solve_auto
+    | `Dense -> fun ?max_iterations m -> Dls_lp.Model.Float.solve ?max_iterations m
+  in
+  Float_encoder.solve ~solver ?objective ?fixed ?max_iterations problem
+
+let solve_exact ?objective ?fixed ?max_iterations problem =
+  Exact_encoder.solve ?objective ?fixed ?max_iterations problem

@@ -1,0 +1,59 @@
+(** Rational relaxation of the mixed LP (7a)–(7g), for both objectives.
+
+    In the relaxation, [beta_{k,l}] has no objective cost and appears
+    only in the connection-count rows (7d) and the bandwidth rows (7e),
+    so an optimal solution always sets
+    [beta_{k,l} = alpha_{k,l} / g_{k,l}], where
+    [g_{k,l} = min bw over the route].  We therefore eliminate the betas
+    and charge [alpha_{k,l} / g_{k,l}] connection slots on every
+    backbone link of the route — an exactly equivalent LP with half the
+    columns (Section 2.1 of DESIGN.md).  The relaxation's optimum is the
+    upper bound ("LP") the paper compares every heuristic against.
+
+    [fixed] pins selected remote pairs to integer connection counts: the
+    pair's bandwidth row becomes [alpha_{k,l} <= v * g_{k,l}] and its
+    slot charge on each route link becomes the constant [v].  LPRR uses
+    this to implement its iterated randomized rounding. *)
+
+type objective = Sum | Maxmin
+
+type 'num solution = {
+  alpha : 'num array array;
+  (** K x K work matrix; zero where no variable exists. *)
+  beta : 'num array array;
+  (** Fractional connection counts [alpha/g] (or the pinned integers);
+      zero on local and co-located pairs, which cross no backbone. *)
+  objective_value : 'num;
+  iterations : int;  (** simplex pivots *)
+}
+
+type 'num outcome =
+  | Solution of 'num solution
+  | Failed of string  (** infeasible pinning or pivot-budget exhaustion *)
+
+val solve :
+  ?engine:[ `Sparse | `Dense ] ->
+  ?objective:objective ->
+  ?fixed:((int * int) * int) list ->
+  ?max_iterations:int ->
+  Problem.t ->
+  float outcome
+(** Float path (default objective [Maxmin], like the paper's headline
+    fairness criterion).  [engine] selects the LP kernel: the sparse
+    revised simplex (default) or the dense tableau — both give the same
+    optimum; the option exists for cross-checking and benchmarks. *)
+
+val solve_exact :
+  ?objective:objective ->
+  ?fixed:((int * int) * int) list ->
+  ?max_iterations:int ->
+  Problem.t ->
+  Dls_num.Rat.t outcome
+(** Exact-rational path: same construction with platform parameters
+    injected exactly (every float is a rational).  Slower; intended for
+    tests, small instances, and schedule reconstruction. *)
+
+val remote_pairs : Problem.t -> (int * int) list
+(** Ordered pairs (k, l), k active, k <> l, joined by a route that
+    crosses at least one backbone link — exactly the pairs whose beta
+    matters, i.e. LPRR's rounding domain. *)

@@ -1,0 +1,7 @@
+let solve ?objective problem =
+  match Lp_relax.solve ?objective problem with
+  | Lp_relax.Failed msg -> Error msg
+  | Lp_relax.Solution sol ->
+    let rounded = Lpr.round_down problem sol in
+    let residual = Residual.of_allocation (Problem.platform problem) rounded in
+    Ok (Greedy.refine problem residual rounded)

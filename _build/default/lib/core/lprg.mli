@@ -1,0 +1,10 @@
+(** LPRG: LP round-down refined by the greedy heuristic (Section 5.2.2).
+
+    "LPR gives the basic framework of the solution, while the greedy
+    heuristic refines it": the residual network capacity thrown away by
+    rounding down is reclaimed by running G from the rounded allocation.
+    This is the paper's best practical heuristic — close to the LP upper
+    bound on the SUM objective at large K. *)
+
+val solve :
+  ?objective:Lp_relax.objective -> Problem.t -> (Allocation.t, string) result

@@ -1,0 +1,97 @@
+module P = Dls_platform.Platform
+module Prng = Dls_util.Prng
+
+type stats = {
+  allocation : Allocation.t;
+  lp_solves : int;
+  upward_rounds : int;
+}
+
+let floor_eps = 1e-9
+
+(* Remaining connection slots on the route (k, l) after accounting for
+   every already-pinned pair crossing each of its links. *)
+let route_slack problem fixed_tbl (k, l) =
+  let p = Problem.platform problem in
+  match P.route p k l with
+  | None | Some [] -> 0
+  | Some links ->
+    List.fold_left
+      (fun acc link ->
+        let used =
+          List.fold_left
+            (fun u pair ->
+              match Hashtbl.find_opt fixed_tbl pair with
+              | Some v -> u + v
+              | None -> u)
+            0
+            (P.routes_through p link)
+        in
+        Stdlib.min acc ((P.backbone p link).P.max_connect - used))
+      max_int links
+
+let run ~equal_probability ?objective ~rng problem =
+  let pairs = Lp_relax.remote_pairs problem in
+  let fixed_tbl = Hashtbl.create 64 in
+  let fixed_list () = Hashtbl.fold (fun pair v acc -> (pair, v) :: acc) fixed_tbl [] in
+  let unfixed = ref pairs in
+  let lp_solves = ref 0 in
+  let upward = ref 0 in
+  let failure = ref None in
+  let finished = ref false in
+  while not !finished && !failure = None do
+    match Lp_relax.solve ?objective ~fixed:(fixed_list ()) problem with
+    | Lp_relax.Failed msg -> failure := Some msg
+    | Lp_relax.Solution sol ->
+      incr lp_solves;
+      let candidates =
+        List.filter (fun (k, l) -> sol.Lp_relax.beta.(k).(l) > floor_eps) !unfixed
+      in
+      (match candidates with
+       | [] ->
+         (* No live fractional route left: pin the rest to zero. *)
+         List.iter (fun pair -> Hashtbl.replace fixed_tbl pair 0) !unfixed;
+         unfixed := [];
+         finished := true
+       | _ :: _ ->
+         let (k, l) = Prng.pick rng (Array.of_list candidates) in
+         let b = sol.Lp_relax.beta.(k).(l) in
+         let fl = int_of_float (Float.floor (b +. floor_eps)) in
+         let frac = Float.max 0.0 (b -. float_of_int fl) in
+         let up =
+           if equal_probability then Prng.bool rng ~p:0.5
+           else Prng.bool rng ~p:frac
+         in
+         let v = if up then fl + 1 else fl in
+         (* Feasibility clamp: never pin more slots than the route has. *)
+         let v = Stdlib.min v (route_slack problem fixed_tbl (k, l)) in
+         let v = Stdlib.max v 0 in
+         if up && v = fl + 1 then incr upward;
+         Hashtbl.replace fixed_tbl (k, l) v;
+         unfixed := List.filter (fun pair -> pair <> (k, l)) !unfixed)
+  done;
+  match !failure with
+  | Some msg -> Error msg
+  | None ->
+    (* Final solve with every beta pinned gives the alphas. *)
+    (match Lp_relax.solve ?objective ~fixed:(fixed_list ()) problem with
+     | Lp_relax.Failed msg -> Error msg
+     | Lp_relax.Solution sol ->
+       incr lp_solves;
+       let kk = Problem.num_clusters problem in
+       let alloc = Allocation.zero kk in
+       for k = 0 to kk - 1 do
+         for l = 0 to kk - 1 do
+           alloc.Allocation.alpha.(k).(l) <- sol.Lp_relax.alpha.(k).(l)
+         done
+       done;
+       Hashtbl.iter
+         (fun (k, l) v -> alloc.Allocation.beta.(k).(l) <- v)
+         fixed_tbl;
+       Ok { allocation = alloc; lp_solves = !lp_solves; upward_rounds = !upward })
+
+let solve ?objective ~rng problem =
+  run ~equal_probability:false ?objective ~rng problem
+
+let solve_equal_probability ?objective ~rng problem =
+  run ~equal_probability:true ?objective ~rng problem

@@ -1,0 +1,38 @@
+(** LPRR: iterated randomized rounding (Section 5.2.3).
+
+    Following Coudert and Rivano's practical variant of the
+    Motwani–Naor–Raghavan scheme, LPRR repeatedly (i) solves the
+    relaxation with all previously pinned connection counts, (ii) picks
+    an unpinned route with non-zero fractional [beta~] uniformly at
+    random, and (iii) pins it to [floor(beta~) + X] where
+    [X ~ Bernoulli(frac(beta~))] — so the count rounds to the nearer
+    integer with the higher probability.  When no unpinned route has a
+    non-zero [beta~] left, the rest are pinned to 0 and a final solve
+    yields the alphas.  One deviation keeps every iteration feasible
+    (the paper notes Coudert–Rivano "always provides a feasible
+    solution" without detail): an upward round is clamped to the
+    connection slots actually remaining on the route.
+
+    Cost: one LP solve per remote route — the K^2 factor the paper
+    measures in Figure 7. *)
+
+type stats = {
+  allocation : Allocation.t;
+  lp_solves : int;  (** LP solves performed, including the final one *)
+  upward_rounds : int;  (** pins where the Bernoulli rounded up *)
+}
+
+val solve :
+  ?objective:Lp_relax.objective ->
+  rng:Dls_util.Prng.t ->
+  Problem.t ->
+  (stats, string) result
+
+val solve_equal_probability :
+  ?objective:Lp_relax.objective ->
+  rng:Dls_util.Prng.t ->
+  Problem.t ->
+  (stats, string) result
+(** Ablation: round up or down with probability 1/2 regardless of the
+    fractional part.  The paper reports this variant "performed much
+    worse than LPRR"; the ablation bench reproduces that comparison. *)

@@ -1,0 +1,87 @@
+module B = Dls_num.Bigint
+module Q = Dls_num.Rat
+
+type estimate = {
+  periods : B.t;
+  makespan : Q.t;
+  lower_bound : Q.t;
+  efficiency : float;
+}
+
+let ceil_div_q a b =
+  (* ceil of the positive rational a/b as an integer *)
+  Q.ceil (Q.div a b)
+
+let periodic schedule ~workloads =
+  let period = Q.of_bigint schedule.Schedule.period in
+  let k = Array.length workloads in
+  let throughput = Array.init k (Schedule.app_throughput schedule) in
+  let error = ref None in
+  let periods = ref B.zero in
+  let lower = ref Q.zero in
+  Array.iteri
+    (fun i w ->
+      if Q.sign w < 0 then error := Some "negative workload"
+      else if Q.sign w > 0 then begin
+        if Q.is_zero throughput.(i) then
+          error :=
+            Some
+              (Printf.sprintf
+                 "application %d has positive load but zero steady-state throughput" i)
+        else begin
+          (* Work per period for app i is throughput * T_p. *)
+          let per_period = Q.mul throughput.(i) period in
+          periods := B.max !periods (ceil_div_q w per_period);
+          lower := Q.max !lower (Q.div w throughput.(i))
+        end
+      end)
+    workloads;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let makespan = Q.mul (Q.of_bigint (B.succ !periods)) period in
+    let efficiency =
+      if Q.is_zero makespan then 1.0 else Q.to_float (Q.div !lower makespan)
+    in
+    Ok { periods = !periods; makespan; lower_bound = !lower; efficiency }
+
+let sequential_baseline problem ~workloads =
+  if Array.length workloads <> Problem.num_clusters problem then
+    Error "one workload per cluster required"
+  else begin
+    let total = ref Q.zero in
+    let failed = ref None in
+    Array.iteri
+      (fun k w ->
+        if !failed = None && Q.sign w > 0 then begin
+          (* Solo problem: only application k is active. *)
+          let payoffs =
+            Array.init (Problem.num_clusters problem) (fun i ->
+                if i = k then Stdlib.max (Problem.payoff problem k) 1.0 else 0.0)
+          in
+          let solo = Problem.make (Problem.platform problem) ~payoffs in
+          match Lp_relax.solve ~objective:Lp_relax.Maxmin solo with
+          | Lp_relax.Failed msg -> failed := Some msg
+          | Lp_relax.Solution sol ->
+            let rate = Array.fold_left ( +. ) 0.0 sol.Lp_relax.alpha.(k) in
+            if rate <= 0.0 then
+              failed :=
+                Some (Printf.sprintf "application %d cannot run at all" k)
+            else begin
+              let exact_rate =
+                let r = Q.approx_of_float_below rate ~max_den:1_000_000 in
+                if Q.is_zero r then Q.of_float rate else r
+              in
+              total := Q.add !total (Q.div w exact_rate)
+            end
+        end)
+      workloads;
+    match !failed with Some msg -> Error msg | None -> Ok !total
+  end
+
+let asymptotic_efficiency schedule ~workloads ~scale =
+  if scale < 1 then invalid_arg "Makespan.asymptotic_efficiency: scale < 1";
+  let scaled = Array.map (fun w -> Q.mul_int w scale) workloads in
+  match periodic schedule ~workloads:scaled with
+  | Ok e -> e.efficiency
+  | Error _ -> 0.0

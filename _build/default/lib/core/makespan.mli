@@ -1,0 +1,45 @@
+(** Finite workloads on top of the periodic steady-state schedule.
+
+    The paper motivates steady-state scheduling as a relaxation of
+    makespan minimization: run the periodic schedule until the finite
+    loads are exhausted, accept one extra period of start-up (the first
+    period only communicates) and one of clean-up (the last only
+    computes), and the resulting makespan is asymptotically optimal as
+    the loads grow (its Section 1(i)-(iii) argument, and reference [8]).
+
+    This module makes that concrete: given a reconstructed schedule and
+    per-application load totals, it computes the exact makespan of the
+    periodic execution, a lower bound no schedule can beat, and a
+    sequential baseline — so examples and benches can exhibit both the
+    asymptotic optimality and the benefit over non-overlapped
+    execution.  All arithmetic is exact ({!Dls_num.Rat}). *)
+
+type estimate = {
+  periods : Dls_num.Bigint.t;  (** full steady-state periods needed *)
+  makespan : Dls_num.Rat.t;  (** (periods + 1) * T_p, start-up included *)
+  lower_bound : Dls_num.Rat.t;
+  (** max_k W_k / alpha_k — no schedule with these steady rates
+      finishes earlier *)
+  efficiency : float;  (** lower_bound / makespan, in (0, 1] *)
+}
+
+val periodic : Schedule.t -> workloads:Dls_num.Rat.t array -> (estimate, string) result
+(** [periodic schedule ~workloads] with [workloads.(k)] the total load
+    of application [k].  Errors if some application has positive load
+    but zero steady-state throughput, or the workload array length is
+    wrong (a schedule does not know K; the array length is taken as
+    authoritative and checked against the entries). *)
+
+val sequential_baseline :
+  Problem.t -> workloads:Dls_num.Rat.t array -> (Dls_num.Rat.t, string) result
+(** Non-overlapped baseline: applications run one after the other, each
+    at the best steady-state throughput it can reach {e alone} on the
+    platform (its private MAXMIN optimum).  Concurrent steady-state
+    execution beats this whenever resource sharing overlaps
+    transfers and computation across applications. *)
+
+val asymptotic_efficiency : Schedule.t -> workloads:Dls_num.Rat.t array -> scale:int -> float
+(** Efficiency of {!periodic} with every workload multiplied by
+    [scale]; tends to 1 as [scale] grows — the asymptotic-optimality
+    claim, testable.
+    @raise Invalid_argument if [scale < 1]. *)

@@ -1,0 +1,98 @@
+module P = Dls_platform.Platform
+
+type stats = {
+  allocation : Allocation.t;
+  objective_value : float;
+  nodes : int;
+}
+
+let int_eps = 1e-6
+
+(* Connection slots left on route (k, l) given the pins so far — the
+   domain bound when branching on that pair. *)
+let route_slack problem pins (k, l) =
+  let p = Problem.platform problem in
+  match P.route p k l with
+  | None | Some [] -> 0
+  | Some links ->
+    List.fold_left
+      (fun acc link ->
+        let used =
+          List.fold_left
+            (fun u pair ->
+              match List.assoc_opt pair pins with Some v -> u + v | None -> u)
+            0
+            (P.routes_through p link)
+        in
+        Stdlib.min acc ((P.backbone p link).P.max_connect - used))
+      max_int links
+
+let solve ?(objective = Lp_relax.Maxmin) ?(node_limit = 20_000) problem =
+  let pairs = Lp_relax.remote_pairs problem in
+  let kk = Problem.num_clusters problem in
+  let nodes = ref 0 in
+  let best_value = ref neg_infinity in
+  let best : Allocation.t option ref = ref None in
+  let exception Node_budget in
+  (* [pins] fixes a prefix-closed set of pairs; unfixed pairs keep their
+     minimal fractional beta = alpha / g in the relaxation. *)
+  let rec explore pins unfixed =
+    if !nodes >= node_limit then raise Node_budget;
+    incr nodes;
+    match Lp_relax.solve ~objective ~fixed:pins problem with
+    | Lp_relax.Failed _ -> ()  (* infeasible pinning: prune *)
+    | Lp_relax.Solution sol ->
+      if sol.Lp_relax.objective_value <= !best_value +. int_eps then ()
+      else begin
+        (* Most fractional unpinned beta. *)
+        let pick = ref None and pick_frac = ref int_eps in
+        List.iter
+          (fun (k, l) ->
+            let b = sol.Lp_relax.beta.(k).(l) in
+            let frac = Float.abs (b -. Float.round b) in
+            if frac > !pick_frac then begin
+              pick_frac := frac;
+              pick := Some ((k, l), b)
+            end)
+          unfixed;
+        match !pick with
+        | None ->
+          (* Every beta is (numerically) integral: this relaxation point
+             is an integral solution.  Round the betas and record it. *)
+          let alloc = Allocation.zero kk in
+          for k = 0 to kk - 1 do
+            for l = 0 to kk - 1 do
+              alloc.Allocation.alpha.(k).(l) <- sol.Lp_relax.alpha.(k).(l);
+              if k <> l then
+                alloc.Allocation.beta.(k).(l) <-
+                  int_of_float (Float.round sol.Lp_relax.beta.(k).(l))
+            done
+          done;
+          if sol.Lp_relax.objective_value > !best_value then begin
+            best_value := sol.Lp_relax.objective_value;
+            best := Some alloc
+          end
+        | Some ((k, l), b) ->
+          (* Branch on every admissible integer value, nearest to the
+             fractional optimum first (best-first within the node). *)
+          let cap = route_slack problem pins (k, l) in
+          let values =
+            List.init (cap + 1) Fun.id
+            |> List.sort (fun a bv ->
+                   Float.compare
+                     (Float.abs (float_of_int a -. b))
+                     (Float.abs (float_of_int bv -. b)))
+          in
+          let rest = List.filter (fun pair -> pair <> (k, l)) unfixed in
+          List.iter (fun v -> explore (((k, l), v) :: pins) rest) values
+      end
+  in
+  match explore [] pairs with
+  | () -> begin
+    match !best with
+    | Some allocation ->
+      Ok { allocation; objective_value = !best_value; nodes = !nodes }
+    | None -> Error "MIP: no feasible integral solution found"
+  end
+  | exception Node_budget ->
+    Error (Printf.sprintf "MIP: node budget (%d) exhausted" node_limit)

@@ -1,0 +1,59 @@
+(** Steady-state scheduling of {e pipelined} divisible applications.
+
+    The paper closes with: "one could envision extending our application
+    model to address the situation in which each divisible load
+    application consists of a set of tasks linked by dependencies ...
+    an attractive extension of the mixed task and data parallelism
+    approach".  This module implements that extension for chain-shaped
+    task graphs (pipelines), the common case of the cited
+    mixed-parallelism literature.
+
+    An application is a chain of stages.  Per input load unit, stage [s]
+    costs [work_s] compute units and emits [expansion_s] data units to
+    the next stage.  In steady state the solver chooses, fractionally,
+    where each stage executes ([y_{k,s,c}] — rate of stage-[s] input of
+    application [k] processed on cluster [c]) and how inter-stage data
+    flows between clusters ([f] variables), under the same platform
+    constraints as the base model: per-cluster compute, per-cluster
+    local-link traffic, and per-backbone connection slots with the
+    [beta]-eliminated charge [flow / g_route].  Stage-0 "output" is the
+    source data, which only the application's home cluster holds.
+
+    With a single stage of unit work the model degenerates to the base
+    relaxation of {!Lp_relax} — cross-checked by the test suite. *)
+
+type stage = {
+  work : float;  (** compute units per input load unit; [> 0] *)
+  expansion : float;
+  (** output data units per input load unit; [> 0] except on the final
+      stage, where it is ignored *)
+}
+
+type app = {
+  source : int;  (** cluster holding the input data *)
+  payoff : float;  (** relative worth, like [pi_k]; 0 disables *)
+  stages : stage list;  (** non-empty chain *)
+}
+
+type solution = {
+  rates : float array;
+  (** per-application throughput in {e original input load units} —
+      completions of the final stage, rescaled by the compounded
+      upstream expansion *)
+  objective_value : float;
+  iterations : int;
+  placement : (int * int * int * float) list;
+  (** non-zero [(app, stage, cluster, rate)] entries, stage numbered
+      from 1 *)
+}
+
+val solve :
+  ?objective:Lp_relax.objective ->
+  ?max_iterations:int ->
+  Dls_platform.Platform.t ->
+  app list ->
+  (solution, string) result
+(** Relaxation optimum for the pipelined model (default [Maxmin] over
+    applications with positive payoff).
+    @raise Invalid_argument on an empty stage list, non-positive work,
+    negative expansion, a bad source index, or a negative payoff. *)

@@ -1,0 +1,33 @@
+module P = Dls_platform.Platform
+
+type t = { platform : P.t; payoffs : float array }
+
+let make platform ~payoffs =
+  if Array.length payoffs <> P.num_clusters platform then
+    invalid_arg "Problem.make: one payoff per cluster required";
+  Array.iteri
+    (fun k pi ->
+      if not (Float.is_finite pi) || pi < 0.0 then
+        invalid_arg (Printf.sprintf "Problem.make: payoff %d must be finite and >= 0" k))
+    payoffs;
+  { platform; payoffs = Array.copy payoffs }
+
+let uniform platform =
+  { platform; payoffs = Array.make (P.num_clusters platform) 1.0 }
+
+let platform t = t.platform
+let num_clusters t = P.num_clusters t.platform
+
+let payoff t k =
+  if k < 0 || k >= num_clusters t then invalid_arg "Problem.payoff: bad cluster";
+  t.payoffs.(k)
+
+let is_active t k = payoff t k > 0.0
+
+let active t =
+  List.filter (is_active t) (List.init (num_clusters t) Fun.id)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@,payoffs:" P.pp t.platform;
+  Array.iteri (fun k pi -> Format.fprintf fmt " pi_%d=%g" k pi) t.payoffs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,29 @@
+(** A multi-application steady-state divisible-load scheduling problem.
+
+    Cluster [C^k] initially holds the input data of application [A_k]
+    (Section 3 of the paper).  The payoff factor [pi_k] quantifies the
+    relative worth of one load unit of [A_k]; a payoff of zero means the
+    cluster has no application to run — its resources remain available
+    to the other applications.  The fairness objectives (SUM and
+    MAXMIN) range over {e active} applications, i.e. those with a
+    strictly positive payoff. *)
+
+type t
+
+val make : Dls_platform.Platform.t -> payoffs:float array -> t
+(** @raise Invalid_argument if the payoff array length differs from the
+    number of clusters, or a payoff is negative or not finite. *)
+
+val uniform : Dls_platform.Platform.t -> t
+(** All payoffs set to 1 — one application per cluster, equal worth. *)
+
+val platform : t -> Dls_platform.Platform.t
+val num_clusters : t -> int
+val payoff : t -> int -> float
+
+val active : t -> int list
+(** Clusters whose application has positive payoff, ascending. *)
+
+val is_active : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

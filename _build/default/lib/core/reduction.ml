@@ -1,0 +1,77 @@
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+
+let build graph =
+  let n = G.num_nodes graph in
+  if n = 0 then invalid_arg "Reduction.build: empty graph";
+  let m = G.num_edges graph in
+  (* Router layout: 0..n are cluster routers (cluster c at router c);
+     routers n+1+2k and n+2+2k are Q^a_k and Q^b_k for edge k. *)
+  let qa k = n + 1 + (2 * k) and qb k = n + 2 + (2 * k) in
+  let num_routers = n + 1 + (2 * m) in
+  (* Backbone links: first the m common links (edge k -> link id k),
+     then the per-vertex chain links in vertex order. *)
+  let links = ref [] in
+  let next_id = ref 0 in
+  let add_link u v =
+    let id = !next_id in
+    incr next_id;
+    links := (u, v) :: !links;
+    id
+  in
+  for k = 0 to m - 1 do
+    ignore (add_link (qa k) (qb k))
+  done;
+  let route_of_vertex = Array.make n [] in
+  for v = 0 to n - 1 do
+    let incident =
+      List.sort_uniq Stdlib.compare (List.map snd (G.neighbors graph v))
+    in
+    let position = ref 0 (* C^0's router *) in
+    let rev_route = ref [] in
+    List.iter
+      (fun k ->
+        let hop = add_link !position (qa k) in
+        rev_route := k :: hop :: !rev_route;  (* chain link, then lcommon_k *)
+        position := qb k)
+      incident;
+    let final = add_link !position (v + 1) in
+    rev_route := final :: !rev_route;
+    route_of_vertex.(v) <- List.rev !rev_route
+  done;
+  let topology =
+    G.create ~n:num_routers ~edges:(List.rev !links)
+  in
+  let backbones =
+    Array.make (G.num_edges topology) { P.bw = 1.0; max_connect = 1 }
+  in
+  let clusters =
+    Array.init (n + 1) (fun c ->
+        if c = 0 then { P.speed = 0.0; local_bw = float_of_int n; router = 0 }
+        else { P.speed = 1.0; local_bw = 1.0; router = c })
+  in
+  let overrides =
+    List.init n (fun v -> (0, v + 1, route_of_vertex.(v)))
+  in
+  let platform = P.make_with_routes ~clusters ~topology ~backbones ~routes:overrides in
+  let payoffs = Array.init (n + 1) (fun c -> if c = 0 then 1.0 else 0.0) in
+  Problem.make platform ~payoffs
+
+let allocation_of_independent_set problem vertices =
+  let kk = Problem.num_clusters problem in
+  let alloc = Allocation.zero kk in
+  List.iter
+    (fun v ->
+      if v < 0 || v + 1 >= kk then
+        invalid_arg "Reduction.allocation_of_independent_set: bad vertex";
+      alloc.Allocation.alpha.(0).(v + 1) <- 1.0;
+      alloc.Allocation.beta.(0).(v + 1) <- 1)
+    vertices;
+  alloc
+
+let independent_set_of_allocation ?(eps = 1e-6) alloc =
+  let kk = Array.length alloc.Allocation.alpha in
+  List.filter_map
+    (fun c ->
+      if c >= 1 && alloc.Allocation.alpha.(0).(c) > eps then Some (c - 1) else None)
+    (List.init kk Fun.id)

@@ -1,0 +1,33 @@
+(** The NP-completeness gadget of Section 4 of the paper.
+
+    From an instance of MAXIMUM-INDEPENDENT-SET on a graph [G = (V, E)],
+    Theorem 1 builds a STEADY-STATE-DIVISIBLE-LOAD instance whose
+    optimal MAXMIN throughput equals the independence number of [G]:
+    one source cluster [C^0] (speed 0, local capacity [|V|], the only
+    active application) plus one unit-speed cluster per vertex; each
+    edge [e_k] contributes a dedicated backbone link [lcommon_k] with
+    [bw = max-connect = 1], and the fixed route from [C^0] to the
+    cluster of vertex [V_i] threads through [lcommon_k] for every edge
+    [k] incident to [V_i].  Lemma 1: two routes share a link iff their
+    vertices are adjacent — so a set of simultaneously usable routes is
+    exactly an independent set.
+
+    This module builds the gadget (with explicit route overrides, since
+    shortest-path routing would not reproduce the construction) and maps
+    witnesses in both directions; the test suite checks the equivalence
+    against the exact MIS solver. *)
+
+val build : Dls_graph.Graph.t -> Problem.t
+(** Instance I2 of the reduction for the given graph.
+    @raise Invalid_argument on graphs with zero vertices. *)
+
+val allocation_of_independent_set : Problem.t -> int list -> Allocation.t
+(** The canonical allocation shipping one load unit to each vertex of an
+    independent set ([alpha_{0,i} = beta_{0,i} = 1]); feasible whenever
+    the set is independent, with MAXMIN throughput equal to its size.
+    Vertices are 0-based graph nodes.
+    @raise Invalid_argument on out-of-range vertices. *)
+
+val independent_set_of_allocation : ?eps:float -> Allocation.t -> int list
+(** The vertices whose cluster receives work — an independent set for
+    every feasible integral allocation (proof of Theorem 1). *)

@@ -1,0 +1,83 @@
+module P = Dls_platform.Platform
+
+type t = {
+  speed : float array;
+  local_bw : float array;
+  connections : int array;
+}
+
+let full p =
+  { speed = Array.init (P.num_clusters p) (P.speed p);
+    local_bw = Array.init (P.num_clusters p) (P.local_bw p);
+    connections =
+      Array.init (P.num_backbones p) (fun i -> (P.backbone p i).P.max_connect) }
+
+let of_allocation p alloc =
+  let r = full p in
+  let kk = P.num_clusters p in
+  let clamp v = Float.max 0.0 v in
+  for l = 0 to kk - 1 do
+    let load = ref 0.0 in
+    for k = 0 to kk - 1 do
+      load := !load +. alloc.Allocation.alpha.(k).(l)
+    done;
+    r.speed.(l) <- clamp (r.speed.(l) -. !load)
+  done;
+  for k = 0 to kk - 1 do
+    let traffic = ref 0.0 in
+    for l = 0 to kk - 1 do
+      if l <> k then
+        traffic :=
+          !traffic +. alloc.Allocation.alpha.(k).(l) +. alloc.Allocation.alpha.(l).(k)
+    done;
+    r.local_bw.(k) <- clamp (r.local_bw.(k) -. !traffic)
+  done;
+  for link = 0 to P.num_backbones p - 1 do
+    let used =
+      List.fold_left
+        (fun acc (k, l) -> acc + alloc.Allocation.beta.(k).(l))
+        0 (P.routes_through p link)
+    in
+    r.connections.(link) <- Stdlib.max 0 (r.connections.(link) - used)
+  done;
+  r
+
+let speed t k = t.speed.(k)
+let local_bw t k = t.local_bw.(k)
+let connections t i = t.connections.(i)
+
+let route_usable p t k l =
+  match P.route p k l with
+  | None -> false
+  | Some links -> List.for_all (fun e -> t.connections.(e) >= 1) links
+
+let bottleneck p t k l =
+  match P.route p k l with
+  | None -> 0.0
+  | Some [] -> infinity
+  | Some links ->
+    if List.for_all (fun e -> t.connections.(e) >= 1) links then
+      List.fold_left (fun acc e -> Float.min acc (P.backbone p e).P.bw) infinity links
+    else 0.0
+
+let consume_local t k amount = t.speed.(k) <- Float.max 0.0 (t.speed.(k) -. amount)
+
+let consume_remote p t ~src ~dst amount =
+  match P.route p src dst with
+  | None -> invalid_arg "Residual.consume_remote: no route"
+  | Some links ->
+    if not (List.for_all (fun e -> t.connections.(e) >= 1) links) then
+      invalid_arg "Residual.consume_remote: no connection slot left";
+    List.iter (fun e -> t.connections.(e) <- t.connections.(e) - 1) links;
+    t.speed.(dst) <- Float.max 0.0 (t.speed.(dst) -. amount);
+    t.local_bw.(src) <- Float.max 0.0 (t.local_bw.(src) -. amount);
+    t.local_bw.(dst) <- Float.max 0.0 (t.local_bw.(dst) -. amount)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>residual:@,  speed:";
+  Array.iter (fun s -> Format.fprintf fmt " %g" s) t.speed;
+  Format.fprintf fmt "@,  local_bw:";
+  Array.iter (fun g -> Format.fprintf fmt " %g" g) t.local_bw;
+  Format.fprintf fmt "@,  connections:";
+  Array.iter (fun c -> Format.fprintf fmt " %d" c) t.connections;
+  Format.fprintf fmt "@]"

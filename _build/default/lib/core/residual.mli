@@ -1,0 +1,42 @@
+(** Mutable residual capacities of a platform.
+
+    The greedy heuristic (Section 5.1 of the paper) repeatedly allocates
+    work and "decrements" speeds, local link capacities and backbone
+    connection counts; LPRG starts greedy refinement from the residual
+    left by the rounded LP solution.  This module owns that bookkeeping
+    so the platform itself stays immutable. *)
+
+type t
+
+val full : Dls_platform.Platform.t -> t
+(** Fresh residual equal to the full platform capacities. *)
+
+val of_allocation : Dls_platform.Platform.t -> Allocation.t -> t
+(** Capacities left after deducting an allocation's work, traffic, and
+    connections (clamped at zero against float dust). *)
+
+val speed : t -> int -> float
+val local_bw : t -> int -> float
+val connections : t -> int -> int
+
+val route_usable : Dls_platform.Platform.t -> t -> int -> int -> bool
+(** Whether one more connection can be opened from [k] to [l]: a route
+    exists and every backbone link on it has a connection slot left. *)
+
+val bottleneck : Dls_platform.Platform.t -> t -> int -> int -> float
+(** Residual [g_{k,l}]: the per-connection bandwidth of the route if it
+    is usable ({!route_usable}), [infinity] for co-located pairs, [0.]
+    otherwise.  Unlike local links, backbone links grant each connection
+    its full [bw], so this value does not decrease with use — only the
+    connection slots do. *)
+
+val consume_local : t -> int -> float -> unit
+(** Deduct locally executed work from a cluster's speed. *)
+
+val consume_remote : Dls_platform.Platform.t -> t -> src:int -> dst:int -> float -> unit
+(** Deduct one remote allocation: [amount] of compute at [dst], [amount]
+    of local-link traffic at both ends, and one connection slot on every
+    backbone link of the route.
+    @raise Invalid_argument if the route is missing or unusable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,158 @@
+module B = Dls_num.Bigint
+module Q = Dls_num.Rat
+module P = Dls_platform.Platform
+
+type exact = { alpha : Q.t array array; beta : int array array }
+
+let exact_of_float ?approx_max_den alloc =
+  let lift v =
+    match approx_max_den with
+    | None -> Q.of_float v
+    | Some max_den -> Q.approx_of_float_below v ~max_den
+  in
+  { alpha = Array.map (Array.map lift) alloc.Allocation.alpha;
+    beta = Array.map Array.copy alloc.Allocation.beta }
+
+let scale_down e ~factor =
+  if Q.sign factor <= 0 || Q.compare factor Q.one > 0 then
+    invalid_arg "Schedule.scale_down: factor must be in (0, 1]";
+  { e with alpha = Array.map (Array.map (Q.mul factor)) e.alpha }
+
+type compute_entry = { cluster : int; app : int; amount : B.t }
+
+type transfer_entry = { src : int; dst : int; amount : B.t; connections : int }
+
+type t = {
+  period : B.t;
+  computes : compute_entry list;
+  transfers : transfer_entry list;
+}
+
+let build e =
+  let period =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc a -> if Q.is_zero a then acc else B.lcm acc (Q.den a))
+          acc row)
+      B.one e.alpha
+  in
+  let qperiod = Q.of_bigint period in
+  let integral_amount a =
+    let v = Q.mul a qperiod in
+    assert (Q.is_integer v);
+    Q.floor v
+  in
+  let kk = Array.length e.alpha in
+  let computes = ref [] and transfers = ref [] in
+  for k = kk - 1 downto 0 do
+    for l = kk - 1 downto 0 do
+      let a = e.alpha.(k).(l) in
+      if not (Q.is_zero a) then begin
+        let amount = integral_amount a in
+        computes := { cluster = l; app = k; amount } :: !computes;
+        if k <> l then
+          transfers :=
+            { src = k; dst = l; amount; connections = e.beta.(k).(l) } :: !transfers
+      end
+    done
+  done;
+  { period; computes = !computes; transfers = !transfers }
+
+let app_throughput t k =
+  let total =
+    List.fold_left
+      (fun acc c -> if c.app = k then B.add acc c.amount else acc)
+      B.zero t.computes
+  in
+  Q.make total t.period
+
+let validate problem t =
+  let p = Problem.platform problem in
+  let kk = P.num_clusters p in
+  let qperiod = Q.of_bigint t.period in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    if B.sign t.period <= 0 then raise (Bad "non-positive period");
+    List.iter
+      (fun c ->
+        if c.cluster < 0 || c.cluster >= kk || c.app < 0 || c.app >= kk then
+          raise (Bad "compute entry references unknown cluster");
+        if B.sign c.amount < 0 then raise (Bad "negative compute amount"))
+      t.computes;
+    List.iter
+      (fun tr ->
+        if tr.src < 0 || tr.src >= kk || tr.dst < 0 || tr.dst >= kk || tr.src = tr.dst
+        then raise (Bad "transfer entry references bad clusters");
+        if B.sign tr.amount < 0 then raise (Bad "negative transfer amount");
+        if tr.connections < 0 then raise (Bad "negative connection count"))
+      t.transfers;
+    (* Equation 1: per-cluster computation fits in one period. *)
+    for l = 0 to kk - 1 do
+      let load =
+        List.fold_left
+          (fun acc c -> if c.cluster = l then B.add acc c.amount else acc)
+          B.zero t.computes
+      in
+      let cap = Q.mul (Q.of_float (P.speed p l)) qperiod in
+      if Q.compare (Q.of_bigint load) cap > 0 then
+        raise (Bad (Printf.sprintf "cluster %d computes more than s_%d * T_p" l l))
+    done;
+    (* Equation 2: per-cluster local-link traffic fits in one period. *)
+    for k = 0 to kk - 1 do
+      let traffic =
+        List.fold_left
+          (fun acc tr ->
+            if tr.src = k || tr.dst = k then B.add acc tr.amount else acc)
+          B.zero t.transfers
+      in
+      let cap = Q.mul (Q.of_float (P.local_bw p k)) qperiod in
+      if Q.compare (Q.of_bigint traffic) cap > 0 then
+        raise (Bad (Printf.sprintf "cluster %d local link overloaded" k))
+    done;
+    (* Equations 3 and 4: connection counts and per-route bandwidth. *)
+    for link = 0 to P.num_backbones p - 1 do
+      let used =
+        List.fold_left
+          (fun acc tr ->
+            match P.route p tr.src tr.dst with
+            | Some links when List.mem link links -> acc + tr.connections
+            | Some _ | None -> acc)
+          0 t.transfers
+      in
+      if used > (P.backbone p link).P.max_connect then
+        raise (Bad (Printf.sprintf "backbone %d connection cap exceeded" link))
+    done;
+    List.iter
+      (fun tr ->
+        match P.route_bottleneck p tr.src tr.dst with
+        | None -> raise (Bad (Printf.sprintf "no route %d -> %d" tr.src tr.dst))
+        | Some bw when bw = infinity -> ()
+        | Some bw ->
+          let cap =
+            Q.mul (Q.mul (Q.of_int tr.connections) (Q.of_float bw)) qperiod
+          in
+          if Q.compare (Q.of_bigint tr.amount) cap > 0 then
+            raise
+              (Bad
+                 (Printf.sprintf "route %d -> %d ships more than beta * bw * T_p"
+                    tr.src tr.dst)))
+      t.transfers;
+    Ok ()
+  with
+  | Bad msg -> err "%s" msg
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>periodic schedule, T_p = %a@," B.pp t.period;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  C%d computes %a units of A%d per period@," c.cluster
+        B.pp c.amount c.app)
+    t.computes;
+  List.iter
+    (fun tr ->
+      Format.fprintf fmt "  C%d -> C%d: %a units over %d connection(s) per period@,"
+        tr.src tr.dst B.pp tr.amount tr.connections)
+    t.transfers;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,67 @@
+(** Periodic schedule reconstruction (Section 3.2 of the paper).
+
+    Given a valid allocation with rational [alpha_{k,l} = u/v] and
+    integer [beta_{k,l}], the schedule period is
+    [T_p = lcm over the denominators v], and during each period cluster
+    [k] computes the integer load [alpha_{l,k} * T_p] for each
+    application [l] and ships the integer chunk [alpha_{k,l} * T_p] to
+    each remote cluster [l] (received chunks are computed in the
+    following period; the first period only communicates and the last
+    only computes).  Everything here is exact: the arithmetic runs on
+    {!Dls_num.Rat} / {!Dls_num.Bigint} because periods easily overflow
+    machine integers. *)
+
+type exact = {
+  alpha : Dls_num.Rat.t array array;
+  beta : int array array;
+}
+(** An allocation with exact rational work rates. *)
+
+val exact_of_float : ?approx_max_den:int -> Allocation.t -> exact
+(** Lift a float allocation to rationals.  By default each float is
+    converted {e exactly} (every finite float is rational, so the result
+    provably computes the same rates — at the price of power-of-two
+    denominators up to [2^53] and therefore astronomically long
+    periods).  With [approx_max_den] each rate is instead the best
+    rational {e from below} with a bounded denominator
+    ({!Dls_num.Rat.approx_of_float_below}), giving human-scale periods
+    while provably never overshooting any capacity — the schedule built
+    from a feasible allocation stays valid, trading at most
+    [1/approx_max_den] throughput per entry. *)
+
+val scale_down : exact -> factor:Dls_num.Rat.t -> exact
+(** Multiply every work rate by [factor] (in (0, 1]); used to restore
+    feasibility after an upward rational approximation.
+    @raise Invalid_argument if [factor] is outside (0, 1]. *)
+
+type compute_entry = {
+  cluster : int;  (** where the work is executed *)
+  app : int;  (** which application the load belongs to *)
+  amount : Dls_num.Bigint.t;  (** load units per period *)
+}
+
+type transfer_entry = {
+  src : int;
+  dst : int;
+  amount : Dls_num.Bigint.t;  (** load units of application [src] per period *)
+  connections : int;  (** beta_{src,dst} parallel connections *)
+}
+
+type t = {
+  period : Dls_num.Bigint.t;
+  computes : compute_entry list;
+  transfers : transfer_entry list;
+}
+
+val build : exact -> t
+(** Smallest period making every per-period quantity integral. *)
+
+val validate : Problem.t -> t -> (unit, string) result
+(** Exact re-check of Equations 1–4 on the per-period integer loads
+    (platform parameters are lifted to rationals exactly). *)
+
+val app_throughput : t -> int -> Dls_num.Rat.t
+(** Load of application [k] processed per time unit by the schedule:
+    (local + shipped amounts) / period. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+module B = Dls_num.Bigint
+module Q = Dls_num.Rat
+module P = Dls_platform.Platform
+
+type interval = {
+  cluster : int;
+  app : int;
+  start_time : Q.t;
+  finish_time : Q.t;
+  amount : Q.t;
+}
+
+type t = {
+  period : Q.t;
+  periods_used : int;
+  intervals : interval list;
+  makespan : Q.t;
+}
+
+let build problem schedule ~workloads =
+  let kk = Problem.num_clusters problem in
+  if Array.length workloads <> kk then Error "one workload per cluster required"
+  else begin
+    let period = Q.of_bigint schedule.Schedule.period in
+    (* Per-period work of each application, and per-(app, cluster) chunk. *)
+    let per_period = Array.make kk Q.zero in
+    let chunk = Array.make_matrix kk kk Q.zero in
+    List.iter
+      (fun (c : Schedule.compute_entry) ->
+        let q = Q.of_bigint c.Schedule.amount in
+        per_period.(c.Schedule.app) <- Q.add per_period.(c.Schedule.app) q;
+        chunk.(c.Schedule.app).(c.Schedule.cluster) <-
+          Q.add chunk.(c.Schedule.app).(c.Schedule.cluster) q)
+      schedule.Schedule.computes;
+    let error = ref None in
+    (* Shipping periods per application and last-period scale factor. *)
+    let n_periods = Array.make kk 0 in
+    let last_scale = Array.make kk Q.one in
+    Array.iteri
+      (fun k w ->
+        if Q.sign w < 0 then error := Some "negative workload"
+        else if Q.sign w > 0 then begin
+          if Q.is_zero per_period.(k) then
+            error :=
+              Some
+                (Printf.sprintf
+                   "application %d has positive load but zero steady-state throughput"
+                   k)
+          else begin
+            let n = Q.ceil (Q.div w per_period.(k)) in
+            match B.to_int n with
+            | Some n when n >= 1 ->
+              n_periods.(k) <- n;
+              let full = Q.mul (Q.of_int (n - 1)) per_period.(k) in
+              last_scale.(k) <- Q.div (Q.sub w full) per_period.(k)
+            | _ -> error := Some "workload needs an impractical number of periods"
+          end
+        end)
+      workloads;
+    match !error with
+    | Some msg -> Error msg
+    | None ->
+      let max_ship = Array.fold_left Stdlib.max 0 n_periods in
+      (* scale of app k's chunks shipped in period p *)
+      let scale k p =
+        if p < 0 || p >= n_periods.(k) then Q.zero
+        else if p = n_periods.(k) - 1 then last_scale.(k)
+        else Q.one
+      in
+      let intervals = ref [] in
+      let makespan = ref Q.zero in
+      for l = 0 to kk - 1 do
+        let speed = P.speed (Problem.platform problem) l in
+        (* Compute periods run from 0 (local chunks of shipping period
+           0) to max_ship (remote chunks shipped in the last period). *)
+        for q = 0 to max_ship do
+          let jobs = ref [] in
+          for k = 0 to kk - 1 do
+            let s =
+              if k = l then scale k q  (* local: same period *)
+              else scale k (q - 1)  (* remote: received last period *)
+            in
+            if Q.sign s > 0 && Q.sign chunk.(k).(l) > 0 then
+              jobs := (k, Q.mul s chunk.(k).(l)) :: !jobs
+          done;
+          let jobs = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !jobs in
+          if jobs <> [] then begin
+            if speed <= 0.0 then
+              (* Unreachable for schedules built from valid allocations
+                 (Eq. 1 forbids work on speed-0 clusters). *)
+              failwith "Timeline.build: work scheduled on a speed-0 cluster"
+            else begin
+              (* The float speed lifted exactly: durations then sum to
+                 at most one period (Eq. 1), so period slots never
+                 overlap. *)
+              let rate = Q.of_float speed in
+              let clock = ref (Q.mul (Q.of_int q) period) in
+              List.iter
+                (fun (k, amount) ->
+                  let duration = Q.div amount rate in
+                  let finish = Q.add !clock duration in
+                  intervals :=
+                    { cluster = l; app = k; start_time = !clock;
+                      finish_time = finish; amount }
+                    :: !intervals;
+                  if Q.compare finish !makespan > 0 then makespan := finish;
+                  clock := finish)
+                jobs
+            end
+          end
+        done
+      done;
+      let sorted =
+        List.sort
+          (fun a b -> Stdlib.compare (a.cluster, Q.to_float a.start_time)
+              (b.cluster, Q.to_float b.start_time))
+          !intervals
+      in
+      Ok { period; periods_used = max_ship; intervals = sorted; makespan = !makespan }
+  end
+
+let validate t =
+  let exception Bad of string in
+  try
+    let by_cluster = Hashtbl.create 16 in
+    List.iter
+      (fun iv ->
+        if Q.sign iv.amount <= 0 then raise (Bad "non-positive interval amount");
+        if Q.compare iv.start_time iv.finish_time >= 0 then
+          raise (Bad "empty or reversed interval");
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt by_cluster iv.cluster)
+        in
+        Hashtbl.replace by_cluster iv.cluster (iv :: existing))
+      t.intervals;
+    Hashtbl.iter
+      (fun _ ivs ->
+        let sorted =
+          List.sort (fun a b -> Q.compare a.start_time b.start_time) ivs
+        in
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+            if Q.compare a.finish_time b.start_time > 0 then
+              raise (Bad "overlapping intervals on one cluster");
+            check rest
+          | _ -> ()
+        in
+        check sorted)
+      by_cluster;
+    Ok ()
+  with
+  | Bad msg -> Error msg
+
+let total_computed t k =
+  List.fold_left
+    (fun acc iv -> if iv.app = k then Q.add acc iv.amount else acc)
+    Q.zero t.intervals
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>timeline: %d shipping periods of %a, makespan %a@,"
+    t.periods_used Q.pp t.period Q.pp t.makespan;
+  List.iter
+    (fun iv ->
+      Format.fprintf fmt "  C%d [%g .. %g] computes %g units of A%d@," iv.cluster
+        (Q.to_float iv.start_time) (Q.to_float iv.finish_time)
+        (Q.to_float iv.amount) iv.app)
+    t.intervals;
+  Format.fprintf fmt "@]"

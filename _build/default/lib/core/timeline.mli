@@ -1,0 +1,48 @@
+(** Explicit execution timeline (Gantt) for finite workloads.
+
+    Section 3.2 describes the periodic regime in compact form; this
+    module unrolls it into concrete per-cluster busy intervals for given
+    total loads, following the paper's phase structure: during period
+    [p] every cluster computes the chunks received in period [p-1]
+    (local chunks are same-period), so the first period only
+    communicates remote data and one trailing period only computes —
+    the "+1 period" of {!Makespan}.  The final period of each
+    application is scaled down to its remaining load, so the timeline
+    ends exactly when the work does.
+
+    All times are exact rationals; computes within a period are
+    serialized per cluster (valid since Equation 1 bounds each period's
+    total compute), which yields a drawable, overlap-free Gantt. *)
+
+type interval = {
+  cluster : int;
+  app : int;
+  start_time : Dls_num.Rat.t;
+  finish_time : Dls_num.Rat.t;
+  amount : Dls_num.Rat.t;  (** load units computed in this interval *)
+}
+
+type t = {
+  period : Dls_num.Rat.t;
+  periods_used : int;  (** steady periods, excluding the compute-only tail *)
+  intervals : interval list;  (** sorted by cluster, then start time *)
+  makespan : Dls_num.Rat.t;  (** finish of the last interval *)
+}
+
+val build :
+  Problem.t ->
+  Schedule.t ->
+  workloads:Dls_num.Rat.t array ->
+  (t, string) result
+(** Errors mirror {!Makespan.periodic} (starved application, negative
+    workload). *)
+
+val validate : t -> (unit, string) result
+(** Structural re-check: per-cluster intervals are disjoint and ordered,
+    amounts are positive, and every interval fits its period slot. *)
+
+val total_computed : t -> int -> Dls_num.Rat.t
+(** Work of one application summed over all intervals — equals its
+    workload by construction (tested). *)
+
+val pp : Format.formatter -> t -> unit

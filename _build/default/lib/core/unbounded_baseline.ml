@@ -1,0 +1,94 @@
+module P = Dls_platform.Platform
+
+type comparison = {
+  idealized : float;
+  realistic : float;
+  repaired : float;
+}
+
+(* The connection-free model is exactly the paper's relaxation on a
+   platform whose connection caps can never bind. *)
+let unlimited_connections platform =
+  let backbones =
+    Array.init (P.num_backbones platform) (fun i ->
+        { (P.backbone platform i) with P.max_connect = max_int / 2 })
+  in
+  P.make ~clusters:(Array.init (P.num_clusters platform) (P.cluster platform))
+    ~topology:(P.topology platform) ~backbones
+
+let solve ?objective problem =
+  let idealized_platform = unlimited_connections (Problem.platform problem) in
+  let payoffs =
+    Array.init (Problem.num_clusters problem) (Problem.payoff problem)
+  in
+  let idealized_problem = Problem.make idealized_platform ~payoffs in
+  match Lp_relax.solve ?objective idealized_problem with
+  | Lp_relax.Solution sol -> Ok sol
+  | Lp_relax.Failed msg -> Error msg
+
+let repair problem (sol : float Lp_relax.solution) =
+  let p = Problem.platform problem in
+  let kk = Problem.num_clusters problem in
+  (* Step 1: integer connections by ceiling the fractional counts. *)
+  let beta_hat = Array.make_matrix kk kk 0 in
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      if k <> l && sol.Lp_relax.beta.(k).(l) > 1e-9 then
+        beta_hat.(k).(l) <-
+          int_of_float (Float.ceil (sol.Lp_relax.beta.(k).(l) -. 1e-9))
+    done
+  done;
+  (* Step 2: one global scale bringing every connection cap back under
+     its limit. *)
+  let mu = ref 1.0 in
+  for link = 0 to P.num_backbones p - 1 do
+    let used =
+      List.fold_left
+        (fun acc (k, l) -> acc + beta_hat.(k).(l))
+        0 (P.routes_through p link)
+    in
+    if used > 0 then
+      mu :=
+        Float.min !mu
+          (float_of_int (P.backbone p link).P.max_connect /. float_of_int used)
+  done;
+  let mu = Float.max 0.0 !mu in
+  (* Step 3: scaled-down allocation obeying every realistic constraint. *)
+  let alloc = Allocation.zero kk in
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      if l = k then alloc.Allocation.alpha.(k).(k) <- sol.Lp_relax.alpha.(k).(k)
+      else begin
+        let b = int_of_float (Float.floor (float_of_int beta_hat.(k).(l) *. mu)) in
+        alloc.Allocation.beta.(k).(l) <- b;
+        let bw_cap =
+          match P.route_bottleneck p k l with
+          | None -> 0.0
+          | Some bw when bw = infinity -> infinity
+          | Some bw -> float_of_int b *. bw
+        in
+        alloc.Allocation.alpha.(k).(l) <-
+          Float.min (sol.Lp_relax.alpha.(k).(l) *. mu) bw_cap
+      end
+    done
+  done;
+  alloc
+
+let compare ?objective problem =
+  match solve ?objective problem with
+  | Error msg -> Error msg
+  | Ok idealized_sol ->
+    (match Lp_relax.solve ?objective problem with
+     | Lp_relax.Failed msg -> Error msg
+     | Lp_relax.Solution realistic_sol ->
+       let repaired_alloc = repair problem idealized_sol in
+       let value =
+         match objective with
+         | Some Lp_relax.Sum -> Allocation.sum_objective problem repaired_alloc
+         | Some Lp_relax.Maxmin | None ->
+           Allocation.maxmin_objective problem repaired_alloc
+       in
+       Ok
+         { idealized = idealized_sol.Lp_relax.objective_value;
+           realistic = realistic_sol.Lp_relax.objective_value;
+           repaired = value })

@@ -1,0 +1,41 @@
+(** The unbounded-connection baseline the paper argues against.
+
+    Section 1 discusses prior multi-application work (Wong, Yu,
+    Bharadwaj & Robertazzi's producer-consumer architecture, the paper's
+    reference [34]) whose results are "mostly of theoretical interest as
+    the authors assume that a data server can emit an unlimited number
+    of messages in parallel" — i.e. no connection caps and no per-
+    connection bandwidth grants, only link capacities.
+
+    This module implements that model (the relaxation with the
+    connection rows (7d/7e) removed) so the claim is measurable: how
+    much throughput the idealized model promises, and how little of an
+    idealized allocation survives on the realistic platform (its
+    integer-connection repair).  The gap is the value of the paper's
+    contribution. *)
+
+type comparison = {
+  idealized : float;  (** optimum with unlimited parallel connections *)
+  realistic : float;  (** the paper's LP bound on the same platform *)
+  repaired : float;
+  (** objective of the idealized allocation after connection repair:
+      betas set to [ceil (alpha / g_route)] and then scaled back until
+      Equations 3–4 hold *)
+}
+
+val solve :
+  ?objective:Lp_relax.objective ->
+  Problem.t ->
+  (float Lp_relax.solution, string) result
+(** Optimum of the connection-free model (same solution shape as
+    {!Lp_relax.solve}; the [beta] matrix is the fractional
+    [alpha / g_route], reported for repair). *)
+
+val compare : ?objective:Lp_relax.objective -> Problem.t -> (comparison, string) result
+(** All three numbers on one problem. *)
+
+val repair : Problem.t -> float Lp_relax.solution -> Allocation.t
+(** Connection repair of an idealized solution: integer betas by ceiling
+    the fractional connection counts, then a single proportional
+    scale-down of the whole allocation until every realistic constraint
+    holds.  Always feasible. *)

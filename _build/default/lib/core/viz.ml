@@ -1,0 +1,38 @@
+let allocation_dot problem alloc =
+  let p = Problem.platform problem in
+  let kk = Problem.num_clusters problem in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let max_rate =
+    Array.fold_left
+      (Array.fold_left (fun acc v -> Float.max acc v))
+      1e-9 alloc.Allocation.alpha
+  in
+  add "digraph allocation {\n";
+  add "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for k = 0 to kk - 1 do
+    let local = alloc.Allocation.alpha.(k).(k) in
+    let color = if Problem.is_active problem k then "#fde68a" else "#dbeafe" in
+    add
+      "  c%d [style=filled, fillcolor=\"%s\", label=\"C%d pi=%g\\ns=%g local=%.3g\"];\n"
+      k color k (Problem.payoff problem k)
+      (Dls_platform.Platform.speed p k)
+      local
+  done;
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      let a = alloc.Allocation.alpha.(k).(l) in
+      if k <> l && a > 1e-9 then
+        add "  c%d -> c%d [label=\"%.3g (beta=%d)\", penwidth=%.2f];\n" k l a
+          alloc.Allocation.beta.(k).(l)
+          (0.5 +. (3.5 *. a /. max_rate))
+    done
+  done;
+  add "}\n";
+  Buffer.contents buf
+
+let save ~path problem alloc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (allocation_dot problem alloc))

@@ -1,0 +1,12 @@
+(** Graphviz rendering of steady-state allocations.
+
+    A directed graph over clusters: node labels carry each cluster's
+    payoff and local work rate [alpha_{k,k}]; an edge from [k] to [l]
+    carries the shipped rate [alpha_{k,l}] and the connection count
+    [beta_{k,l}], with its pen width scaled by the rate — a quick way to
+    see where the paper's heuristics actually send the load. *)
+
+val allocation_dot : Problem.t -> Allocation.t -> string
+
+val save : path:string -> Problem.t -> Allocation.t -> unit
+(** @raise Sys_error on an unwritable path. *)

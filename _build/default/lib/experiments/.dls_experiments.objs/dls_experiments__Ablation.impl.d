@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Allocation Array Dls_core Dls_platform Dls_util Greedy Heuristics List Logs Lp_relax Lprg Lprr Measure Report Unbounded_baseline

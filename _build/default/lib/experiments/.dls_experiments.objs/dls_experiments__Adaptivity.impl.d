@@ -1,0 +1,1 @@
+lib/experiments/adaptivity.ml: Allocation Array Dls_core Dls_platform Dls_util Float Greedy List Lp_relax Lprg Lprr Measure Problem Report

@@ -1,0 +1,1 @@
+lib/experiments/adaptivity.mli: Dls_core Report

@@ -1,0 +1,1 @@
+lib/experiments/aggregate.ml: Array Dls_util List Logs Measure Report

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Dls_util List Logs Measure Report

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Dls_util List Logs Measure Report

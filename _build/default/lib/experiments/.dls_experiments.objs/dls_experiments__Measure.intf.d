@@ -1,0 +1,1 @@
+lib/experiments/measure.mli: Dls_core Dls_platform Dls_util

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Array Float Format Fun List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Dls_core Dls_graph Dls_platform Dls_util List Measure Report

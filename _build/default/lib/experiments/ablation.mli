@@ -1,0 +1,95 @@
+(** Ablation studies for the design choices called out in DESIGN.md.
+
+    Three questions the paper raises but does not plot:
+
+    - {b Rounding policy} (Section 6.2): the paper notes that an LPRR
+      variant rounding up/down "with equal probability ... performed
+      much worse than LPRR".  {!rounding_policy} measures both variants
+      on the same topologies.
+
+    - {b Network-tight regime}: averaged over the whole Table 1 grid the
+      SUM objective is capacity-dominated and every method saturates it;
+      the integer-connection effects the paper highlights live in the
+      corner where per-connection bandwidth and connection caps are
+      small.  {!network_tight} pins [bw = 10], [maxcon = 5] and shows
+      SUM(G), SUM(LPR), SUM(LPRG) separate from the LP bound.
+
+    - {b Workload sensitivity}: {!workload} sweeps [app_fraction] and
+      [source_speed_factor], exhibiting the collapse to trivial ratios
+      in the literal one-app-per-cluster reading (DESIGN.md 2.2). *)
+
+type rounding_row = {
+  k : int;
+  platforms : int;
+  maxmin_lprr : float;  (** mean MAXMIN(LPRR)/LP, probability-proportional *)
+  maxmin_equal : float;  (** mean for the equal-probability variant *)
+}
+
+val rounding_policy :
+  ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> rounding_row list
+
+val rounding_table : rounding_row list -> Report.table
+
+type tight_row = {
+  k : int;
+  platforms : int;
+  sum_g : float;
+  sum_lpr : float;
+  sum_lprg : float;
+  maxmin_g : float;
+  maxmin_lprg : float;
+}
+
+val network_tight :
+  ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> tight_row list
+
+val tight_table : tight_row list -> Report.table
+
+type baseline_row = {
+  k : int;
+  platforms : int;
+  idealized_over_realistic : float;
+  (** how much the unlimited-connection model of the paper's reference
+      [34] over-promises, as a mean ratio to the realistic LP bound *)
+  repaired_over_realistic : float;
+  (** what survives once its allocations are repaired to respect
+      connection caps *)
+}
+
+val unbounded_baseline :
+  ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> baseline_row list
+(** Defaults: seed 11, K in 5, 10, 15, 4 platforms per K, MAXMIN; uses
+    the connection-tight corner of the grid (bw = 10, maxcon = 5) where
+    the difference between the models is visible. *)
+
+val baseline_table : baseline_row list -> Report.table
+
+type topology_row = {
+  model : string;
+  platforms : int;
+  mean_backbones : float;
+  maxmin_g : float;  (** mean MAXMIN(G)/LP *)
+  maxmin_lprg : float;
+}
+
+val topology_models :
+  ?seed:int -> ?k:int -> ?per_model:int -> unit -> topology_row list
+(** Heuristic quality across topology generators — the paper's
+    Erdos-Renyi draw vs Waxman geography vs Barabasi-Albert
+    preferential attachment — at fixed K (default 15, 4 platforms per
+    model). *)
+
+val topology_table : topology_row list -> Report.table
+
+type workload_row = {
+  app_fraction : float;
+  source_speed_factor : float;
+  platforms : int;
+  maxmin_g_ratio : float;
+  maxmin_lprg_ratio : float;
+}
+
+val workload :
+  ?seed:int -> ?k:int -> ?per_setting:int -> unit -> workload_row list
+
+val workload_table : workload_row list -> Report.table

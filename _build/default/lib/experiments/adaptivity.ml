@@ -1,0 +1,159 @@
+module P = Dls_platform.Platform
+module Prng = Dls_util.Prng
+open Dls_core
+
+type event = {
+  at_period : int;
+  bandwidth_factor : float;
+  speed_factor : float;
+}
+
+type trace_point = {
+  period : int;
+  static_value : float;
+  adaptive_value : float;
+}
+
+let scaled_platform base ~bandwidth_factor ~speed_factor =
+  let clusters =
+    Array.init (P.num_clusters base) (fun k ->
+        let c = P.cluster base k in
+        { c with P.speed = c.P.speed *. speed_factor })
+  in
+  let backbones =
+    Array.init (P.num_backbones base) (fun i ->
+        let b = P.backbone base i in
+        { b with P.bw = b.P.bw *. bandwidth_factor })
+  in
+  P.make ~clusters ~topology:(P.topology base) ~backbones
+
+let deliverable_fraction problem alloc =
+  let p = Problem.platform problem in
+  let kk = Problem.num_clusters problem in
+  let lambda = ref 1.0 in
+  let constrain usage capacity =
+    if usage > 1e-12 then lambda := Float.min !lambda (capacity /. usage)
+  in
+  (* CPU (Eq. 1). *)
+  for l = 0 to kk - 1 do
+    let load = ref 0.0 in
+    for k = 0 to kk - 1 do
+      load := !load +. alloc.Allocation.alpha.(k).(l)
+    done;
+    constrain !load (P.speed p l)
+  done;
+  (* Local links (Eq. 2). *)
+  for k = 0 to kk - 1 do
+    let traffic = ref 0.0 in
+    for l = 0 to kk - 1 do
+      if l <> k then
+        traffic :=
+          !traffic +. alloc.Allocation.alpha.(k).(l) +. alloc.Allocation.alpha.(l).(k)
+    done;
+    constrain !traffic (P.local_bw p k)
+  done;
+  (* Connection slots (Eq. 3), connections scaled fractionally. *)
+  for link = 0 to P.num_backbones p - 1 do
+    let used =
+      List.fold_left
+        (fun acc (k, l) -> acc + alloc.Allocation.beta.(k).(l))
+        0 (P.routes_through p link)
+    in
+    constrain (float_of_int used) (float_of_int (P.backbone p link).P.max_connect)
+  done;
+  (* Route bandwidth (Eq. 4) under the current per-connection grants. *)
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      if k <> l && alloc.Allocation.alpha.(k).(l) > 1e-12 then begin
+        match P.route_bottleneck p k l with
+        | None -> lambda := 0.0
+        | Some bw when bw = infinity -> ()
+        | Some bw ->
+          constrain alloc.Allocation.alpha.(k).(l)
+            (float_of_int alloc.Allocation.beta.(k).(l) *. bw)
+      end
+    done
+  done;
+  Float.max 0.0 (Float.min 1.0 !lambda)
+
+let default_events =
+  [ { at_period = 3; bandwidth_factor = 0.4; speed_factor = 1.0 };
+    { at_period = 7; bandwidth_factor = 1.0; speed_factor = 1.0 } ]
+
+(* The scheduler under study: the best of G, LPRG and LPRR on MAXMIN —
+   a reasonable production policy at this scale (LPRR costs ~K^2 LP
+   solves but recovers the fairness G and LPRG lose to their rounding
+   granularity; see Figure 6). *)
+let best_plan ?(rng = Prng.create ~seed:0x0ADA) problem =
+  match Lprg.solve ~objective:Lp_relax.Maxmin problem with
+  | Error msg -> Error msg
+  | Ok lprg ->
+    let candidates =
+      (Greedy.solve problem :: lprg
+       ::
+       (match Lprr.solve ~objective:Lp_relax.Maxmin ~rng problem with
+        | Ok stats -> [ stats.Lprr.allocation ]
+        | Error _ -> []))
+    in
+    Ok
+      (List.fold_left
+         (fun best a ->
+           if
+             Allocation.maxmin_objective problem a
+             > Allocation.maxmin_objective problem best
+           then a
+           else best)
+         (List.hd candidates) (List.tl candidates))
+
+let run ?(seed = 9) ?(k = 10) ?(periods = 10) ?(events = default_events) () =
+  let rng = Prng.create ~seed in
+  let base_problem = Measure.sample_problem rng ~k in
+  let base_platform = Problem.platform base_problem in
+  let payoffs =
+    Array.init k (Problem.payoff base_problem)
+  in
+  match best_plan base_problem with
+  | Error msg -> Error ("initial plan failed: " ^ msg)
+  | Ok initial ->
+    let trace = ref [] in
+    let current_factors = ref (1.0, 1.0) in
+    let failed = ref None in
+    for period = 0 to periods - 1 do
+      if !failed = None then begin
+        List.iter
+          (fun e ->
+            if e.at_period = period then
+              current_factors := (e.bandwidth_factor, e.speed_factor))
+          events;
+        let bandwidth_factor, speed_factor = !current_factors in
+        let platform = scaled_platform base_platform ~bandwidth_factor ~speed_factor in
+        let problem = Problem.make platform ~payoffs in
+        let static_value =
+          deliverable_fraction problem initial
+          *. Allocation.maxmin_objective base_problem initial
+        in
+        match best_plan problem with
+        | Error msg -> failed := Some ("period plan failed: " ^ msg)
+        | Ok adapted ->
+          let adaptive_value = Allocation.maxmin_objective problem adapted in
+          trace := { period; static_value; adaptive_value } :: !trace
+      end
+    done;
+    (match !failed with
+     | Some msg -> Error msg
+     | None -> Ok (List.rev !trace))
+
+let table points =
+  { Report.title =
+      "Adaptivity: static period-0 plan vs per-period re-optimization (MAXMIN)";
+    header = [ "period"; "static"; "adaptive"; "adaptive/static" ];
+    rows =
+      List.map
+        (fun tp ->
+          [ string_of_int tp.period;
+            Report.cell_float tp.static_value;
+            Report.cell_float tp.adaptive_value;
+            (if tp.static_value > 1e-9 then
+               Report.cell_float (tp.adaptive_value /. tp.static_value)
+             else "-") ])
+        points }

@@ -1,0 +1,62 @@
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+
+type summary = {
+  platforms : int;
+  lprg_over_g_maxmin : float;
+  lprg_over_g_sum : float;
+  lpr_zero_fraction : float;
+  lpr_over_lp_sum : float;
+  g_over_lp_sum : float;
+  lprg_over_lp_sum : float;
+}
+
+let eps = 1e-9
+
+let run ?(seed = 4) ?(ks = [ 5; 15; 25; 35; 45 ]) ?(per_k = 4) () =
+  let rng = Prng.create ~seed in
+  let ratio_mm = ref [] and ratio_sum = ref [] in
+  let lpr_zero = ref 0 and lpr_lp = ref [] in
+  let g_lp = ref [] and lprg_lp = ref [] in
+  let used = ref 0 in
+  List.iter
+    (fun k ->
+      for _ = 1 to per_k do
+        let problem = Measure.sample_problem rng ~k in
+        match Measure.evaluate problem with
+        | Error msg -> Logs.warn (fun m -> m "aggregate: skipping platform: %s" msg)
+        | Ok v ->
+          if v.Measure.lp_sum > eps then begin
+            incr used;
+            if v.Measure.g_maxmin > eps then
+              ratio_mm := (v.Measure.lprg_maxmin /. v.Measure.g_maxmin) :: !ratio_mm;
+            if v.Measure.g_sum > eps then
+              ratio_sum := (v.Measure.lprg_sum /. v.Measure.g_sum) :: !ratio_sum;
+            if v.Measure.lpr_sum <= eps then incr lpr_zero;
+            lpr_lp := (v.Measure.lpr_sum /. v.Measure.lp_sum) :: !lpr_lp;
+            g_lp := (v.Measure.g_sum /. v.Measure.lp_sum) :: !g_lp;
+            lprg_lp := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !lprg_lp
+          end
+      done)
+    ks;
+  let mean l = Stats.mean (Array.of_list l) in
+  { platforms = !used;
+    lprg_over_g_maxmin = mean !ratio_mm;
+    lprg_over_g_sum = mean !ratio_sum;
+    lpr_zero_fraction =
+      (if !used = 0 then 0.0 else float_of_int !lpr_zero /. float_of_int !used);
+    lpr_over_lp_sum = mean !lpr_lp;
+    g_over_lp_sum = mean !g_lp;
+    lprg_over_lp_sum = mean !lprg_lp }
+
+let table s =
+  { Report.title = "Section 6.1 aggregates (paper: LPRG/G = 1.98 MAXMIN, 1.02 SUM; LPR poor)";
+    header = [ "statistic"; "value" ];
+    rows =
+      [ [ "platforms"; string_of_int s.platforms ];
+        [ "mean LPRG/G (MAXMIN)"; Report.cell_float s.lprg_over_g_maxmin ];
+        [ "mean LPRG/G (SUM)"; Report.cell_float s.lprg_over_g_sum ];
+        [ "fraction of platforms with LPR = 0"; Report.cell_float s.lpr_zero_fraction ];
+        [ "mean SUM(LPR)/SUM(LP)"; Report.cell_float s.lpr_over_lp_sum ];
+        [ "mean SUM(G)/SUM(LP)"; Report.cell_float s.g_over_lp_sum ];
+        [ "mean SUM(LPRG)/SUM(LP)"; Report.cell_float s.lprg_over_lp_sum ] ] }

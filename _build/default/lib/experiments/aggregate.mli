@@ -1,0 +1,22 @@
+(** Section 6.1 aggregate statistics.
+
+    The paper reports, over the full sweep: the ratio of LPRG's
+    objective value to G's — 1.98 for MAXMIN and 1.02 for SUM — and that
+    LPR's performance is "very poor", often 0 (all betas rounded down to
+    zero).  This module reproduces those aggregates over a sampled
+    sweep. *)
+
+type summary = {
+  platforms : int;
+  lprg_over_g_maxmin : float;  (** mean of per-platform ratios *)
+  lprg_over_g_sum : float;
+  lpr_zero_fraction : float;  (** share of platforms where LPR's SUM is 0 *)
+  lpr_over_lp_sum : float;  (** mean SUM(LPR)/SUM(LP) *)
+  g_over_lp_sum : float;
+  lprg_over_lp_sum : float;
+}
+
+val run : ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> summary
+(** Defaults: seed 4, K in 5,15,...,45, 4 platforms per K. *)
+
+val table : summary -> Report.table

@@ -1,0 +1,64 @@
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+
+type row = {
+  k : int;
+  platforms : int;
+  maxmin_lprg : float;
+  sum_lprg : float;
+  maxmin_g : float;
+  sum_g : float;
+  maxmin_lprg_sd : float;  (** std. deviation across platforms *)
+  maxmin_g_sd : float;
+}
+
+let eps = 1e-9
+
+let run ?(seed = 1) ?(ks = [ 5; 15; 25; 35; 45; 55 ]) ?(per_k = 4) () =
+  let rng = Prng.create ~seed in
+  List.map
+    (fun k ->
+      (* Sample sequentially (reproducible PRNG draws), evaluate the
+         independent platforms across domains. *)
+      let problems = Array.init per_k (fun _ -> Measure.sample_problem rng ~k) in
+      let evaluations = Dls_util.Parallel.map Measure.evaluate problems in
+      let maxmin_lprg = ref [] and sum_lprg = ref [] in
+      let maxmin_g = ref [] and sum_g = ref [] in
+      let used = ref 0 in
+      Array.iter
+        (function
+          | Error msg -> Logs.warn (fun m -> m "fig5: skipping platform: %s" msg)
+          | Ok v ->
+            if v.Measure.lp_maxmin > eps && v.Measure.lp_sum > eps then begin
+              incr used;
+              maxmin_lprg :=
+                (v.Measure.lprg_maxmin /. v.Measure.lp_maxmin) :: !maxmin_lprg;
+              sum_lprg := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !sum_lprg;
+              maxmin_g := (v.Measure.g_maxmin /. v.Measure.lp_maxmin) :: !maxmin_g;
+              sum_g := (v.Measure.g_sum /. v.Measure.lp_sum) :: !sum_g
+            end)
+        evaluations;
+      let mean l = Stats.mean (Array.of_list l) in
+      let sd l = Stats.stddev (Array.of_list l) in
+      { k; platforms = !used;
+        maxmin_lprg = mean !maxmin_lprg;
+        sum_lprg = mean !sum_lprg;
+        maxmin_g = mean !maxmin_g;
+        sum_g = mean !sum_g;
+        maxmin_lprg_sd = sd !maxmin_lprg;
+        maxmin_g_sd = sd !maxmin_g })
+    ks
+
+let table rows =
+  { Report.title = "Figure 5: LPRG and G relative to the LP upper bound, by K";
+    header =
+      [ "K"; "platforms"; "MAXMIN(LPRG)/LP"; "sd"; "SUM(LPRG)/LP"; "MAXMIN(G)/LP";
+        "sd"; "SUM(G)/LP" ];
+    rows =
+      List.map
+        (fun r ->
+          [ string_of_int r.k; string_of_int r.platforms;
+            Report.cell_float r.maxmin_lprg; Report.cell_float r.maxmin_lprg_sd;
+            Report.cell_float r.sum_lprg; Report.cell_float r.maxmin_g;
+            Report.cell_float r.maxmin_g_sd; Report.cell_float r.sum_g ])
+        rows }

@@ -1,0 +1,26 @@
+(** Figure 5: objective values of LPRG and G relative to the LP upper
+    bound, as a function of the number of clusters K.
+
+    The paper plots four series over K = 5, 15, ..., 85:
+    MAXMIN(LPRG)/MAXMIN(LP), SUM(LPRG)/SUM(LP), MAXMIN(G)/MAXMIN(LP) and
+    SUM(G)/SUM(LP), each averaged over random platforms drawn from the
+    Table 1 grid.  Expected shape: SUM(LPRG) approaches 1 as K grows and
+    dominates SUM(G); both MAXMIN series sag toward ~0.65 at large K. *)
+
+type row = {
+  k : int;
+  platforms : int;  (** platforms actually averaged (LP > 0) *)
+  maxmin_lprg : float;
+  sum_lprg : float;
+  maxmin_g : float;
+  sum_g : float;
+  maxmin_lprg_sd : float;  (** std. deviation across platforms *)
+  maxmin_g_sd : float;
+}
+
+val run : ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> row list
+(** Defaults: seed 1, K in 5,15,...,55, 4 platforms per K.  (The paper's
+    full range reaches 85; pass [~ks] to extend — runtime grows roughly
+    as K^3 per platform.) *)
+
+val table : row list -> Report.table

@@ -1,0 +1,71 @@
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+
+type row = {
+  k : int;
+  platforms : int;
+  maxmin_g : float;
+  sum_g : float;
+  maxmin_lprr : float;
+  sum_lprr : float;
+  maxmin_lprg : float;
+  sum_lprg : float;
+}
+
+let eps = 1e-9
+
+let run ?(seed = 2) ?(ks = [ 15; 20; 25 ]) ?(per_k = 4) () =
+  let rng = Prng.create ~seed in
+  List.map
+    (fun k ->
+      let acc = Array.make 6 [] in
+      let push i v = acc.(i) <- v :: acc.(i) in
+      let used = ref 0 in
+      (* Sequential sampling (PRNG reproducibility), parallel evaluation;
+         each platform gets its own pre-split LPRR coin stream. *)
+      let inputs =
+        Array.init per_k (fun _ ->
+            let problem = Measure.sample_problem rng ~k in
+            (problem, Prng.split rng))
+      in
+      let evaluations =
+        Dls_util.Parallel.map
+          (fun (problem, coin) -> Measure.evaluate ~with_lprr:true ~rng:coin problem)
+          inputs
+      in
+      Array.iter
+        (function
+        | Error msg -> Logs.warn (fun m -> m "fig6: skipping platform: %s" msg)
+        | Ok v ->
+          (match (v.Measure.lprr_maxmin, v.Measure.lprr_sum) with
+           | Some lprr_maxmin, Some lprr_sum
+             when v.Measure.lp_maxmin > eps && v.Measure.lp_sum > eps ->
+             incr used;
+             push 0 (v.Measure.g_maxmin /. v.Measure.lp_maxmin);
+             push 1 (v.Measure.g_sum /. v.Measure.lp_sum);
+             push 2 (lprr_maxmin /. v.Measure.lp_maxmin);
+             push 3 (lprr_sum /. v.Measure.lp_sum);
+             push 4 (v.Measure.lprg_maxmin /. v.Measure.lp_maxmin);
+             push 5 (v.Measure.lprg_sum /. v.Measure.lp_sum)
+           | _ -> ()))
+        evaluations;
+      let mean i = Stats.mean (Array.of_list acc.(i)) in
+      { k; platforms = !used;
+        maxmin_g = mean 0; sum_g = mean 1;
+        maxmin_lprr = mean 2; sum_lprr = mean 3;
+        maxmin_lprg = mean 4; sum_lprg = mean 5 })
+    ks
+
+let table rows =
+  { Report.title = "Figure 6: LPRR vs G (LPRG for context), relative to LP";
+    header =
+      [ "K"; "platforms"; "MAXMIN(G)/LP"; "SUM(G)/LP"; "MAXMIN(LPRR)/LP";
+        "SUM(LPRR)/LP"; "MAXMIN(LPRG)/LP"; "SUM(LPRG)/LP" ];
+    rows =
+      List.map
+        (fun r ->
+          [ string_of_int r.k; string_of_int r.platforms;
+            Report.cell_float r.maxmin_g; Report.cell_float r.sum_g;
+            Report.cell_float r.maxmin_lprr; Report.cell_float r.sum_lprr;
+            Report.cell_float r.maxmin_lprg; Report.cell_float r.sum_lprg ])
+        rows }

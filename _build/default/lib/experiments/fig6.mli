@@ -1,0 +1,23 @@
+(** Figure 6: LPRR versus G (and LPRG for context) relative to the LP
+    upper bound, on a small set of topologies.
+
+    The paper evaluates LPRR on only 80 topologies with K in 15..25
+    because of its K^2 LP-solve cost, and finds its MAXMIN values very
+    close to the LP bound — where LPRG sagged. *)
+
+type row = {
+  k : int;
+  platforms : int;
+  maxmin_g : float;
+  sum_g : float;
+  maxmin_lprr : float;
+  sum_lprr : float;
+  maxmin_lprg : float;
+  sum_lprg : float;
+}
+
+val run : ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> row list
+(** Defaults: seed 2, K in 15, 20, 25, 4 platforms per K (the paper used
+    ~27 per K; scale with [~per_k]). *)
+
+val table : row list -> Report.table

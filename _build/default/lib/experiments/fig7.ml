@@ -1,0 +1,55 @@
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+
+type row = {
+  k : int;
+  platforms : int;
+  time_g : float;
+  time_lp : float;
+  time_lpr : float;
+  time_lprg : float;
+  time_lprr : float option;
+}
+
+let run ?(seed = 3) ?(ks = [ 10; 20; 30; 40 ]) ?(per_k = 3) ?(lprr_max_k = 20) () =
+  let rng = Prng.create ~seed in
+  List.map
+    (fun k ->
+      let with_lprr = k <= lprr_max_k in
+      let tg = ref [] and tlp = ref [] and tlpr = ref [] in
+      let tlprg = ref [] and tlprr = ref [] in
+      let used = ref 0 in
+      for _ = 1 to per_k do
+        let problem = Measure.sample_problem rng ~k in
+        match Measure.evaluate ~with_lprr ~rng:(Prng.split rng) problem with
+        | Error msg -> Logs.warn (fun m -> m "fig7: skipping platform: %s" msg)
+        | Ok v ->
+          incr used;
+          tg := v.Measure.time_g :: !tg;
+          tlp := v.Measure.time_lp :: !tlp;
+          tlpr := v.Measure.time_lpr :: !tlpr;
+          tlprg := v.Measure.time_lprg :: !tlprg;
+          (match v.Measure.time_lprr with
+           | Some t -> tlprr := t :: !tlprr
+           | None -> ())
+      done;
+      let mean l = Stats.mean (Array.of_list l) in
+      { k; platforms = !used;
+        time_g = mean !tg;
+        time_lp = mean !tlp;
+        time_lpr = mean !tlpr;
+        time_lprg = mean !tlprg;
+        time_lprr = (if !tlprr = [] then None else Some (mean !tlprr)) })
+    ks
+
+let table rows =
+  { Report.title = "Figure 7: mean running time (seconds) by K";
+    header = [ "K"; "platforms"; "G"; "LP"; "LPR"; "LPRG"; "LPRR" ];
+    rows =
+      List.map
+        (fun r ->
+          [ string_of_int r.k; string_of_int r.platforms;
+            Report.cell_float r.time_g; Report.cell_float r.time_lp;
+            Report.cell_float r.time_lpr; Report.cell_float r.time_lprg;
+            (match r.time_lprr with Some t -> Report.cell_float t | None -> "-") ])
+        rows }

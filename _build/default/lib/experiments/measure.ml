@@ -1,0 +1,127 @@
+module Gen = Dls_platform.Generator
+module Prng = Dls_util.Prng
+open Dls_core
+
+type values = {
+  lp_sum : float;
+  lp_maxmin : float;
+  g_sum : float;
+  g_maxmin : float;
+  lpr_sum : float;
+  lpr_maxmin : float;
+  lprg_sum : float;
+  lprg_maxmin : float;
+  lprr_sum : float option;
+  lprr_maxmin : float option;
+  time_lp : float;
+  time_g : float;
+  time_lpr : float;
+  time_lprg : float;
+  time_lprr : float option;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let table1_choice rng values = Prng.pick rng (Array.of_list values)
+
+let sample_params rng ~k =
+  { Gen.k;
+    topology_model = Gen.Erdos_renyi;
+    connectivity = table1_choice rng (List.init 8 (fun i -> 0.1 *. float_of_int (i + 1)));
+    heterogeneity = table1_choice rng [ 0.2; 0.4; 0.6; 0.8 ];
+    mean_g = table1_choice rng [ 50.0; 250.0; 350.0; 450.0 ];
+    mean_bw = table1_choice rng (List.init 9 (fun i -> 10.0 *. float_of_int (i + 1)));
+    mean_maxcon = table1_choice rng (List.init 10 (fun i -> float_of_int (5 + (10 * i))));
+    speed = 100.0;
+    speed_heterogeneity = 0.0 }
+
+let assign_workload ?(app_fraction = 0.5) ?(source_speed_factor = 0.0) rng platform
+    =
+  let module P = Dls_platform.Platform in
+  let k = P.num_clusters platform in
+  let payoffs =
+    Array.init k (fun _ -> if Prng.bool rng ~p:app_fraction then 1.0 else 0.0)
+  in
+  if Array.for_all (fun pi -> pi = 0.0) payoffs then
+    payoffs.(Prng.int rng ~lo:0 ~hi:(k - 1)) <- 1.0;
+  let platform =
+    if source_speed_factor >= 1.0 then platform
+    else begin
+      let clusters =
+        Array.init k (fun c ->
+            let cl = P.cluster platform c in
+            if payoffs.(c) > 0.0 then
+              { cl with P.speed = cl.P.speed *. source_speed_factor }
+            else cl)
+      in
+      P.make ~clusters ~topology:(P.topology platform)
+        ~backbones:(Array.init (P.num_backbones platform) (P.backbone platform))
+    end
+  in
+  Problem.make platform ~payoffs
+
+let sample_problem ?app_fraction ?source_speed_factor rng ~k =
+  let platform = Gen.generate rng (sample_params rng ~k) in
+  assign_workload ?app_fraction ?source_speed_factor rng platform
+
+let checked problem name alloc =
+  if Allocation.is_feasible problem alloc then Ok alloc
+  else Error (name ^ " produced an infeasible allocation")
+
+let ( let* ) = Result.bind
+
+let evaluate ?(with_lprr = false) ?rng problem =
+  let rng = match rng with Some r -> r | None -> Prng.create ~seed:0x5EED in
+  let value obj alloc = Allocation.objective obj problem alloc in
+  let* lp_maxmin, time_lp =
+    match time (fun () -> Heuristics.lp_bound ~objective:Lp_relax.Maxmin problem) with
+    | Ok v, t -> Ok (v, t)
+    | Error msg, _ -> Error ("LP maxmin: " ^ msg)
+  in
+  let* lp_sum =
+    Result.map_error (fun m -> "LP sum: " ^ m)
+      (Heuristics.lp_bound ~objective:Lp_relax.Sum problem)
+  in
+  let g_alloc, time_g = time (fun () -> Greedy.solve problem) in
+  let* g_alloc = checked problem "G" g_alloc in
+  let run_lp_based name solve =
+    let* maxmin_alloc, t =
+      match time (fun () -> solve ~objective:Lp_relax.Maxmin problem) with
+      | Ok a, t -> Ok (a, t)
+      | Error msg, _ -> Error (name ^ " maxmin: " ^ msg)
+    in
+    let* maxmin_alloc = checked problem name maxmin_alloc in
+    let* sum_alloc =
+      Result.map_error (fun m -> name ^ " sum: " ^ m)
+        (solve ~objective:Lp_relax.Sum problem)
+    in
+    let* sum_alloc = checked problem name sum_alloc in
+    Ok (value `Maxmin maxmin_alloc, value `Sum sum_alloc, t)
+  in
+  let* lpr_maxmin, lpr_sum, time_lpr =
+    run_lp_based "LPR" (fun ~objective pr -> Lpr.solve ~objective pr)
+  in
+  let* lprg_maxmin, lprg_sum, time_lprg =
+    run_lp_based "LPRG" (fun ~objective pr -> Lprg.solve ~objective pr)
+  in
+  let* lprr_maxmin, lprr_sum, time_lprr =
+    if not with_lprr then Ok (None, None, None)
+    else begin
+      let* mm, s, t =
+        run_lp_based "LPRR" (fun ~objective pr ->
+            Result.map
+              (fun st -> st.Lprr.allocation)
+              (Lprr.solve ~objective ~rng pr))
+      in
+      Ok (Some mm, Some s, Some t)
+    end
+  in
+  Ok
+    { lp_sum; lp_maxmin;
+      g_sum = value `Sum g_alloc;
+      g_maxmin = value `Maxmin g_alloc;
+      lpr_sum; lpr_maxmin; lprg_sum; lprg_maxmin; lprr_sum; lprr_maxmin;
+      time_lp; time_g; time_lpr; time_lprg; time_lprr }

@@ -1,0 +1,46 @@
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+let cell_float v =
+  if Float.is_nan v then "nan" else Printf.sprintf "%.4g" v
+
+let pp_table fmt t =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun m r -> Stdlib.max m (List.length r)) 0 all in
+  let width = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> width.(i) <- Stdlib.max width.(i) (String.length cell)))
+    all;
+  let pad i cell = cell ^ String.make (width.(i) - String.length cell) ' ' in
+  let pp_row r =
+    Format.fprintf fmt "| %s |@," (String.concat " | " (List.mapi pad r))
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') width))
+    ^ "+"
+  in
+  Format.fprintf fmt "@[<v>%s@,%s@," t.title rule;
+  pp_row t.header;
+  Format.fprintf fmt "%s@," rule;
+  List.iter pp_row t.rows;
+  Format.fprintf fmt "%s@]@." rule
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  String.concat "\n"
+    (List.map (fun r -> String.concat "," (List.map quote r)) (t.header :: t.rows))
+  ^ "\n"
+
+let write_csv ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

@@ -1,0 +1,21 @@
+(** Table and CSV rendering shared by the experiment harness and the
+    bench executable. *)
+
+type table = {
+  title : string;
+  header : string list;
+  rows : string list list;
+}
+
+val pp_table : Format.formatter -> table -> unit
+(** Fixed-width, pipe-separated rendering with a title rule. *)
+
+val to_csv : table -> string
+(** Header plus rows, comma-separated.  Cells containing commas or
+    quotes are quoted. *)
+
+val write_csv : path:string -> table -> unit
+(** @raise Sys_error on an unwritable path. *)
+
+val cell_float : float -> string
+(** 4-significant-digit rendering used across all reports. *)

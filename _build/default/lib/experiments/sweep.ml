@@ -1,0 +1,69 @@
+module Gen = Dls_platform.Generator
+module Prng = Dls_util.Prng
+open Dls_core
+
+type record = {
+  index : int;
+  params : Gen.params;
+  active_apps : int;
+  values : Measure.values;
+}
+
+let run ?(seed = 12) ?(ks = [ 5; 15; 25; 35; 45; 55 ]) ?(per_k = 5)
+    ?(with_lprr = false) ?(on_record = fun _ -> ()) () =
+  let rng = Prng.create ~seed in
+  (* Sample the whole campaign sequentially: reproducible and cheap
+     relative to evaluation. *)
+  let inputs =
+    List.concat_map
+      (fun k ->
+        List.init per_k (fun _ ->
+            let params = Measure.sample_params rng ~k in
+            let platform = Gen.generate rng params in
+            let problem = Measure.assign_workload rng platform in
+            (params, problem, Prng.split rng)))
+      ks
+  in
+  let evaluations =
+    Dls_util.Parallel.map
+      (fun (params, problem, coin) ->
+        (params, problem, Measure.evaluate ~with_lprr ~rng:coin problem))
+      (Array.of_list inputs)
+  in
+  let completed = ref 0 and skipped = ref 0 in
+  Array.iteri
+    (fun index (params, problem, outcome) ->
+      match outcome with
+      | Error msg ->
+        incr skipped;
+        Logs.warn (fun m -> m "sweep: platform %d skipped: %s" index msg)
+      | Ok values ->
+        incr completed;
+        on_record
+          { index; params;
+            active_apps = List.length (Problem.active problem);
+            values })
+    evaluations;
+  (!completed, !skipped)
+
+let csv_header =
+  String.concat ","
+    [ "index"; "k"; "connectivity"; "heterogeneity"; "mean_g"; "mean_bw";
+      "mean_maxcon"; "active_apps"; "lp_sum"; "lp_maxmin"; "g_sum"; "g_maxmin";
+      "lpr_sum"; "lpr_maxmin"; "lprg_sum"; "lprg_maxmin"; "lprr_sum";
+      "lprr_maxmin"; "time_lp"; "time_g"; "time_lpr"; "time_lprg"; "time_lprr" ]
+
+let to_csv_row r =
+  let f v = Printf.sprintf "%.6g" v in
+  let opt = function Some v -> f v | None -> "" in
+  let v = r.values in
+  String.concat ","
+    [ string_of_int r.index; string_of_int r.params.Gen.k;
+      f r.params.Gen.connectivity; f r.params.Gen.heterogeneity;
+      f r.params.Gen.mean_g; f r.params.Gen.mean_bw; f r.params.Gen.mean_maxcon;
+      string_of_int r.active_apps;
+      f v.Measure.lp_sum; f v.Measure.lp_maxmin; f v.Measure.g_sum;
+      f v.Measure.g_maxmin; f v.Measure.lpr_sum; f v.Measure.lpr_maxmin;
+      f v.Measure.lprg_sum; f v.Measure.lprg_maxmin; opt v.Measure.lprr_sum;
+      opt v.Measure.lprr_maxmin; f v.Measure.time_lp; f v.Measure.time_g;
+      f v.Measure.time_lpr; f v.Measure.time_lprg; opt v.Measure.time_lprr ]

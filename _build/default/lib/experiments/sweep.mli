@@ -1,0 +1,36 @@
+(** Streaming evaluation campaign over the Table 1 grid.
+
+    The paper's evaluation is a quarter-million-platform sweep; this
+    module is the production harness for running arbitrarily large
+    sampled campaigns here: platforms are drawn from the grid marginals,
+    evaluated in parallel batches across domains, and each completed
+    record is handed to a callback in deterministic order — so the CLI
+    can stream CSV rows to disk as they finish and nothing is lost if a
+    long campaign is interrupted. *)
+
+type record = {
+  index : int;  (** 0-based position in the campaign *)
+  params : Dls_platform.Generator.params;  (** the sampled grid point *)
+  active_apps : int;
+  values : Measure.values;
+}
+
+val run :
+  ?seed:int ->
+  ?ks:int list ->
+  ?per_k:int ->
+  ?with_lprr:bool ->
+  ?on_record:(record -> unit) ->
+  unit ->
+  int * int
+(** [run ()] evaluates [per_k] (default 5) platforms for every K
+    (default 5, 15, ..., 55), calling [on_record] for each successful
+    evaluation in campaign order.  Returns
+    [(completed, skipped)].  Deterministic for a given seed regardless
+    of parallelism. *)
+
+val csv_header : string
+
+val to_csv_row : record -> string
+(** One comma-separated line matching {!csv_header}: the grid point,
+    LP bounds, every heuristic's objective values and timings. *)

@@ -1,0 +1,64 @@
+module P = Dls_platform.Platform
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+module G = Dls_graph.Graph
+
+let grid_table () =
+  { Report.title =
+      "Table 1: parameter grid (115,200 settings x 10 platforms each)";
+    header = [ "parameter"; "values" ];
+    rows =
+      [ [ "K"; "5, 15, ..., 95" ];
+        [ "connectivity"; "0.1, 0.2, ..., 0.8" ];
+        [ "heterogeneity"; "0.2, 0.4, 0.6, 0.8" ];
+        [ "mean g"; "50, 250, 350, 450" ];
+        [ "mean bw"; "10, 20, ..., 90" ];
+        [ "mean maxcon"; "5, 15, ..., 95" ];
+        [ "cluster speed"; "100 (fixed)" ] ] }
+
+type stat_row = {
+  k : int;
+  mean_backbones : float;
+  mean_degree : float;
+  mean_route_len : float;
+}
+
+let sample_stats ?(seed = 5) ?(ks = [ 5; 15; 25; 35; 45 ]) ?(per_k = 5) () =
+  let rng = Prng.create ~seed in
+  List.map
+    (fun k ->
+      let backbones = ref [] and degree = ref [] and route_len = ref [] in
+      for _ = 1 to per_k do
+        let problem = Measure.sample_problem rng ~k in
+        let p = Dls_core.Problem.platform problem in
+        backbones := float_of_int (P.num_backbones p) :: !backbones;
+        let topo = P.topology p in
+        degree :=
+          (2.0 *. float_of_int (G.num_edges topo) /. float_of_int (G.num_nodes topo))
+          :: !degree;
+        let lens = ref [] in
+        for a = 0 to k - 1 do
+          for b = 0 to k - 1 do
+            if a <> b then begin
+              match P.route p a b with
+              | Some links -> lens := float_of_int (List.length links) :: !lens
+              | None -> ()
+            end
+          done
+        done;
+        route_len := Stats.mean (Array.of_list !lens) :: !route_len
+      done;
+      let mean l = Stats.mean (Array.of_list l) in
+      { k; mean_backbones = mean !backbones; mean_degree = mean !degree;
+        mean_route_len = mean !route_len })
+    ks
+
+let stats_table rows =
+  { Report.title = "Generated-platform structure by K (sampled from the grid)";
+    header = [ "K"; "mean backbones"; "mean router degree"; "mean route length" ];
+    rows =
+      List.map
+        (fun r ->
+          [ string_of_int r.k; Report.cell_float r.mean_backbones;
+            Report.cell_float r.mean_degree; Report.cell_float r.mean_route_len ])
+        rows }

@@ -1,0 +1,20 @@
+(** Table 1: the simulation campaign's parameter grid, plus generated-
+    platform sanity statistics (how large the sampled topologies are). *)
+
+val grid_table : unit -> Report.table
+(** The parameter rows exactly as printed in the paper's Table 1, plus
+    the grid cardinality and the paper's 10-platforms-per-setting
+    convention. *)
+
+type stat_row = {
+  k : int;
+  mean_backbones : float;
+  mean_degree : float;
+  mean_route_len : float;  (** mean backbone hops between cluster pairs *)
+}
+
+val sample_stats : ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> stat_row list
+(** Structural statistics of platforms sampled from the grid (defaults:
+    seed 5, K in 5,15,...,45, 5 platforms per K). *)
+
+val stats_table : stat_row list -> Report.table

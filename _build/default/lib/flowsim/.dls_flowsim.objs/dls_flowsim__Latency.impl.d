@@ -1,0 +1,1 @@
+lib/flowsim/latency.ml: Array Dls_platform Float List

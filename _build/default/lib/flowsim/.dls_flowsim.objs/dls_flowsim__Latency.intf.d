@@ -1,0 +1,1 @@
+lib/flowsim/latency.mli: Dls_platform

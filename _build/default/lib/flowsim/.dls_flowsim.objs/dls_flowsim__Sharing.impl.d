@@ -1,0 +1,1 @@
+lib/flowsim/sharing.ml: Array Float Fun List

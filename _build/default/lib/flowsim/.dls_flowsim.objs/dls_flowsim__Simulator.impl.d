@@ -1,0 +1,1 @@
+lib/flowsim/simulator.ml: Array Dls_core Dls_platform Float Latency List Sharing Stdlib

@@ -1,0 +1,1 @@
+lib/flowsim/simulator.mli: Dls_core Latency

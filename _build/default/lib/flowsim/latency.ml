@@ -1,0 +1,40 @@
+module P = Dls_platform.Platform
+
+type t = { link : float array; local : float array }
+
+let check_non_negative a =
+  Array.iter (fun v -> if v < 0.0 then invalid_arg "Latency: negative latency") a
+
+let none p =
+  { link = Array.make (P.num_backbones p) 0.0;
+    local = Array.make (P.num_clusters p) 0.0 }
+
+let uniform p ~backbone ~local =
+  if backbone < 0.0 || local < 0.0 then invalid_arg "Latency: negative latency";
+  { link = Array.make (P.num_backbones p) backbone;
+    local = Array.make (P.num_clusters p) local }
+
+let of_arrays p ~link ~local =
+  if Array.length link <> P.num_backbones p then
+    invalid_arg "Latency.of_arrays: one latency per backbone link required";
+  if Array.length local <> P.num_clusters p then
+    invalid_arg "Latency.of_arrays: one latency per cluster required";
+  check_non_negative link;
+  check_non_negative local;
+  { link = Array.copy link; local = Array.copy local }
+
+let one_way p t k l =
+  if k = l then 0.0
+  else begin
+    match P.route p k l with
+    | None -> infinity
+    | Some links ->
+      t.local.(k) +. t.local.(l)
+      +. List.fold_left (fun acc e -> acc +. t.link.(e)) 0.0 links
+  end
+
+let rtt p t k l = 2.0 *. one_way p t k l
+
+let tcp_weight p t k l =
+  let r = rtt p t k l in
+  if r = infinity then 1e-6 else 1.0 /. Float.max r 1e-6

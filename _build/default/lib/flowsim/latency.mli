@@ -1,0 +1,38 @@
+(** Link latencies — the network-model refinement the paper's
+    conclusion calls for ("include link latencies, TCP bandwidth sharing
+    behaviors according to round-trip times").
+
+    Latencies live beside the platform rather than inside it: the
+    steady-state equations are latency-free (start-up costs vanish in
+    the periodic regime, as the paper notes), so only the flow-level
+    simulator consumes this data — to delay chunk arrivals by the
+    one-way path latency and to bias bandwidth sharing by 1/RTT like
+    TCP does. *)
+
+type t
+
+val none : Dls_platform.Platform.t -> t
+(** All latencies zero: the simulator behaves exactly as without. *)
+
+val uniform :
+  Dls_platform.Platform.t -> backbone:float -> local:float -> t
+(** Same latency on every backbone link / local link.
+    @raise Invalid_argument on negative latencies. *)
+
+val of_arrays :
+  Dls_platform.Platform.t -> link:float array -> local:float array -> t
+(** Explicit per-backbone and per-cluster latencies.
+    @raise Invalid_argument on wrong lengths or negative entries. *)
+
+val one_way : Dls_platform.Platform.t -> t -> int -> int -> float
+(** Path latency from cluster [k] to cluster [l]: both local links plus
+    every backbone link on the route; [infinity] if unreachable; 0 for
+    [k = l]. *)
+
+val rtt : Dls_platform.Platform.t -> t -> int -> int -> float
+(** Round-trip time: twice {!one_way}. *)
+
+val tcp_weight : Dls_platform.Platform.t -> t -> int -> int -> float
+(** Sharing weight [1 / max(rtt, 1e-6)] — flows with shorter round
+    trips get proportionally more of a saturated link, the first-order
+    TCP behaviour. *)

@@ -1,0 +1,94 @@
+type flow = { resources : int list; cap : float; weight : float }
+
+let flow ?(cap = infinity) ?(weight = 1.0) resources = { resources; cap; weight }
+
+let eps = 1e-12
+
+(* Weighted progressive filling: all active flows rise together, flow f
+   at speed weight_f * d(phi); a step ends when a resource saturates
+   (its active flows freeze) or a flow hits its cap.  Each step freezes
+   at least one flow, so there are at most [n] steps of cost O(n * m). *)
+let rates ~capacities flows =
+  let nres = Array.length capacities in
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Sharing.rates: negative capacity")
+    capacities;
+  let flows = Array.of_list flows in
+  let n = Array.length flows in
+  Array.iter
+    (fun f ->
+      if f.cap < 0.0 then invalid_arg "Sharing.rates: negative cap";
+      if f.weight <= 0.0 then invalid_arg "Sharing.rates: non-positive weight";
+      List.iter
+        (fun r ->
+          if r < 0 || r >= nres then invalid_arg "Sharing.rates: unknown resource")
+        f.resources)
+    flows;
+  let rate = Array.make n 0.0 in
+  let active = Array.make n true in
+  let remaining = Array.copy capacities in
+  (* Sum of weights of active flows per resource. *)
+  let load = Array.make nres 0.0 in
+  Array.iteri
+    (fun i f ->
+      if f.cap <= eps then begin
+        active.(i) <- false;
+        rate.(i) <- Float.max 0.0 f.cap
+      end
+      else List.iter (fun r -> load.(r) <- load.(r) +. f.weight) f.resources)
+    flows;
+  let freeze i =
+    if active.(i) then begin
+      active.(i) <- false;
+      List.iter
+        (fun r -> load.(r) <- Float.max 0.0 (load.(r) -. flows.(i).weight))
+        flows.(i).resources
+    end
+  in
+  let any_active () = Array.exists Fun.id active in
+  let guard = ref (n + nres + 1) in
+  while any_active () && !guard > 0 do
+    decr guard;
+    (* Largest common fill increment d(phi) every active flow can take. *)
+    let delta = ref infinity in
+    Array.iteri
+      (fun r cap_left -> if load.(r) > eps then delta := Float.min !delta (cap_left /. load.(r)))
+      remaining;
+    Array.iteri
+      (fun i f ->
+        if active.(i) then delta := Float.min !delta ((f.cap -. rate.(i)) /. f.weight))
+      flows;
+    if !delta = infinity then begin
+      (* Only unconstrained flows remain (no resource, infinite cap):
+         they take their cap directly. *)
+      Array.iteri
+        (fun i f ->
+          if active.(i) then begin
+            rate.(i) <- f.cap;
+            freeze i
+          end)
+        flows
+    end
+    else begin
+      let delta = Float.max 0.0 !delta in
+      Array.iteri
+        (fun i f ->
+          if active.(i) then begin
+            let gain = f.weight *. delta in
+            rate.(i) <- rate.(i) +. gain;
+            List.iter (fun r -> remaining.(r) <- remaining.(r) -. gain) f.resources
+          end)
+        flows;
+      for i = 0 to n - 1 do
+        if active.(i) then begin
+          let f = flows.(i) in
+          let pinned =
+            rate.(i) >= f.cap -. eps
+            || List.exists (fun r -> remaining.(r) <= eps) f.resources
+          in
+          if pinned then freeze i
+        end
+      done
+    end
+  done;
+  rate

@@ -1,0 +1,30 @@
+(** Max-min fair bandwidth sharing with per-flow rate caps.
+
+    This realizes the paper's Section 2 sharing semantics at flow level:
+    local-area links are capacity-[g_k] resources shared by all flows
+    that cross them, while backbone links grant each connection a fixed
+    bandwidth — so a flow using [beta] connections over a route with
+    bottleneck [g_{k,l}] is simply rate-capped at [beta * g_{k,l}] and
+    the only shared resources are the local links.  The classical
+    progressive-filling algorithm computes the unique max-min fair rate
+    vector (Bertsekas & Gallager, cited as [11] in the paper). *)
+
+type flow = {
+  resources : int list;  (** shared resource ids crossed by this flow *)
+  cap : float;  (** individual rate ceiling; [infinity] if none *)
+  weight : float;  (** relative share; 1 for plain max-min fairness *)
+}
+
+val flow : ?cap:float -> ?weight:float -> int list -> flow
+(** Convenience constructor: [cap] defaults to [infinity], [weight]
+    to 1. *)
+
+val rates : capacities:float array -> flow list -> float array
+(** Weighted max-min fair rates, in flow order: progressive filling
+    where flow [f] rises at speed [weight_f], so on a saturated shared
+    link rates are proportional to weights — the mechanism the paper's
+    future-work section points at for modelling TCP's RTT bias (weight
+    [∝ 1/RTT]).  Flows crossing no resource get their cap.
+    Zero-capacity resources pin their flows at 0.
+    @raise Invalid_argument on a negative capacity or cap, a
+    non-positive weight, or an unknown resource id. *)

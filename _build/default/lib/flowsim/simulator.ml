@@ -1,0 +1,160 @@
+module P = Dls_platform.Platform
+module A = Dls_core.Allocation
+
+type stats = {
+  predicted : float array;
+  achieved : float array;
+  late_transfers : int;
+  stalled_transfers : int;
+}
+
+type flow = {
+  src : int;
+  dst : int;
+  amount : float;
+  mutable remaining : float;
+  cap : float;
+  weight : float;
+  delay : float;  (* one-way path latency added to the arrival *)
+  spawned : float;  (* period-start time *)
+}
+
+let eps = 1e-9
+
+let run ?(periods = 20) ?(warmup = 2) ?latency problem alloc =
+  if warmup < 0 || periods <= warmup then
+    invalid_arg "Simulator.run: need 0 <= warmup < periods";
+  let p = Dls_core.Problem.platform problem in
+  let kk = P.num_clusters p in
+  let horizon = float_of_int periods in
+  let predicted = Array.init kk (A.app_throughput alloc) in
+  let capacities = Array.init kk (P.local_bw p) in
+  (* Transfers of one period, described once and respawned each period.
+     With a latency model, sharing weights follow 1/RTT and arrivals are
+     delayed by the one-way path latency. *)
+  let pattern = ref [] in
+  for k = kk - 1 downto 0 do
+    for l = kk - 1 downto 0 do
+      if k <> l && alloc.A.alpha.(k).(l) > eps then begin
+        let cap =
+          match P.route_bottleneck p k l with
+          | None -> 0.0
+          | Some bw when bw = infinity -> infinity  (* co-located *)
+          | Some bw -> float_of_int alloc.A.beta.(k).(l) *. bw
+        in
+        let weight, delay =
+          match latency with
+          | None -> (1.0, 0.0)
+          | Some lat -> (Latency.tcp_weight p lat k l, Latency.one_way p lat k l)
+        in
+        pattern := (k, l, alloc.A.alpha.(k).(l), cap, weight, delay) :: !pattern
+      end
+    done
+  done;
+  let active : flow list ref = ref [] in
+  let arrivals = ref [] in  (* (time, cluster, app, amount) *)
+  let late = ref 0 and stalled = ref 0 in
+  let t = ref 0.0 in
+  let next_spawn = ref 0 in
+  let guard = ref (1000 * (periods + 1) * (1 + List.length !pattern)) in
+  let finished = ref false in
+  while (not !finished) && !t < horizon -. eps && !guard > 0 do
+    decr guard;
+    (* Spawn the period's flows and local chunks at each boundary. *)
+    if !next_spawn < periods && !t >= float_of_int !next_spawn -. eps then begin
+      let now = float_of_int !next_spawn in
+      List.iter
+        (fun (k, l, amount, cap, weight, delay) ->
+          active :=
+            { src = k; dst = l; amount; remaining = amount; cap; weight; delay;
+              spawned = now }
+            :: !active)
+        !pattern;
+      for k = 0 to kk - 1 do
+        if alloc.A.alpha.(k).(k) > eps then
+          arrivals := (now, k, k, alloc.A.alpha.(k).(k)) :: !arrivals
+      done;
+      incr next_spawn
+    end;
+    let flows = !active in
+    let sharing_flows =
+      List.map
+        (fun f ->
+          { Sharing.resources = [ f.src; f.dst ]; cap = f.cap; weight = f.weight })
+        flows
+    in
+    let rates = Sharing.rates ~capacities sharing_flows in
+    (* Time to the next event: a completion or a period boundary. *)
+    let dt_complete = ref infinity in
+    List.iteri
+      (fun i f ->
+        if rates.(i) > eps then
+          dt_complete := Float.min !dt_complete (f.remaining /. rates.(i)))
+      flows;
+    let next_boundary =
+      if !next_spawn < periods then float_of_int !next_spawn else horizon
+    in
+    let dt = Float.min !dt_complete (next_boundary -. !t) in
+    if dt = infinity || (dt <= eps && !dt_complete = infinity && flows = []) then begin
+      (* Nothing in flight and no boundary ahead: jump to the boundary. *)
+      if next_boundary > !t +. eps then t := next_boundary else finished := true
+    end
+    else if !dt_complete = infinity && next_boundary >= horizon -. eps && flows <> []
+    then begin
+      (* Flows exist but none can move and no spawn will change that. *)
+      stalled := !stalled + List.length flows;
+      active := [];
+      finished := true
+    end
+    else begin
+      let dt = Float.max 0.0 dt in
+      List.iteri (fun i f -> f.remaining <- f.remaining -. (rates.(i) *. dt)) flows;
+      t := !t +. dt;
+      let done_, still =
+        List.partition (fun f -> f.remaining <= eps *. Float.max 1.0 f.amount) flows
+      in
+      List.iter
+        (fun f ->
+          arrivals := (!t +. f.delay, f.dst, f.src, f.amount) :: !arrivals;
+          if !t +. f.delay > f.spawned +. 1.0 +. eps then incr late)
+        done_;
+      active := still
+    end
+  done;
+  (* Compute phase: per-cluster FIFO fluid processing at speed s_l;
+     accumulate the work each application gets done inside the
+     measurement window. *)
+  let window_start = float_of_int warmup in
+  let window = horizon -. window_start in
+  let achieved = Array.make kk 0.0 in
+  let by_cluster = Array.make kk [] in
+  List.iter
+    (fun ((_, c, _, _) as arrival) -> by_cluster.(c) <- arrival :: by_cluster.(c))
+    !arrivals;
+  for c = 0 to kk - 1 do
+    let s = P.speed p c in
+    if s > 0.0 then begin
+      let queue =
+        List.sort
+          (fun (t1, _, a1, _) (t2, _, a2, _) -> Stdlib.compare (t1, a1) (t2, a2))
+          by_cluster.(c)
+      in
+      let clock = ref 0.0 in
+      List.iter
+        (fun (arrival_time, _, app, amount) ->
+          let start = Float.max !clock arrival_time in
+          let finish = start +. (amount /. s) in
+          clock := finish;
+          (* Work performed inside [window_start, horizon]. *)
+          let lo = Float.max start window_start and hi = Float.min finish horizon in
+          if hi > lo then achieved.(app) <- achieved.(app) +. (s *. (hi -. lo)))
+        queue
+    end
+  done;
+  Array.iteri (fun i w -> achieved.(i) <- w /. window) achieved;
+  { predicted; achieved; late_transfers = !late; stalled_transfers = !stalled }
+
+let efficiency stats =
+  let tot a = Array.fold_left ( +. ) 0.0 a in
+  let p = tot stats.predicted in
+  if p <= 0.0 then 1.0 else tot stats.achieved /. p

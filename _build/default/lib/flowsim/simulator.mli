@@ -1,0 +1,56 @@
+(** Flow-level execution of a periodic steady-state schedule.
+
+    The paper argues (Section 3.2) that any valid allocation can be
+    turned into a periodic schedule: during each period every cluster
+    ships its chunks and computes the chunks received in the previous
+    period.  This simulator executes that pattern under the Section 2
+    bandwidth-sharing model — local links max-min shared, backbone
+    connections individually capped — and measures the long-run
+    throughput actually achieved per application, providing an
+    independent, equation-free check of the steady-state analysis.
+
+    Transfers of one period all start at the period boundary; rates are
+    the max-min fair equilibrium, recomputed at every flow completion
+    (processor sharing).  A chunk becomes computable at the destination
+    when its transfer completes; clusters drain their compute queues at
+    their speed, FIFO and work-conserving.  Transfers that overrun their
+    period (possible: per-link feasibility does not imply that the
+    concurrent max-min schedule meets every deadline) simply continue,
+    delaying their chunk — the measured throughput quantifies the
+    effect. *)
+
+type stats = {
+  predicted : float array;
+  (** per-application throughput promised by the allocation, [alpha_k] *)
+  achieved : float array;
+  (** per-application work computed per time unit over the measurement
+      window (after warm-up) *)
+  late_transfers : int;
+  (** transfers that completed after the period in which they started *)
+  stalled_transfers : int;
+  (** transfers that could never move (zero rate); an infeasible input *)
+}
+
+val run :
+  ?periods:int ->
+  ?warmup:int ->
+  ?latency:Latency.t ->
+  Dls_core.Problem.t ->
+  Dls_core.Allocation.t ->
+  stats
+(** [run ~periods ~warmup problem alloc] simulates [periods] periods of
+    unit length (defaults 20) and measures over the last
+    [periods - warmup] (default warm-up 2).  With [latency], chunk
+    arrivals are delayed by the one-way path latency and link sharing is
+    RTT-biased ({!Latency.tcp_weight}) — the refinement the paper's
+    conclusion proposes; steady-state throughput is unaffected
+    asymptotically (latency is a constant offset per chunk) but warm-up
+    takes longer and fairness between long and short routes degrades,
+    which the stats expose.
+    @raise Invalid_argument if [periods <= warmup] or either is
+    negative. *)
+
+val efficiency : stats -> float
+(** Ratio of total achieved to total predicted throughput (1 when the
+    simulation delivers everything the equations promise); 1 when
+    nothing was predicted. *)

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Dls_util Format List Queue Stdlib

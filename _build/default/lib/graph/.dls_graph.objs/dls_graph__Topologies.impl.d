@@ -1,0 +1,1 @@
+lib/graph/topologies.ml: Array Dls_util Float Graph Hashtbl List Stdlib

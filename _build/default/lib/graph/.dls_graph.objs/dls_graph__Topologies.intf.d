@@ -1,0 +1,1 @@
+lib/graph/topologies.mli: Dls_util Graph

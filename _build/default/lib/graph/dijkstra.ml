@@ -1,0 +1,96 @@
+(* Binary-heap Dijkstra with lazy deletion.  The heap is a simple array
+   of (distance, node) pairs; stale entries are skipped on pop. *)
+
+module Heap = struct
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 16 (0.0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let run g ~weight ~src =
+  let n = Graph.num_nodes g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap (0.0, src);
+  let finished = ref false in
+  while not !finished do
+    match Heap.pop heap with
+    | None -> finished := true
+    | Some (d, u) ->
+      if d <= dist.(u) then
+        List.iter
+          (fun (v, e) ->
+            let w = weight e in
+            if w < 0.0 then invalid_arg "Dijkstra: negative weight";
+            let nd = d +. w in
+            if nd < dist.(v) then begin
+              dist.(v) <- nd;
+              parent.(v) <- u;
+              parent_edge.(v) <- e;
+              Heap.push heap (nd, v)
+            end)
+          (Graph.neighbors g u)
+  done;
+  (dist, parent, parent_edge)
+
+let distances g ~weight ~src =
+  let dist, _, _ = run g ~weight ~src in
+  dist
+
+let shortest_path g ~weight ~src ~dst =
+  let n = Graph.num_nodes g in
+  if dst < 0 || dst >= n then invalid_arg "Dijkstra: bad destination";
+  let dist, parent, parent_edge = run g ~weight ~src in
+  if Float.is_finite dist.(dst) then begin
+    let rec walk v nodes edges =
+      if v = src then (v :: nodes, edges)
+      else walk parent.(v) (v :: nodes) (parent_edge.(v) :: edges)
+    in
+    Some (walk dst [] [])
+  end
+  else None

@@ -1,0 +1,16 @@
+(** Weighted single-source shortest paths.
+
+    The platform's default routing uses hop counts ({!Graph.shortest_path}),
+    but the generator also supports latency-weighted routing — an
+    evolution the paper's conclusion calls for — which needs Dijkstra. *)
+
+val distances : Graph.t -> weight:(int -> float) -> src:int -> float array
+(** [distances g ~weight ~src] where [weight edge_id >= 0.]; unreachable
+    nodes get [infinity].
+    @raise Invalid_argument on a negative weight or bad [src]. *)
+
+val shortest_path :
+  Graph.t -> weight:(int -> float) -> src:int -> dst:int ->
+  (int list * int list) option
+(** Minimum-weight path as [(nodes, edge_ids)], like
+    {!Graph.shortest_path}. *)

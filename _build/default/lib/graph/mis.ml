@@ -1,0 +1,68 @@
+(* Branch and bound on int bitsets.  At each step, pick the remaining
+   vertex of maximum degree (within the candidate set); either exclude it
+   or include it and drop its neighborhood.  The candidate count is an
+   upper bound used for pruning. *)
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let lowest_bit_index x =
+  let rec go i x = if x land 1 = 1 then i else go (i + 1) (x lsr 1) in
+  go 0 x
+
+let max_independent_set g =
+  let n = Graph.num_nodes g in
+  if n > 62 then invalid_arg "Mis.max_independent_set: more than 62 nodes";
+  let nbr = Array.make (Stdlib.max n 1) 0 in
+  Graph.fold_edges
+    (fun _ (u, v) () ->
+      nbr.(u) <- nbr.(u) lor (1 lsl v);
+      nbr.(v) <- nbr.(v) lor (1 lsl u))
+    g ();
+  let best = ref 0 and best_set = ref 0 in
+  let rec branch candidates current size =
+    if size + popcount candidates <= !best then ()
+    else if candidates = 0 then begin
+      if size > !best then begin
+        best := size;
+        best_set := current
+      end
+    end
+    else begin
+      (* Choose the candidate with the most candidate-neighbors: removing
+         it simplifies the most. *)
+      let pick = ref (-1) and pick_deg = ref (-1) in
+      let rest = ref candidates in
+      while !rest <> 0 do
+        let v = lowest_bit_index !rest in
+        rest := !rest land (!rest - 1);
+        let d = popcount (nbr.(v) land candidates) in
+        if d > !pick_deg then begin
+          pick_deg := d;
+          pick := v
+        end
+      done;
+      let v = !pick in
+      let vbit = 1 lsl v in
+      (* Include v. *)
+      branch (candidates land lnot (vbit lor nbr.(v))) (current lor vbit) (size + 1);
+      (* Exclude v. *)
+      branch (candidates land lnot vbit) current size
+    end
+  in
+  if n > 0 then branch ((1 lsl n) - 1) 0 0;
+  let result = ref [] in
+  for v = n - 1 downto 0 do
+    if !best_set land (1 lsl v) <> 0 then result := v :: !result
+  done;
+  !result
+
+let independence_number g = List.length (max_independent_set g)
+
+let is_independent g nodes =
+  let set = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace set v ()) nodes;
+  Graph.fold_edges
+    (fun _ (u, v) ok -> ok && not (Hashtbl.mem set u && Hashtbl.mem set v))
+    g true

@@ -1,0 +1,18 @@
+(** Exact maximum independent set.
+
+    Section 4 of the paper proves NP-completeness of the steady-state
+    throughput problem by reduction from MAXIMUM-INDEPENDENT-SET.  The
+    test suite validates our implementation of that reduction in both
+    directions, which requires ground-truth MIS values; this module
+    computes them by branch and bound over bitset adjacency, exact for
+    graphs of up to 62 nodes (far beyond what the gadget tests need). *)
+
+val max_independent_set : Graph.t -> int list
+(** Nodes of one maximum independent set (sorted ascending).
+    @raise Invalid_argument for graphs with more than 62 nodes. *)
+
+val independence_number : Graph.t -> int
+(** Size of a maximum independent set. *)
+
+val is_independent : Graph.t -> int list -> bool
+(** Whether the given node set is independent (no edge inside). *)

@@ -1,0 +1,62 @@
+module Prng = Dls_util.Prng
+
+let waxman rng ~n ~alpha ~beta =
+  if n < 0 then invalid_arg "Topologies.waxman: negative node count";
+  if alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0 then
+    invalid_arg "Topologies.waxman: alpha and beta must be in (0, 1]";
+  let xs = Array.init n (fun _ -> Prng.float rng ~lo:0.0 ~hi:1.0) in
+  let ys = Array.init n (fun _ -> Prng.float rng ~lo:0.0 ~hi:1.0) in
+  let max_dist = Float.sqrt 2.0 in
+  let edges = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto u + 1 do
+      let dx = xs.(u) -. xs.(v) and dy = ys.(u) -. ys.(v) in
+      let d = Float.sqrt ((dx *. dx) +. (dy *. dy)) in
+      let p = alpha *. Float.exp (-.d /. (beta *. max_dist)) in
+      if Prng.bool rng ~p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create ~n ~edges:!edges
+
+let barabasi_albert rng ~n ~m =
+  if n < 1 then invalid_arg "Topologies.barabasi_albert: need at least one node";
+  if m < 1 then invalid_arg "Topologies.barabasi_albert: m must be >= 1";
+  let seed = Stdlib.min (m + 1) n in
+  let edges = ref [] in
+  (* Clique seed. *)
+  for u = 0 to seed - 1 do
+    for v = u + 1 to seed - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  (* Degree-proportional attachment via the repeated-endpoints trick:
+     picking a uniform endpoint of the current edge list IS picking a
+     node with probability proportional to its degree. *)
+  let endpoints = ref [] in
+  List.iter (fun (u, v) -> endpoints := u :: v :: !endpoints) !edges;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  for v = seed to n - 1 do
+    let targets = Hashtbl.create m in
+    let guard = ref (100 * (m + 1)) in
+    while Hashtbl.length targets < Stdlib.min m v && !guard > 0 do
+      decr guard;
+      let t =
+        if Array.length !endpoint_array = 0 then Prng.int rng ~lo:0 ~hi:(v - 1)
+        else Prng.pick rng !endpoint_array
+      in
+      if t < v then Hashtbl.replace targets t ()
+    done;
+    (* Fallback for degenerate seeds: fill with uniform picks. *)
+    while Hashtbl.length targets < Stdlib.min m v do
+      Hashtbl.replace targets (Prng.int rng ~lo:0 ~hi:(v - 1)) ()
+    done;
+    let new_endpoints = ref [] in
+    Hashtbl.iter
+      (fun t () ->
+        edges := (t, v) :: !edges;
+        new_endpoints := t :: v :: !new_endpoints)
+      targets;
+    endpoint_array :=
+      Array.append !endpoint_array (Array.of_list !new_endpoints)
+  done;
+  Graph.create ~n ~edges:!edges

@@ -1,0 +1,25 @@
+(** Internet-like random topology models.
+
+    The paper samples inter-cluster graphs with uniform edge probability
+    (Erdos-Renyi, {!Graph.gnp}).  The simulation literature it builds on
+    (SimGrid, GT-ITM/BRITE-style generators) favours models with
+    geography and preferential attachment; these are provided for the
+    topology-model ablation, with the same connectivity-repair
+    convention as the Table 1 generator. *)
+
+val waxman :
+  Dls_util.Prng.t -> n:int -> alpha:float -> beta:float -> Graph.t
+(** Waxman (1988): nodes are placed uniformly in the unit square and
+    each pair is joined with probability
+    [alpha * exp (-d / (beta * sqrt 2.))] where [d] is their Euclidean
+    distance — short links dominate.  [alpha] scales density in (0, 1],
+    [beta] in (0, 1] controls the reach of long links.
+    @raise Invalid_argument on parameters outside (0, 1] or negative n. *)
+
+val barabasi_albert : Dls_util.Prng.t -> n:int -> m:int -> Graph.t
+(** Barabasi-Albert preferential attachment: nodes arrive one at a time
+    and connect to [m] distinct existing nodes chosen with probability
+    proportional to their degree — yielding the heavy-tailed degree
+    distributions observed in router-level internet maps.  The first
+    [min (m+1) n] nodes form a clique seed.
+    @raise Invalid_argument if [m < 1] or [n < 1]. *)

@@ -1,0 +1,1 @@
+lib/lp/field.ml: Dls_num Float Format

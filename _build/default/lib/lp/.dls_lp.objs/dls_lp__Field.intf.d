@@ -1,0 +1,1 @@
+lib/lp/field.mli: Dls_num Format

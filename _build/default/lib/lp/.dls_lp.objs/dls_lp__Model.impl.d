@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Field Format Hashtbl List Printf Revised_simplex Simplex Solver Stdlib

@@ -1,0 +1,61 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val tolerance : t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float = struct
+  type t = float
+
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let of_float f = f
+  let to_float f = f
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg = Float.neg
+  let abs = Float.abs
+  let compare = Float.compare
+  let equal = Float.equal
+  let tolerance = 1e-9
+  let pp fmt f = Format.fprintf fmt "%g" f
+end
+
+module Exact = struct
+  module Q = Dls_num.Rat
+
+  type t = Q.t
+
+  let zero = Q.zero
+  let one = Q.one
+  let of_int = Q.of_int
+  let of_float = Q.of_float
+  let to_float = Q.to_float
+  let add = Q.add
+  let sub = Q.sub
+  let mul = Q.mul
+  let div = Q.div
+  let neg = Q.neg
+  let abs = Q.abs
+  let compare = Q.compare
+  let equal = Q.equal
+  let tolerance = Q.zero
+  let pp = Q.pp
+end

@@ -1,0 +1,39 @@
+(** Ordered-field abstraction for the simplex solver.
+
+    The solver is written once, generically, and instantiated twice:
+    {!Float} is the fast path used by the experiment sweeps (the paper
+    used the floating-point [lp_solve]); {!Exact} runs over
+    {!Dls_num.Rat} and is immune to round-off, serving as ground truth in
+    tests and as the input to exact periodic-schedule reconstruction.
+
+    [tolerance] is the magnitude under which a value is considered zero
+    by the pivoting rules; it is [1e-9] for floats and exactly zero for
+    rationals. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val tolerance : t
+  (** Non-negative; values [v] with [|v| <= tolerance] are treated as
+      zero by sign tests. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float : S with type t = float
+
+module Exact : S with type t = Dls_num.Rat.t

@@ -1,0 +1,74 @@
+(** Linear-program modeling layer.
+
+    A thin, imperative builder over {!Simplex}: named variables, linear
+    constraints, optional upper bounds (lowered to [<=] rows), and a
+    maximization objective.  The DLS encoders in [Dls_core] use this API
+    so that the same construction code produces both the float and the
+    exact-rational programs. *)
+
+module Make (F : Field.S) : sig
+  module Solver : module type of Simplex.Make (F)
+
+  type t
+  (** Mutable problem under construction. *)
+
+  type var
+  (** Handle to a non-negative decision variable of one problem. *)
+
+  val create : unit -> t
+
+  val add_var : ?name:string -> ?ub:F.t -> t -> var
+  (** New variable constrained to [0 <= x] (and [x <= ub] if given). *)
+
+  val var_name : t -> var -> string
+  (** The name given at creation, or ["x<i>"]. *)
+
+  val num_vars : t -> int
+
+  val num_constraints : t -> int
+  (** Rows added so far, not counting bound rows. *)
+
+  val add_le : t -> (var * F.t) list -> F.t -> unit
+  val add_ge : t -> (var * F.t) list -> F.t -> unit
+  val add_eq : t -> (var * F.t) list -> F.t -> unit
+
+  val set_upper_bound : t -> var -> F.t -> unit
+  (** Adds/overrides an upper bound on a variable (used by LPRR when it
+      fixes a rounded [beta_{k,l}]). The tightest bound set wins. *)
+
+  val set_objective : t -> (var * F.t) list -> unit
+  (** Maximization objective; replaces any previous objective. *)
+
+  type result = {
+    status : Solver.status;
+    objective : F.t;
+    value : var -> F.t;
+    duals : F.t array;
+    (** shadow prices of the constraints added with [add_le]/[add_ge]/
+        [add_eq], in order of addition (bound rows are not included);
+        meaningful when optimal *)
+    iterations : int;
+  }
+
+  val solve : ?max_iterations:int -> t -> result
+  (** Solving does not consume the builder: more constraints can be added
+      afterwards and the problem re-solved (LPRR does exactly this). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Debug rendering of the full program. *)
+end
+
+module Float : sig
+  include module type of struct include Make (Field.Float) end
+
+  val solve_auto : ?max_iterations:int -> t -> result
+  (** Like {!solve}, but routes programs in packed inequality form (all
+      rows [<=] with non-negative right-hand sides — the shape of every
+      DLS relaxation) to the sparse {!Revised_simplex}, falling back to
+      the dense tableau otherwise.  Identical results up to float
+      tolerance; cross-checked by the property tests. *)
+end
+(** Pre-instantiated float model (the experiments' fast path). *)
+
+module Exact : module type of struct include Make (Field.Exact) end
+(** Pre-instantiated exact-rational model (ground truth / schedules). *)

@@ -1,0 +1,406 @@
+type constr = { coeffs : (int * float) list; rhs : float }
+
+type problem = {
+  num_vars : int;
+  maximize : (int * float) list;
+  rows : constr list;
+}
+
+type status = Optimal | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  duals : float array;
+  iterations : int;
+}
+
+(* Eta matrix of one pivot: identity with column [row] replaced by the
+   (sparse) transformed entering column; [pivot] is that column's entry
+   in position [row]. *)
+type eta = {
+  row : int;
+  pivot : float;
+  idx : int array;  (* off-pivot row indices *)
+  value : float array;  (* matching off-pivot entries *)
+}
+
+let dtol = 1e-7  (* reduced-cost / pivot significance threshold *)
+let drop_tol = 1e-12  (* entries below this are not stored in etas *)
+let refactor_interval = 100
+
+type state = {
+  m : int;
+  n : int;  (* structural columns; slack j = n + i covers row i *)
+  (* CSC structural columns *)
+  col_idx : int array array;
+  col_val : float array array;
+  obj : float array;  (* length n *)
+  rhs : float array;
+  basis : int array;  (* column basic in each row *)
+  in_basis : bool array;  (* length n + m *)
+  x_basic : float array;
+  mutable etas : eta list;  (* newest first *)
+  mutable num_etas : int;
+}
+
+(* v <- B^-1 v : apply etas oldest-first. *)
+let ftran st v =
+  List.iter
+    (fun e ->
+      let t = v.(e.row) /. e.pivot in
+      if t <> 0.0 then begin
+        for k = 0 to Array.length e.idx - 1 do
+          v.(e.idx.(k)) <- v.(e.idx.(k)) -. (e.value.(k) *. t)
+        done
+      end;
+      v.(e.row) <- t)
+    (List.rev st.etas)
+
+(* y <- (B^-1)' y : apply etas newest-first. *)
+let btran st y =
+  List.iter
+    (fun e ->
+      let acc = ref y.(e.row) in
+      for k = 0 to Array.length e.idx - 1 do
+        acc := !acc -. (e.value.(k) *. y.(e.idx.(k)))
+      done;
+      y.(e.row) <- !acc /. e.pivot)
+    st.etas
+
+let scatter_column st j v =
+  Array.fill v 0 st.m 0.0;
+  if j < st.n then begin
+    let idx = st.col_idx.(j) and value = st.col_val.(j) in
+    for k = 0 to Array.length idx - 1 do
+      v.(idx.(k)) <- value.(k)
+    done
+  end
+  else v.(j - st.n) <- 1.0
+
+let pack_eta row w m =
+  let count = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs w.(i) > drop_tol then incr count
+  done;
+  let idx = Array.make !count 0 and value = Array.make !count 0.0 in
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs w.(i) > drop_tol then begin
+      idx.(!k) <- i;
+      value.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  { row; pivot = w.(row); idx; value }
+
+(* Rebuild the eta representation for the current basis set from
+   scratch (reinversion), then recompute the basic values.
+
+   Phase 1 — triangularization: repeatedly eliminate a row whose support
+   among the remaining basis columns is a singleton.  In that order each
+   column has no entry in any earlier pivot row, so its eta is the raw
+   column — no ftran, no fill-in.  Phase 2 — the residual "bump" is
+   pivoted generically with partial pivoting over the unused rows.  Row
+   assignments may permute, so [basis] is rewritten accordingly. *)
+let refactor st =
+  let columns = Array.copy st.basis in
+  let ncols = Array.length columns in
+  st.etas <- [];
+  st.num_etas <- 0;
+  let row_used = Array.make st.m false in
+  let col_done = Array.make ncols false in
+  (* Support of each basis column restricted to rows; per-row incidence
+     lists of basis-column positions. *)
+  let support c =
+    let j = columns.(c) in
+    if j >= st.n then [| j - st.n |] else st.col_idx.(j)
+  in
+  let entry_of c i =
+    let j = columns.(c) in
+    if j >= st.n then 1.0
+    else begin
+      let idx = st.col_idx.(j) and value = st.col_val.(j) in
+      let rec find k = if idx.(k) = i then value.(k) else find (k + 1) in
+      find 0
+    end
+  in
+  let row_cols = Array.make st.m [] in
+  let row_count = Array.make st.m 0 in
+  Array.iteri
+    (fun c _ ->
+      Array.iter
+        (fun i ->
+          row_cols.(i) <- c :: row_cols.(i);
+          row_count.(i) <- row_count.(i) + 1)
+        (support c))
+    columns;
+  let singletons = Queue.create () in
+  for i = 0 to st.m - 1 do
+    if row_count.(i) = 1 then Queue.add i singletons
+  done;
+  let push_raw_eta c r =
+    (* Raw column as eta; identity etas (unit slack columns) are not
+       stored at all. *)
+    let j = columns.(c) in
+    if j >= st.n then ()
+    else begin
+      let idx = st.col_idx.(j) and value = st.col_val.(j) in
+      let keep = ref 0 in
+      Array.iteri (fun k i -> if i <> r && Float.abs value.(k) > drop_tol then incr keep) idx;
+      if !keep = 0 && Float.abs (entry_of c r -. 1.0) < 1e-15 then ()
+      else begin
+        let oidx = Array.make !keep 0 and oval = Array.make !keep 0.0 in
+        let k' = ref 0 in
+        Array.iteri
+          (fun k i ->
+            if i <> r && Float.abs value.(k) > drop_tol then begin
+              oidx.(!k') <- i;
+              oval.(!k') <- value.(k);
+              incr k'
+            end)
+          idx;
+        st.etas <- { row = r; pivot = entry_of c r; idx = oidx; value = oval } :: st.etas;
+        st.num_etas <- st.num_etas + 1
+      end
+    end
+  in
+  (* Phase 1: triangular prefix. *)
+  while not (Queue.is_empty singletons) do
+    let r = Queue.pop singletons in
+    if (not row_used.(r)) && row_count.(r) = 1 then begin
+      match List.find_opt (fun c -> not col_done.(c)) row_cols.(r) with
+      | Some c when Float.abs (entry_of c r) > drop_tol ->
+        row_used.(r) <- true;
+        col_done.(c) <- true;
+        st.basis.(r) <- columns.(c);
+        push_raw_eta c r;
+        (* Retire the column: decrement the counts of its other rows. *)
+        Array.iter
+          (fun i ->
+            if not row_used.(i) then begin
+              row_count.(i) <- row_count.(i) - 1;
+              if row_count.(i) = 1 then Queue.add i singletons
+            end)
+          (support c)
+      | Some _ | None -> ()
+    end
+  done;
+  (* Phase 2: generic PFI pivoting of the residual bump. *)
+  let w = Array.make st.m 0.0 in
+  let ok = ref true in
+  for c = 0 to ncols - 1 do
+    if !ok && not col_done.(c) then begin
+      scatter_column st columns.(c) w;
+      ftran st w;
+      let best = ref (-1) and best_mag = ref 0.0 in
+      for i = 0 to st.m - 1 do
+        if (not row_used.(i)) && Float.abs w.(i) > !best_mag then begin
+          best := i;
+          best_mag := Float.abs w.(i)
+        end
+      done;
+      if !best < 0 || !best_mag < drop_tol then ok := false
+      else begin
+        let r = !best in
+        row_used.(r) <- true;
+        col_done.(c) <- true;
+        st.basis.(r) <- columns.(c);
+        st.etas <- pack_eta r w st.m :: st.etas;
+        st.num_etas <- st.num_etas + 1
+      end
+    end
+  done;
+  if not !ok then begin
+    (* Singular refactorization (numerical breakdown): fall back to the
+       all-slack basis; the outer loop re-optimizes from there. *)
+    st.etas <- [];
+    st.num_etas <- 0;
+    Array.fill st.in_basis 0 (st.n + st.m) false;
+    for i = 0 to st.m - 1 do
+      st.basis.(i) <- st.n + i;
+      st.in_basis.(st.n + i) <- true
+    done
+  end;
+  (* Recompute basic values x_B = B^-1 b. *)
+  Array.blit st.rhs 0 st.x_basic 0 st.m;
+  ftran st st.x_basic;
+  for i = 0 to st.m - 1 do
+    if st.x_basic.(i) < 0.0 && st.x_basic.(i) > -1e-6 then st.x_basic.(i) <- 0.0
+  done
+
+let build problem =
+  let rows = Array.of_list problem.rows in
+  let m = Array.length rows in
+  let n = problem.num_vars in
+  (* Transpose the row-wise input into compressed columns, summing
+     duplicate coefficients. *)
+  let per_col = Array.make n [] in
+  Array.iteri
+    (fun i (r : constr) ->
+      if r.rhs < 0.0 then
+        invalid_arg "Revised_simplex.solve: negative right-hand side";
+      let merged = Hashtbl.create 8 in
+      List.iter
+        (fun (j, v) ->
+          if j < 0 || j >= n then
+            invalid_arg
+              (Printf.sprintf "Revised_simplex.solve: variable index %d out of range" j);
+          Hashtbl.replace merged j
+            (v +. Option.value ~default:0.0 (Hashtbl.find_opt merged j)))
+        r.coeffs;
+      Hashtbl.iter (fun j v -> if v <> 0.0 then per_col.(j) <- (i, v) :: per_col.(j)) merged)
+    rows;
+  let col_idx = Array.map (fun l -> Array.of_list (List.rev_map fst l)) per_col in
+  let col_val = Array.map (fun l -> Array.of_list (List.rev_map snd l)) per_col in
+  let obj = Array.make n 0.0 in
+  List.iter
+    (fun (j, v) ->
+      if j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "Revised_simplex.solve: objective index %d out of range" j);
+      obj.(j) <- obj.(j) +. v)
+    problem.maximize;
+  let rhs = Array.map (fun (r : constr) -> r.rhs) rows in
+  let basis = Array.init m (fun i -> n + i) in
+  let in_basis = Array.make (n + m) false in
+  for i = 0 to m - 1 do
+    in_basis.(n + i) <- true
+  done;
+  { m; n; col_idx; col_val; obj; rhs; basis; in_basis;
+    x_basic = Array.copy rhs; etas = []; num_etas = 0 }
+
+let objective_value st =
+  let z = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let j = st.basis.(i) in
+    if j < st.n then z := !z +. (st.obj.(j) *. st.x_basic.(i))
+  done;
+  !z
+
+let solve ?max_iterations problem =
+  let st = build problem in
+  let total_cols = st.n + st.m in
+  let budget =
+    match max_iterations with
+    | Some b -> b
+    | None -> 2000 + (60 * (st.m + total_cols))
+  in
+  let iterations = ref 0 in
+  let y = Array.make st.m 0.0 in
+  let w = Array.make st.m 0.0 in
+  let stall = ref 0 in
+  let stall_limit = 4 * (st.m + total_cols) in
+  let bland = ref false in
+  let last_z = ref neg_infinity in
+  let result = ref None in
+  while !result = None do
+    if !iterations >= budget then result := Some Iteration_limit
+    else begin
+      if st.num_etas >= refactor_interval then refactor st;
+      (* Pricing: y = (B^-1)' c_B, then reduced costs per nonbasic column. *)
+      Array.fill y 0 st.m 0.0;
+      for i = 0 to st.m - 1 do
+        let j = st.basis.(i) in
+        if j < st.n then y.(i) <- st.obj.(j)
+      done;
+      btran st y;
+      let reduced j =
+        if j < st.n then begin
+          let idx = st.col_idx.(j) and value = st.col_val.(j) in
+          let dot = ref 0.0 in
+          for k = 0 to Array.length idx - 1 do
+            dot := !dot +. (value.(k) *. y.(idx.(k)))
+          done;
+          st.obj.(j) -. !dot
+        end
+        else -.y.(j - st.n)
+      in
+      let entering = ref (-1) in
+      if !bland then begin
+        let j = ref 0 in
+        while !entering < 0 && !j < total_cols do
+          if (not st.in_basis.(!j)) && reduced !j > dtol then entering := !j;
+          incr j
+        done
+      end
+      else begin
+        let best = ref dtol in
+        for j = 0 to total_cols - 1 do
+          if not st.in_basis.(j) then begin
+            let d = reduced j in
+            if d > !best then begin
+              best := d;
+              entering := j
+            end
+          end
+        done
+      end;
+      if !entering < 0 then result := Some Optimal
+      else begin
+        let q = !entering in
+        scatter_column st q w;
+        ftran st w;
+        (* Ratio test with Bland tie-breaking. *)
+        let leave = ref (-1) and theta = ref infinity in
+        for i = 0 to st.m - 1 do
+          if w.(i) > dtol then begin
+            let ratio = st.x_basic.(i) /. w.(i) in
+            if
+              !leave < 0
+              || ratio < !theta -. 1e-12
+              || (Float.abs (ratio -. !theta) <= 1e-12
+                  && st.basis.(i) < st.basis.(!leave))
+            then begin
+              leave := i;
+              theta := ratio
+            end
+          end
+        done;
+        if !leave < 0 then result := Some Unbounded
+        else begin
+          let r = !leave in
+          let theta = Float.max 0.0 !theta in
+          for i = 0 to st.m - 1 do
+            if i <> r then st.x_basic.(i) <- st.x_basic.(i) -. (w.(i) *. theta)
+          done;
+          st.x_basic.(r) <- theta;
+          st.in_basis.(st.basis.(r)) <- false;
+          st.in_basis.(q) <- true;
+          st.basis.(r) <- q;
+          st.etas <- pack_eta r w st.m :: st.etas;
+          st.num_etas <- st.num_etas + 1;
+          incr iterations;
+          let z = objective_value st in
+          if z > !last_z +. 1e-12 then begin
+            last_z := z;
+            stall := 0
+          end
+          else begin
+            incr stall;
+            if !stall > stall_limit then bland := true
+          end
+        end
+      end
+    end
+  done;
+  let status = match !result with Some s -> s | None -> assert false in
+  let values = Array.make st.n 0.0 in
+  let duals = Array.make st.m 0.0 in
+  if status = Optimal then begin
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      if j < st.n then values.(j) <- Float.max 0.0 st.x_basic.(i)
+    done;
+    (* Dual vector y = (B^-1)' c_B at the optimal basis. *)
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      duals.(i) <- (if j < st.n then st.obj.(j) else 0.0)
+    done;
+    btran st duals
+  end;
+  let objective =
+    Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> st.obj.(j) *. v) values)
+  in
+  { status; objective; values; duals; iterations = !iterations }

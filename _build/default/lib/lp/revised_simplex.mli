@@ -1,0 +1,45 @@
+(** Sparse revised simplex with product-form-of-inverse updates.
+
+    The dense tableau of {!Simplex} costs O(m * (n + m)) memory and per
+    pivot; the DLS relaxations are extremely sparse (each alpha variable
+    touches at most four rows), so at the paper's largest K = 95 the
+    dense tableau wastes almost all of its work.  This solver keeps the
+    constraint matrix in compressed column form and represents the basis
+    inverse as a product of eta matrices, refactorized periodically for
+    numerical hygiene — the classical revised simplex (Dantzig pricing
+    with a stall-triggered switch to Bland's rule, Harris-free ratio
+    test with Bland tie-breaking).
+
+    Scope: the packed inequality form the steady-state relaxation
+    naturally has — maximize [c . x] subject to [A x <= b] with
+    [x >= 0] and [b >= 0] — so the all-slack basis is feasible and no
+    phase 1 is needed.  {!Model.Float.solve_auto} routes eligible
+    programs here and everything else to the dense tableau; both engines
+    are cross-checked on random programs in the test suite. *)
+
+type constr = {
+  coeffs : (int * float) list;  (** duplicate indices are summed *)
+  rhs : float;  (** must be [>= 0] *)
+}
+
+type problem = {
+  num_vars : int;
+  maximize : (int * float) list;
+  rows : constr list;
+}
+
+type status = Optimal | Unbounded | Iteration_limit
+
+type solution = {
+  status : status;
+  objective : float;
+  values : float array;
+  duals : float array;
+  (** one non-negative shadow price per row when optimal; strong
+      duality [sum duals_i * rhs_i = objective] holds and is tested *)
+  iterations : int;
+}
+
+val solve : ?max_iterations:int -> problem -> solution
+(** @raise Invalid_argument on an out-of-range variable index or a
+    negative right-hand side. *)

@@ -1,0 +1,323 @@
+module Make (F : Field.S) = struct
+  type cmp = Le | Ge | Eq
+
+  type constr = { coeffs : (int * F.t) list; cmp : cmp; rhs : F.t }
+
+  type problem = {
+    num_vars : int;
+    maximize : (int * F.t) list;
+    rows : constr list;
+  }
+
+  type status = Optimal | Infeasible | Unbounded | Iteration_limit
+
+  type solution = {
+    status : status;
+    objective : F.t;
+    values : F.t array;
+    duals : F.t array;
+    iterations : int;
+  }
+
+  let neg_tol = F.neg F.tolerance
+  let is_pos v = F.compare v F.tolerance > 0
+  let is_neg v = F.compare v neg_tol < 0
+  let is_nonzero v = is_pos v || is_neg v
+
+  (* Mutable solver state: [tab] is the m x (ncols+1) tableau with the
+     right-hand side in the last column; [basis.(i)] is the column basic
+     in row [i]. *)
+  type state = {
+    tab : F.t array array;
+    basis : int array;
+    m : int;
+    ncols : int;
+    art_start : int;  (* columns >= art_start are artificial *)
+  }
+
+  let pivot st obj_row r c =
+    let row_r = st.tab.(r) in
+    let piv = row_r.(c) in
+    if not (F.equal piv F.one) then begin
+      let inv = F.div F.one piv in
+      for j = 0 to st.ncols do
+        if is_nonzero row_r.(j) then row_r.(j) <- F.mul row_r.(j) inv
+        else row_r.(j) <- F.zero
+      done;
+      row_r.(c) <- F.one
+    end;
+    let eliminate row =
+      let f = row.(c) in
+      if is_nonzero f then begin
+        for j = 0 to st.ncols do
+          if is_nonzero row_r.(j) then row.(j) <- F.sub row.(j) (F.mul f row_r.(j))
+        done;
+        row.(c) <- F.zero
+      end
+    in
+    for i = 0 to st.m - 1 do
+      if i <> r then eliminate st.tab.(i)
+    done;
+    eliminate obj_row;
+    st.basis.(r) <- c
+
+  (* Entering column by Dantzig's rule (largest positive reduced cost),
+     or Bland's rule (smallest admissible index) when [bland] is set. *)
+  let entering st obj_row ~allowed ~bland =
+    if bland then begin
+      let rec find j =
+        if j >= st.ncols then None
+        else if allowed j && is_pos obj_row.(j) then Some j
+        else find (j + 1)
+      in
+      find 0
+    end
+    else begin
+      let best = ref (-1) and best_v = ref F.tolerance in
+      for j = 0 to st.ncols - 1 do
+        if allowed j && F.compare obj_row.(j) !best_v > 0 then begin
+          best := j;
+          best_v := obj_row.(j)
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+
+  (* Minimum-ratio test; ties broken by smallest basis column, which
+     together with Bland's entering rule prevents cycling. *)
+  let leaving st c =
+    let best = ref (-1) and best_ratio = ref F.zero in
+    for i = 0 to st.m - 1 do
+      let a = st.tab.(i).(c) in
+      if is_pos a then begin
+        let ratio = F.div st.tab.(i).(st.ncols) a in
+        if
+          !best < 0
+          || F.compare ratio !best_ratio < 0
+          || (F.compare ratio !best_ratio = 0 && st.basis.(i) < st.basis.(!best))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+
+  type phase_outcome = Phase_optimal | Phase_unbounded | Phase_limit
+
+  (* Run pivots until no entering column remains.  Switches to Bland's
+     rule permanently after [stall_limit] pivots without objective
+     progress (degenerate cycling guard). *)
+  let run_phase st obj_row ~allowed ~budget ~iterations =
+    let stall_limit = 4 * (st.m + st.ncols) in
+    let stall = ref 0 in
+    let bland = ref false in
+    let outcome = ref None in
+    while !outcome = None do
+      if !iterations >= budget then outcome := Some Phase_limit
+      else begin
+        match entering st obj_row ~allowed ~bland:!bland with
+        | None -> outcome := Some Phase_optimal
+        | Some c -> begin
+          match leaving st c with
+          | None -> outcome := Some Phase_unbounded
+          | Some r ->
+            let before = obj_row.(st.ncols) in
+            pivot st obj_row r c;
+            incr iterations;
+            (* The objective cell decreases as the objective improves
+               (we subtract gain from it); equality means a degenerate
+               pivot. *)
+            if F.compare obj_row.(st.ncols) before < 0 then stall := 0
+            else begin
+              incr stall;
+              if !stall > stall_limit then bland := true
+            end
+        end
+      end
+    done;
+    match !outcome with Some o -> o | None -> assert false
+
+  let build problem =
+    let rows = Array.of_list problem.rows in
+    let m = Array.length rows in
+    let n = problem.num_vars in
+    (* Normalize to non-negative right-hand sides, remembering which
+       rows were negated (their duals flip sign back on extraction). *)
+    let flipped = Array.make m false in
+    let rows =
+      Array.mapi
+        (fun i r ->
+          if F.compare r.rhs F.zero < 0 then begin
+            flipped.(i) <- true;
+            { coeffs = List.map (fun (j, v) -> (j, F.neg v)) r.coeffs;
+              cmp = (match r.cmp with Le -> Ge | Ge -> Le | Eq -> Eq);
+              rhs = F.neg r.rhs }
+          end
+          else r)
+        rows
+    in
+    let n_slack =
+      Array.fold_left
+        (fun acc r -> match r.cmp with Le | Ge -> acc + 1 | Eq -> acc)
+        0 rows
+    in
+    let n_art =
+      Array.fold_left
+        (fun acc r -> match r.cmp with Ge | Eq -> acc + 1 | Le -> acc)
+        0 rows
+    in
+    let art_start = n + n_slack in
+    let ncols = n + n_slack + n_art in
+    let tab = Array.init m (fun _ -> Array.make (ncols + 1) F.zero) in
+    let basis = Array.make m (-1) in
+    (* Per original row: the column whose final reduced cost encodes the
+       row's dual, and the sign relating them (slack/artificial carry
+       -y_i, a surplus column carries +y_i; a flipped row negates). *)
+    let dual_col = Array.make m (-1) in
+    let dual_sign = Array.make m F.one in
+    let next_slack = ref n and next_art = ref art_start in
+    Array.iteri
+      (fun i r ->
+        List.iter
+          (fun (j, v) ->
+            if j < 0 || j >= n then
+              invalid_arg
+                (Printf.sprintf "Simplex.solve: variable index %d out of range" j);
+            tab.(i).(j) <- F.add tab.(i).(j) v)
+          r.coeffs;
+        tab.(i).(ncols) <- r.rhs;
+        let flip v = if flipped.(i) then F.neg v else v in
+        (match r.cmp with
+         | Le ->
+           tab.(i).(!next_slack) <- F.one;
+           basis.(i) <- !next_slack;
+           dual_col.(i) <- !next_slack;
+           dual_sign.(i) <- flip (F.neg F.one);
+           incr next_slack
+         | Ge ->
+           tab.(i).(!next_slack) <- F.neg F.one;
+           dual_col.(i) <- !next_slack;
+           dual_sign.(i) <- flip F.one;
+           incr next_slack;
+           tab.(i).(!next_art) <- F.one;
+           basis.(i) <- !next_art;
+           incr next_art
+         | Eq ->
+           tab.(i).(!next_art) <- F.one;
+           basis.(i) <- !next_art;
+           dual_col.(i) <- !next_art;
+           dual_sign.(i) <- flip (F.neg F.one);
+           incr next_art))
+      rows;
+    ({ tab; basis; m; ncols; art_start }, n_art, dual_col, dual_sign)
+
+  (* Phase 1: drive artificials out of the basis.  The "w row" is the
+     sum of all artificial rows restricted to non-artificial columns;
+     its rhs cell equals the current total artificial value. *)
+  let phase1 st ~budget ~iterations =
+    let w = Array.make (st.ncols + 1) F.zero in
+    for i = 0 to st.m - 1 do
+      if st.basis.(i) >= st.art_start then
+        for j = 0 to st.ncols do
+          if j < st.art_start || j = st.ncols then
+            w.(j) <- F.add w.(j) st.tab.(i).(j)
+        done
+    done;
+    let allowed j = j < st.art_start in
+    match run_phase st w ~allowed ~budget ~iterations with
+    | Phase_limit -> `Limit
+    | Phase_unbounded ->
+      (* The phase-1 objective is bounded below by zero; unboundedness
+         cannot occur. *)
+      assert false
+    | Phase_optimal ->
+      if is_pos w.(st.ncols) then `Infeasible
+      else begin
+        (* Pivot any remaining (zero-valued) basic artificials out; a row
+           with no admissible pivot is redundant and is blanked. *)
+        for i = 0 to st.m - 1 do
+          if st.basis.(i) >= st.art_start then begin
+            let row = st.tab.(i) in
+            let col = ref (-1) in
+            let j = ref 0 in
+            while !col < 0 && !j < st.art_start do
+              if is_nonzero row.(!j) then col := !j;
+              incr j
+            done;
+            if !col >= 0 then begin
+              pivot st w i !col;
+              incr iterations
+            end
+            else
+              for j = 0 to st.art_start - 1 do
+                row.(j) <- F.zero
+              done
+          end
+        done;
+        `Feasible
+      end
+
+  let default_budget st = 2000 + (60 * (st.m + st.ncols))
+
+  let solve ?max_iterations problem =
+    let st, n_art, dual_col, dual_sign = build problem in
+    let budget =
+      match max_iterations with Some b -> b | None -> default_budget st
+    in
+    let iterations = ref 0 in
+    let finish ?obj_row status =
+      let values = Array.make problem.num_vars F.zero in
+      if status = Optimal then
+        for i = 0 to st.m - 1 do
+          let b = st.basis.(i) in
+          if b >= 0 && b < problem.num_vars then values.(b) <- st.tab.(i).(st.ncols)
+        done;
+      let objective =
+        List.fold_left
+          (fun acc (j, c) -> F.add acc (F.mul c values.(j)))
+          F.zero problem.maximize
+      in
+      let duals = Array.make st.m F.zero in
+      (match (status, obj_row) with
+       | Optimal, Some obj ->
+         for i = 0 to st.m - 1 do
+           duals.(i) <- F.mul dual_sign.(i) obj.(dual_col.(i))
+         done
+       | _ -> ());
+      { status; objective; values; duals; iterations = !iterations }
+    in
+    let feasible =
+      if n_art = 0 then `Feasible else phase1 st ~budget ~iterations
+    in
+    match feasible with
+    | `Infeasible -> finish Infeasible
+    | `Limit -> finish Iteration_limit
+    | `Feasible ->
+      (* Phase 2: rebuild the reduced-cost row for the true objective and
+         eliminate the current basic columns from it. *)
+      let obj = Array.make (st.ncols + 1) F.zero in
+      List.iter
+        (fun (j, c) ->
+          if j < 0 || j >= problem.num_vars then
+            invalid_arg
+              (Printf.sprintf "Simplex.solve: objective index %d out of range" j);
+          obj.(j) <- F.add obj.(j) c)
+        problem.maximize;
+      for i = 0 to st.m - 1 do
+        let b = st.basis.(i) in
+        let f = obj.(b) in
+        if is_nonzero f then begin
+          let row = st.tab.(i) in
+          for j = 0 to st.ncols do
+            if is_nonzero row.(j) then obj.(j) <- F.sub obj.(j) (F.mul f row.(j))
+          done;
+          obj.(b) <- F.zero
+        end
+      done;
+      let allowed j = j < st.art_start in
+      (match run_phase st obj ~allowed ~budget ~iterations with
+       | Phase_optimal -> finish ~obj_row:obj Optimal
+       | Phase_unbounded -> finish Unbounded
+       | Phase_limit -> finish Iteration_limit)
+end

@@ -1,0 +1,60 @@
+(** Dense two-phase primal simplex, generic over an ordered field.
+
+    This replaces the [lp_solve] package used in the paper (no LP solver
+    exists in the sealed environment).  The algorithm is the classical
+    full-tableau method: rows are normalized to non-negative right-hand
+    sides, slack/surplus columns are added for inequalities and
+    artificial columns for [>=]/[=] rows, phase 1 drives the artificials
+    to zero (or proves infeasibility), and phase 2 maximizes the user
+    objective.  Entering columns follow Dantzig's rule (largest reduced
+    cost) and fall back to Bland's rule permanently once the objective
+    stalls, which guarantees termination even on degenerate or exact-
+    arithmetic instances.
+
+    The DLS steady-state relaxation built in {!Dls_core} only produces
+    [<=] rows with non-negative right-hand sides, so it runs pure
+    phase 2 from the all-slack basis; the phase-1 machinery is exercised
+    by other users and by the test suite. *)
+
+module Make (F : Field.S) : sig
+  type cmp = Le | Ge | Eq
+
+  type constr = {
+    coeffs : (int * F.t) list;  (** variable index, coefficient; duplicate indices are summed *)
+    cmp : cmp;
+    rhs : F.t;
+  }
+
+  type problem = {
+    num_vars : int;  (** structural variables [0 .. num_vars-1], all constrained [>= 0] *)
+    maximize : (int * F.t) list;  (** objective terms; maximization *)
+    rows : constr list;
+  }
+
+  type status =
+    | Optimal
+    | Infeasible
+    | Unbounded
+    | Iteration_limit  (** pivot budget exhausted before convergence *)
+
+  type solution = {
+    status : status;
+    objective : F.t;  (** meaningful only when [status = Optimal] *)
+    values : F.t array;  (** length [num_vars]; primal values when optimal *)
+    duals : F.t array;
+    (** one multiplier per input row (in order), meaningful when
+        optimal: the shadow price of the row's right-hand side.  For a
+        maximization, [<=] rows have non-negative duals, [>=] rows
+        non-positive, and strong duality gives
+        [sum_i duals_i * rhs_i = objective] — both checked by the test
+        suite. *)
+    iterations : int;  (** total pivots over both phases *)
+  }
+
+  val solve : ?max_iterations:int -> problem -> solution
+  (** [solve p] maximizes [p.maximize] subject to [p.rows] and x >= 0.
+      [max_iterations] defaults to a generous budget proportional to the
+      problem size.
+      @raise Invalid_argument if a coefficient references a variable
+      index outside [0 .. num_vars-1]. *)
+end

@@ -1,0 +1,481 @@
+(* Sign-magnitude bignums in base 2^31.
+
+   Invariants:
+   - [mag] is little-endian with no trailing (most-significant) zero limb;
+   - [sign] is 0 iff [mag] is empty, otherwise -1 or 1;
+   - every limb is in [0, 2^31).
+
+   Base 2^31 is the largest power of two for which both the schoolbook
+   product limb*limb + limb + carry and the Knuth-D two-limb dividend
+   hi*base + lo stay below 2^62, hence inside OCaml's 63-bit [int]. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let digit_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives (arrays of limbs, always interpreted >= 0).    *)
+(* ------------------------------------------------------------------ *)
+
+let mag_is_zero m = Array.length m = 0
+
+let mag_trim m =
+  let n = ref (Array.length m) in
+  while !n > 0 && m.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length m then m else Array.sub m 0 !n
+
+let mag_compare a b =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Stdlib.compare na nb
+  else begin
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (na - 1)
+  end
+
+let mag_add a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = Stdlib.max na nb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let da = if i < na then a.(i) else 0 in
+    let db = if i < nb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land digit_mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  mag_trim r
+
+(* Precondition: a >= b. *)
+let mag_sub a b =
+  let na = Array.length a and nb = Array.length b in
+  let r = Array.make na 0 in
+  let borrow = ref 0 in
+  for i = 0 to na - 1 do
+    let db = if i < nb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  mag_trim r
+
+let mag_mul a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then [||]
+  else begin
+    let r = Array.make (na + nb) 0 in
+    for i = 0 to na - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to nb - 1 do
+          let t = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- t land digit_mask;
+          carry := t lsr base_bits
+        done;
+        let k = ref (i + nb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land digit_mask;
+          carry := t lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_trim r
+  end
+
+(* Multiply magnitude by a small non-negative int < base. *)
+let mag_mul_small a d =
+  if d = 0 || mag_is_zero a then [||]
+  else begin
+    let na = Array.length a in
+    let r = Array.make (na + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to na - 1 do
+      let t = (a.(i) * d) + !carry in
+      r.(i) <- t land digit_mask;
+      carry := t lsr base_bits
+    done;
+    r.(na) <- !carry;
+    mag_trim r
+  end
+
+let mag_add_small a d =
+  if d = 0 then a
+  else begin
+    let na = Array.length a in
+    let r = Array.make (na + 1) 0 in
+    Array.blit a 0 r 0 na;
+    let carry = ref d in
+    let i = ref 0 in
+    while !carry <> 0 do
+      let t = r.(!i) + !carry in
+      r.(!i) <- t land digit_mask;
+      carry := t lsr base_bits;
+      incr i
+    done;
+    mag_trim r
+  end
+
+(* Divide magnitude by a small positive int < base; returns (q, r). *)
+let mag_divmod_small a d =
+  assert (d > 0 && d < base);
+  let na = Array.length a in
+  let q = Array.make na 0 in
+  let rem = ref 0 in
+  for i = na - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (mag_trim q, !rem)
+
+let mag_shift_left_bits a s =
+  assert (s >= 0 && s < base_bits);
+  if s = 0 || mag_is_zero a then Array.copy a
+  else begin
+    let na = Array.length a in
+    let r = Array.make (na + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to na - 1 do
+      let t = (a.(i) lsl s) lor !carry in
+      r.(i) <- t land digit_mask;
+      carry := t lsr base_bits
+    done;
+    r.(na) <- !carry;
+    mag_trim r
+  end
+
+let mag_shift_right_bits a s =
+  assert (s >= 0 && s < base_bits);
+  if s = 0 then Array.copy a
+  else begin
+    let na = Array.length a in
+    if na = 0 then [||]
+    else begin
+      let r = Array.make na 0 in
+      for i = 0 to na - 1 do
+        let hi = if i + 1 < na then a.(i + 1) else 0 in
+        r.(i) <- (a.(i) lsr s) lor ((hi lsl (base_bits - s)) land digit_mask)
+      done;
+      mag_trim r
+    end
+  end
+
+(* Knuth TAOCP vol.2 algorithm D.  Preconditions: |v| >= 2 limbs,
+   u >= 0, v has no leading zero limb. *)
+let mag_divmod_knuth u v =
+  let n = Array.length v in
+  let m = Array.length u - n in
+  if m < 0 then ([||], Array.copy u)
+  else begin
+    (* Normalize so that the top limb of v has its high bit set. *)
+    let s =
+      let top = v.(n - 1) in
+      let rec count s = if top lsl s land (base lsr 1) <> 0 then s else count (s + 1) in
+      count 0
+    in
+    let vn = mag_shift_left_bits v s in
+    let vn = if Array.length vn < n then Array.append vn (Array.make (n - Array.length vn) 0) else vn in
+    let un =
+      let shifted = mag_shift_left_bits u s in
+      let need = Array.length u + 1 in
+      if Array.length shifted < need then
+        Array.append shifted (Array.make (need - Array.length shifted) 0)
+      else shifted
+    in
+    let q = Array.make (m + 1) 0 in
+    for j = m downto 0 do
+      (* The invariant u.(j+n) <= v.(n-1) keeps [num] below base^2,
+         inside the 63-bit int.  The [rhat < base] guard below is load-
+         bearing: it both terminates the adjustment (Knuth D3) and keeps
+         [rhat * base] from overflowing. *)
+      let num = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+      let qhat = ref (num / vn.(n - 1)) in
+      let rhat = ref (num mod vn.(n - 1)) in
+      let adjusting = ref true in
+      while !adjusting do
+        if
+          !qhat >= base
+          || (!rhat < base
+              && !qhat * vn.(n - 2) > (!rhat lsl base_bits) lor un.(j + n - 2))
+        then begin
+          decr qhat;
+          rhat := !rhat + vn.(n - 1);
+          if !rhat >= base then adjusting := false
+        end
+        else adjusting := false
+      done;
+      (* Multiply-subtract qhat * vn from un[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !carry in
+        carry := p lsr base_bits;
+        let sub = un.(j + i) - (p land digit_mask) - !borrow in
+        if sub < 0 then begin
+          un.(j + i) <- sub + base;
+          borrow := 1
+        end
+        else begin
+          un.(j + i) <- sub;
+          borrow := 0
+        end
+      done;
+      let sub = un.(j + n) - !carry - !borrow in
+      if sub < 0 then begin
+        (* qhat was one too large: add vn back. *)
+        un.(j + n) <- sub + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let t = un.(j + i) + vn.(i) + !carry2 in
+          un.(j + i) <- t land digit_mask;
+          carry2 := t lsr base_bits
+        done;
+        un.(j + n) <- (un.(j + n) + !carry2) land digit_mask
+      end
+      else un.(j + n) <- sub;
+      q.(j) <- !qhat
+    done;
+    let r = mag_shift_right_bits (mag_trim (Array.sub un 0 n)) s in
+    (mag_trim q, r)
+  end
+
+let mag_divmod u v =
+  if mag_is_zero v then raise Division_by_zero;
+  if mag_compare u v < 0 then ([||], Array.copy u)
+  else if Array.length v = 1 then begin
+    let q, r = mag_divmod_small u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else mag_divmod_knuth u v
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_trim mag in
+  if mag_is_zero mag then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* Work with negative values throughout: min_int has no positive
+       counterpart in a 63-bit int. *)
+    let rec limbs acc n =
+      if n = 0 then acc else limbs (-(n mod base) :: acc) (n / base)
+    in
+    let msb_first = limbs [] (if n < 0 then n else -n) in
+    let mag = Array.of_list (List.rev msb_first) in
+    { sign; mag = mag_trim mag }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let equal a b = a.sign = b.sign && mag_compare a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else begin
+    match a.sign with
+    | 0 -> 0
+    | 1 -> mag_compare a.mag b.mag
+    | _ -> mag_compare b.mag a.mag
+  end
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
+  else begin
+    match mag_compare a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> { sign = a.sign; mag = mag_sub a.mag b.mag }
+    | _ -> { sign = b.sign; mag = mag_sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = mag_divmod a.mag b.mag in
+  let q = make (a.sign * b.sign) qm in
+  let r = make a.sign rm in
+  (q, r)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (sub q one, add r b)
+  else (add q one, sub r b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else abs (mul (div a (gcd a b)) b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bigint.shift_left: negative count";
+  if t.sign = 0 then t
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let shifted = mag_shift_left_bits t.mag bits in
+    let mag =
+      if limbs = 0 then shifted
+      else Array.append (Array.make limbs 0) shifted
+    in
+    { t with mag }
+  end
+
+let succ t = add t one
+let pred t = sub t one
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int t =
+  (* Native ints hold magnitudes up to 2^62 - 1, or exactly 2^62 for the
+     negative extreme (min_int).  Magnitudes of up to 3 limbs (93 bits)
+     are reconstructed negatively to cover min_int without overflow. *)
+  let n = Array.length t.mag in
+  if n > 3 then None
+  else if n = 3 then
+    (* A 3-limb magnitude is >= 2^62; only -2^62 (min_int) fits. *)
+    if t.sign < 0 && t.mag.(2) = 1 && t.mag.(1) = 0 && t.mag.(0) = 0 then
+      Some Stdlib.min_int
+    else None
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    Some (t.sign * !v)
+  end
+
+let fits_int t = to_int t <> None
+
+let to_int_exn t =
+  match to_int t with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int_exn: does not fit in int"
+
+let to_float t =
+  let scale = float_of_int base in
+  let v = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v *. scale) +. float_of_int t.mag.(i)
+  done;
+  float_of_int t.sign *. !v
+
+let num_bits t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else begin
+    let top = t.mag.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * base_bits) + width 1
+  end
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let chunks = ref [] in
+    let m = ref t.mag in
+    while not (mag_is_zero !m) do
+      let q, r = mag_divmod_small !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let mag = ref [||] in
+  let i = ref start in
+  while !i < len do
+    let stop = Stdlib.min len (!i + 9) in
+    let chunk_len = stop - !i in
+    let chunk = String.sub s !i chunk_len in
+    String.iter
+      (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit")
+      chunk;
+    let v = int_of_string chunk in
+    let pow10 =
+      match chunk_len with
+      | 1 -> 10 | 2 -> 100 | 3 -> 1_000 | 4 -> 10_000 | 5 -> 100_000
+      | 6 -> 1_000_000 | 7 -> 10_000_000 | 8 -> 100_000_000 | _ -> 1_000_000_000
+    in
+    mag := mag_add_small (mag_mul_small !mag pow10) v;
+    i := stop
+  done;
+  make sign !mag
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let hash t =
+  Array.fold_left (fun acc limb -> (acc * 1_000_003) lxor limb) t.sign t.mag

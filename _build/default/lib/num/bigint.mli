@@ -1,0 +1,91 @@
+(** Arbitrary-precision signed integers.
+
+    The sealed build environment offers no [zarith], yet two parts of the
+    reproduction genuinely need unbounded integers: the exact-rational
+    simplex (pivot values grow multiplicatively) and the periodic-schedule
+    reconstruction of Section 3.2 of the paper, whose period is the lcm of
+    the denominators of all [alpha_{k,l}] and routinely exceeds 2^63.
+
+    Representation: sign and little-endian magnitude in base 2^31, chosen
+    so that every intermediate product or two-digit dividend of the
+    schoolbook and Knuth-D algorithms fits in OCaml's 63-bit native [int].
+    Values are immutable and canonical (no leading zero limbs; zero has an
+    empty magnitude), so structural equality coincides with numeric
+    equality. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int : t -> int option
+(** [to_int v] is [Some n] iff [v] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_float : t -> float
+(** Nearest-float conversion; may return infinities for huge values. *)
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated division
+    (quotient rounded toward zero, [r] has the sign of [a]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv : t -> t -> t * t
+(** Euclidean division: [(q, r)] with [a = q*b + r] and [0 <= r < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd zero zero = zero]. *)
+
+val lcm : t -> t -> t
+(** Non-negative least common multiple; [lcm] with zero is zero. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0].
+    @raise Invalid_argument on a negative exponent. *)
+
+val shift_left : t -> int -> t
+(** Multiplication by 2^n, [n >= 0]. *)
+
+val succ : t -> t
+val pred : t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val hash : t -> int
+
+val num_bits : t -> int
+(** Number of bits of the magnitude (0 for zero); a cheap size proxy used
+    by tests and by the rational layer to bound growth. *)
+
+val fits_int : t -> bool

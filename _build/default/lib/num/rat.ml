@@ -1,0 +1,206 @@
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+(* Canonical form: den > 0, gcd(num, den) = 1, zero is 0/1. *)
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.equal g B.one then { num; den }
+    else { num = B.div num g; den = B.div den g }
+  end
+
+let zero = { num = B.zero; den = B.one }
+let one = { num = B.one; den = B.one }
+let minus_one = { num = B.minus_one; den = B.one }
+
+let of_bigint n = { num = n; den = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints a b = make (B.of_int a) (B.of_int b)
+
+let num t = t.num
+let den t = t.den
+
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.equal t.den B.one
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if B.sign t.num > 0 then { num = t.den; den = t.num }
+  else { num = B.neg t.den; den = B.neg t.num }
+
+let add a b =
+  make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let sub a b =
+  make (B.sub (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
+let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let div a b =
+  if is_zero b then raise Division_by_zero;
+  make (B.mul a.num b.den) (B.mul a.den b.num)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor t = fst (B.ediv t.num t.den)
+
+let ceil t = B.neg (fst (B.ediv (B.neg t.num) t.den))
+
+let mul_int t n = make (B.mul t.num (B.of_int n)) t.den
+let div_int t n = make t.num (B.mul t.den (B.of_int n))
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let of_float f =
+  if Float.is_nan f || not (Float.is_finite f) then
+    invalid_arg "Rat.of_float: not finite"
+  else if f = 0.0 then zero
+  else begin
+    (* f = m * 2^e with m a 53-bit integer: decompose exactly. *)
+    let mantissa, exp = Float.frexp f in
+    let m53 = Int64.of_float (Float.ldexp mantissa 53) in
+    let e = exp - 53 in
+    let m = B.of_string (Int64.to_string m53) in
+    if e >= 0 then of_bigint (B.shift_left m e)
+    else make m (B.shift_left B.one (-e))
+  end
+
+let approx_of_float f ~max_den =
+  if Float.is_nan f || not (Float.is_finite f) then
+    invalid_arg "Rat.approx_of_float: not finite";
+  if max_den < 1 then invalid_arg "Rat.approx_of_float: max_den < 1";
+  let negative = f < 0.0 in
+  let f = Float.abs f in
+  (* Continued-fraction convergents p/q of f, stopping before q exceeds
+     max_den; the last admissible convergent is the best approximation
+     among all fractions with denominator <= its own. *)
+  let rec loop x p0 q0 p1 q1 =
+    let a = Float.to_int (Float.floor x) in
+    let p2 = (a * p1) + p0 and q2 = (a * q1) + q0 in
+    if q2 > max_den || q2 < 0 then (p1, q1)
+    else begin
+      let frac = x -. Float.floor x in
+      if frac < 1e-12 then (p2, q2)
+      else loop (1.0 /. frac) p1 q1 p2 q2
+    end
+  in
+  let p, q = loop f 0 1 1 0 in
+  let p, q = if q = 0 then (Float.to_int (Float.round f), 1) else (p, q) in
+  let r = of_ints p q in
+  if negative then neg r else r
+
+(* Stern-Brocot search for the best rational <= (resp. >=) a target,
+   with denominators bounded by [max_den].  The target is first lifted
+   to an exact rational (every finite float is one), so all comparisons
+   are exact; mediant steps toward one side are batched, giving the
+   O(log max_den) behaviour of the continued-fraction expansion. *)
+let stern_brocot_bounds y max_den =
+  (* y is an exact non-negative rational < 1; returns (lo, hi), the best
+     fractions below/above y with denominator <= max_den.  If y itself
+     is representable, lo = hi = y. *)
+  let lo_p = ref 0 and lo_q = ref 1 in
+  let hi_p = ref 1 and hi_q = ref 1 in
+  let cmp_frac p q =
+    (* compare p/q with y, exactly *)
+    B.compare (B.mul (B.of_int p) (den y)) (B.mul (num y) (B.of_int q))
+  in
+  (* Largest s >= 1 satisfying a prefix-closed predicate with good 1
+     known to hold: exponential growth, then binary search. *)
+  let max_steps good =
+    if not (good 2) then 1
+    else begin
+      let upper = ref 4 in
+      while good !upper do
+        upper := 2 * !upper
+      done;
+      let lo = ref (!upper / 2) and hi = ref !upper in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if good mid then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  in
+  let exact = ref false in
+  let continue = ref true in
+  while !continue && not !exact do
+    let mp = !lo_p + !hi_p and mq = !lo_q + !hi_q in
+    if mq > max_den then continue := false
+    else begin
+      let c = cmp_frac mp mq in
+      if c = 0 then begin
+        lo_p := mp; lo_q := mq; hi_p := mp; hi_q := mq;
+        exact := true
+      end
+      else if c < 0 then begin
+        (* Mediant below y: take s mediant steps toward hi at once. *)
+        let good s =
+          !lo_q + (s * !hi_q) <= max_den
+          && cmp_frac (!lo_p + (s * !hi_p)) (!lo_q + (s * !hi_q)) < 0
+        in
+        let s = max_steps good in
+        lo_p := !lo_p + (s * !hi_p);
+        lo_q := !lo_q + (s * !hi_q)
+      end
+      else begin
+        let good s =
+          (s * !lo_q) + !hi_q <= max_den
+          && cmp_frac ((s * !lo_p) + !hi_p) ((s * !lo_q) + !hi_q) > 0
+        in
+        let s = max_steps good in
+        hi_p := (s * !lo_p) + !hi_p;
+        hi_q := (s * !lo_q) + !hi_q
+      end
+    end
+  done;
+  ((!lo_p, !lo_q), (!hi_p, !hi_q))
+
+let approx_directed ~below f ~max_den =
+  if Float.is_nan f || not (Float.is_finite f) then
+    invalid_arg "Rat.approx_of_float_below: not finite";
+  if max_den < 1 then invalid_arg "Rat.approx_of_float_below: max_den < 1";
+  if max_den > 1 lsl 30 then
+    invalid_arg "Rat.approx_of_float_below: max_den too large (max 2^30)";
+  let x = of_float f in
+  let ip = floor x in
+  (* fractional part in [0, 1); the Stern-Brocot interval (0/1, 1/1)
+     covers both directions, including rounding up to the next integer. *)
+  let frac = sub x (of_bigint ip) in
+  if is_zero frac then of_bigint ip
+  else begin
+    let (lo_p, lo_q), (hi_p, hi_q) = stern_brocot_bounds frac max_den in
+    let p, q = if below then (lo_p, lo_q) else (hi_p, hi_q) in
+    add (of_bigint ip) (of_ints p q)
+  end
+
+let approx_of_float_below f ~max_den = approx_directed ~below:true f ~max_den
+
+let approx_of_float_above f ~max_den = approx_directed ~below:false f ~max_den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (B.of_string s)
+  | Some i ->
+    let a = String.sub s 0 i in
+    let b = String.sub s (i + 1) (String.length s - i - 1) in
+    make (B.of_string a) (B.of_string b)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,91 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Used by the exact simplex instance (small instances, ground truth for
+    the float solver) and by the periodic-schedule reconstruction of
+    Section 3.2 of the paper, which needs the exact denominators of every
+    [alpha_{k,l}] to compute the schedule period [T_p = lcm(v_{k,l})].
+
+    Values are kept canonical: the denominator is strictly positive and
+    coprime with the numerator, so structural equality is numeric
+    equality. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints num den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+(** Canonical numerator / denominator ([den] is always positive). *)
+
+val of_float : float -> t
+(** Exact value of a finite float (every finite float is rational).
+    @raise Invalid_argument on NaN or infinities. *)
+
+val approx_of_float : float -> max_den:int -> t
+(** Best rational approximation with denominator at most [max_den],
+    computed by the Stern-Brocot / continued-fraction method.  Used to
+    turn float LP solutions into exact allocations suitable for schedule
+    reconstruction.
+    @raise Invalid_argument on NaN, infinities, or [max_den < 1]. *)
+
+val approx_of_float_below : float -> max_den:int -> t
+(** Best rational [<=] the input with denominator at most [max_den]
+    (Stern-Brocot descent with exact comparisons).  Rounding work rates
+    {e down} keeps an approximated allocation feasible, so schedules
+    built from it never overshoot a capacity.
+    @raise Invalid_argument on NaN, infinities, or [max_den < 1]. *)
+
+val approx_of_float_above : float -> max_den:int -> t
+(** Dual of {!approx_of_float_below}: best rational [>=] the input. *)
+
+val to_float : t -> float
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> Bigint.t
+(** Largest integer [<=] the value. *)
+
+val ceil : t -> Bigint.t
+(** Smallest integer [>=] the value. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+val of_string : string -> t
+(** Parses ["a/b"] or a plain integer literal ["a"].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

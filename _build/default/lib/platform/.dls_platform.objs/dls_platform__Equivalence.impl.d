@@ -1,0 +1,1 @@
+lib/platform/equivalence.ml: Float List

@@ -1,0 +1,1 @@
+lib/platform/generator.ml: Array Dls_graph Dls_util Float Format List Platform Stdlib

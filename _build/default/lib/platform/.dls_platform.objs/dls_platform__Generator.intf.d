@@ -1,0 +1,1 @@
+lib/platform/generator.mli: Dls_util Format Platform

@@ -1,0 +1,1 @@
+lib/platform/platform.ml: Array Dls_graph Float Format List Printf

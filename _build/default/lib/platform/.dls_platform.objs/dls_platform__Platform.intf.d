@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Dls_graph Format

@@ -1,0 +1,1 @@
+lib/platform/platform_dot.ml: Buffer Dls_graph Fun Platform Printf

@@ -1,0 +1,1 @@
+lib/platform/platform_dot.mli: Platform

@@ -1,0 +1,1 @@
+lib/platform/single_round.ml: Array Float Fun List

@@ -1,0 +1,1 @@
+lib/platform/single_round.mli:

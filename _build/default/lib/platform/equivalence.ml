@@ -1,0 +1,63 @@
+type node = { compute : float; children : (float * node) list }
+
+let leaf compute = { compute; children = [] }
+
+let star ~root ~workers =
+  { compute = root;
+    children = List.map (fun (bw, speed) -> (bw, leaf speed)) workers }
+
+let check_node node =
+  let rec go n =
+    if n.compute < 0.0 then invalid_arg "Equivalence: negative compute speed";
+    List.iter
+      (fun (bw, child) ->
+        if bw < 0.0 then invalid_arg "Equivalence: negative link bandwidth";
+        go child)
+      n.children
+  in
+  go node
+
+let rec multiport_capacity ~egress_cap node =
+  let from_children =
+    List.fold_left
+      (fun acc (bw, child) ->
+        acc +. Float.min bw (multiport_capacity ~egress_cap child))
+      0.0 node.children
+  in
+  node.compute +. Float.min egress_cap from_children
+
+let multiport_speed ?(egress_cap = infinity) node =
+  check_node node;
+  if egress_cap < 0.0 then invalid_arg "Equivalence: negative egress cap";
+  multiport_capacity ~egress_cap node
+
+(* One-port: over a period, the root sends to child i for a time
+   fraction t_i (sum t_i <= 1) at rate b_i; the child absorbs at most
+   its own capacity c_i.  Maximizing sum_i min(t_i b_i, c_i) is the
+   classical fractional-knapsack greedy: serve children in decreasing
+   bandwidth order, each until its capacity saturates (t_i = c_i / b_i)
+   or the port runs out. *)
+let rec one_port_capacity node =
+  let child_caps =
+    List.map (fun (bw, child) -> (bw, one_port_capacity child)) node.children
+  in
+  let sorted =
+    List.sort (fun (b1, _) (b2, _) -> Float.compare b2 b1) child_caps
+  in
+  let from_children =
+    let time_left = ref 1.0 and acc = ref 0.0 in
+    List.iter
+      (fun (bw, cap) ->
+        if !time_left > 0.0 && bw > 0.0 then begin
+          let t = Float.min (cap /. bw) !time_left in
+          time_left := !time_left -. t;
+          acc := !acc +. (t *. bw)
+        end)
+      sorted;
+    !acc
+  in
+  node.compute +. from_children
+
+let one_port_speed node =
+  check_node node;
+  one_port_capacity node

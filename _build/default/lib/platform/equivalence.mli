@@ -1,0 +1,44 @@
+(** Steady-state equivalent speed of a cluster's internal network.
+
+    Section 2 of the paper collapses each cluster to a single front-end
+    processor: "It is known that [the front-end] and the leaf processors
+    are together equivalent to a single processor whose speed [s_k] can
+    be determined by classical formulas from divisible load theory", for
+    both star-shaped and tree-shaped local networks.  This module
+    implements those steady-state formulas so that users can derive the
+    [speed] field of {!Platform.cluster} from a description of the
+    machines actually present in an institution.
+
+    Model: in steady state, computation overlaps communication.  A child
+    reachable through a link of bandwidth [b] contributes at most
+    [min b c] where [c] is its own (recursively computed) capacity.
+    Under the {e bounded multiport} model the parent forwards to all
+    children in parallel but its total egress is capped; under the
+    {e one-port} model it serves one child at a time, so forwarding time
+    shares a single port. *)
+
+type node = {
+  compute : float;  (** local compute speed of this machine *)
+  children : (float * node) list;  (** (link bandwidth, subtree) pairs *)
+}
+
+val leaf : float -> node
+(** A machine with no subtree. *)
+
+val star : root:float -> workers:(float * float) list -> node
+(** [star ~root ~workers] where each worker is [(link_bw, speed)]. *)
+
+val multiport_speed : ?egress_cap:float -> node -> float
+(** Equivalent steady-state speed when the front-end forwards to all
+    children concurrently, its total egress optionally capped.
+    @raise Invalid_argument on negative speeds, bandwidths or cap. *)
+
+val one_port_speed : node -> float
+(** Equivalent steady-state speed under the one-port model: the root
+    serves children sequentially; child [i] served a time fraction [t_i]
+    (with [sum t_i <= 1]) contributes [min (t_i * b_i) c_i].  The
+    optimum is the fractional-knapsack greedy — serve children in
+    decreasing bandwidth order until each saturates or the port is
+    exhausted.  (For a single level this recovers the classical bus
+    formulas of Bataineh et al., cited as [6] in the paper.)
+    @raise Invalid_argument on negative speeds or bandwidths. *)

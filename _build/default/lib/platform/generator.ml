@@ -1,0 +1,106 @@
+module G = Dls_graph.Graph
+module Prng = Dls_util.Prng
+
+type topology_model =
+  | Erdos_renyi
+  | Waxman of { alpha : float; beta : float }
+  | Barabasi_albert of { m : int }
+
+type params = {
+  k : int;
+  topology_model : topology_model;
+  connectivity : float;
+  heterogeneity : float;
+  mean_g : float;
+  mean_bw : float;
+  mean_maxcon : float;
+  speed : float;
+  speed_heterogeneity : float;
+}
+
+let default_params =
+  { k = 15; topology_model = Erdos_renyi; connectivity = 0.4;
+    heterogeneity = 0.4; mean_g = 250.0; mean_bw = 50.0; mean_maxcon = 45.0;
+    speed = 100.0; speed_heterogeneity = 0.0 }
+
+let table1_grid () =
+  let ks = List.init 10 (fun i -> 5 + (10 * i)) in
+  let connectivities = List.init 8 (fun i -> 0.1 *. float_of_int (i + 1)) in
+  let heterogeneities = [ 0.2; 0.4; 0.6; 0.8 ] in
+  let gs = [ 50.0; 250.0; 350.0; 450.0 ] in
+  let bws = List.init 9 (fun i -> 10.0 *. float_of_int (i + 1)) in
+  let maxcons = List.init 10 (fun i -> float_of_int (5 + (10 * i))) in
+  List.concat_map
+    (fun k ->
+      List.concat_map
+        (fun connectivity ->
+          List.concat_map
+            (fun heterogeneity ->
+              List.concat_map
+                (fun mean_g ->
+                  List.concat_map
+                    (fun mean_bw ->
+                      List.map
+                        (fun mean_maxcon ->
+                          { k; topology_model = Erdos_renyi; connectivity;
+                            heterogeneity; mean_g; mean_bw; mean_maxcon;
+                            speed = 100.0; speed_heterogeneity = 0.0 })
+                        maxcons)
+                    bws)
+                gs)
+            heterogeneities)
+        connectivities)
+    ks
+
+let check p =
+  if p.k <= 0 then invalid_arg "Generator.generate: k must be positive";
+  if p.heterogeneity < 0.0 || p.heterogeneity >= 1.0 then
+    invalid_arg "Generator.generate: heterogeneity must be in [0, 1)";
+  if p.mean_g <= 0.0 || p.mean_bw <= 0.0 || p.mean_maxcon <= 0.0 then
+    invalid_arg "Generator.generate: means must be positive";
+  if p.speed <= 0.0 then invalid_arg "Generator.generate: speed must be positive";
+  if p.speed_heterogeneity < 0.0 || p.speed_heterogeneity >= 1.0 then
+    invalid_arg "Generator.generate: speed_heterogeneity must be in [0, 1)"
+
+let sample rng ~mean ~heterogeneity =
+  Prng.float rng ~lo:(mean *. (1.0 -. heterogeneity))
+    ~hi:(mean *. (1.0 +. heterogeneity))
+
+let generate rng p =
+  check p;
+  (* One router per cluster; direct backbone links drawn from the
+     chosen topology model, then bridged to connectivity. *)
+  let raw =
+    match p.topology_model with
+    | Erdos_renyi -> G.gnp rng ~n:p.k ~p:p.connectivity
+    | Waxman { alpha; beta } ->
+      Dls_graph.Topologies.waxman rng ~n:p.k ~alpha ~beta
+    | Barabasi_albert { m } ->
+      Dls_graph.Topologies.barabasi_albert rng ~n:p.k ~m
+  in
+  let topology = G.connect_components rng raw in
+  let backbones =
+    Array.init (G.num_edges topology) (fun _ ->
+        let bw = sample rng ~mean:p.mean_bw ~heterogeneity:p.heterogeneity in
+        let maxcon =
+          sample rng ~mean:p.mean_maxcon ~heterogeneity:p.heterogeneity
+        in
+        { Platform.bw; max_connect = Stdlib.max 1 (int_of_float (Float.round maxcon)) })
+  in
+  let clusters =
+    Array.init p.k (fun k ->
+        let speed =
+          if p.speed_heterogeneity = 0.0 then p.speed
+          else sample rng ~mean:p.speed ~heterogeneity:p.speed_heterogeneity
+        in
+        { Platform.speed;
+          local_bw = sample rng ~mean:p.mean_g ~heterogeneity:p.heterogeneity;
+          router = k })
+  in
+  Platform.make ~clusters ~topology ~backbones
+
+let pp_params fmt p =
+  Format.fprintf fmt
+    "k=%d connectivity=%g heterogeneity=%g g=%g bw=%g maxcon=%g speed=%g(+-%g%%)"
+    p.k p.connectivity p.heterogeneity p.mean_g p.mean_bw p.mean_maxcon p.speed
+    (100.0 *. p.speed_heterogeneity)

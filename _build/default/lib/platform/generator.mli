@@ -1,0 +1,60 @@
+(** Random platform generation following Table 1 of the paper.
+
+    The paper instantiates platforms from six parameters: the number of
+    clusters [k]; the probability [connectivity] that any two clusters
+    are directly connected; a [heterogeneity] ratio; and mean values for
+    the local link capacity [g], the per-connection backbone bandwidth
+    [bw], and the backbone connection cap [maxcon].  Each sampled value
+    is uniform in [mean * (1 - heterogeneity), mean * (1 + heterogeneity)].
+    Cluster speeds are fixed at 100 ("only relative values are meaningful
+    in a periodic schedule").
+
+    The paper does not specify how disconnected draws are handled; we
+    add uniformly random bridging links (with freshly sampled parameters)
+    until the platform is connected, so that every generated instance is
+    a usable scheduling problem.  This is recorded in DESIGN.md. *)
+
+type topology_model =
+  | Erdos_renyi
+  (** the paper's model: each pair joined with probability
+      [connectivity] *)
+  | Waxman of { alpha : float; beta : float }
+  (** geographic short-link bias ({!Dls_graph.Topologies.waxman});
+      [connectivity] is ignored *)
+  | Barabasi_albert of { m : int }
+  (** preferential attachment
+      ({!Dls_graph.Topologies.barabasi_albert}); [connectivity] is
+      ignored *)
+
+type params = {
+  k : int;  (** number of clusters *)
+  topology_model : topology_model;  (** how the router graph is drawn *)
+  connectivity : float;  (** direct-link probability between cluster pairs *)
+  heterogeneity : float;  (** relative spread of sampled parameters *)
+  mean_g : float;  (** mean local link capacity *)
+  mean_bw : float;  (** mean per-connection backbone bandwidth *)
+  mean_maxcon : float;  (** mean backbone connection cap *)
+  speed : float;  (** cluster speed, fixed at 100 in the paper *)
+  speed_heterogeneity : float;
+  (** relative spread of cluster speeds; 0 in the paper ("we fix the
+      computing speed at 100"), exposed for the heterogeneous-compute
+      ablation *)
+}
+
+val default_params : params
+(** Mid-grid values: k=15, connectivity=0.4, heterogeneity=0.4, g=250,
+    bw=50, maxcon=45, speed=100. *)
+
+val table1_grid : unit -> params list
+(** The full Cartesian grid of Table 1:
+    K in 5,15,...,95; connectivity in 0.1,...,0.8; heterogeneity in
+    0.2,0.4,0.6,0.8; mean g in 50,250,350,450; mean bw in 10,20,...,90;
+    mean maxcon in 5,15,...,95 — 115,200 settings.  The paper draws 10
+    platforms per setting; callers decide how many to sample. *)
+
+val generate : Dls_util.Prng.t -> params -> Platform.t
+(** One random platform.  Deterministic given the generator state.
+    @raise Invalid_argument on non-positive [k], means, or speed, or
+    [heterogeneity] outside [0, 1). *)
+
+val pp_params : Format.formatter -> params -> unit

@@ -1,0 +1,160 @@
+module G = Dls_graph.Graph
+
+type backbone = { bw : float; max_connect : int }
+
+type cluster = { speed : float; local_bw : float; router : int }
+
+type t = {
+  clusters : cluster array;
+  topology : G.t;
+  backbones : backbone array;
+  routes : int list option array array;  (* [k].[l] -> backbone ids *)
+}
+
+let check_inputs ~clusters ~topology ~backbones =
+  if Array.length backbones <> G.num_edges topology then
+    invalid_arg "Platform.make: one backbone descriptor per topology edge required";
+  Array.iteri
+    (fun k c ->
+      if c.speed < 0.0 then
+        invalid_arg (Printf.sprintf "Platform.make: cluster %d has negative speed" k);
+      if c.local_bw < 0.0 then
+        invalid_arg (Printf.sprintf "Platform.make: cluster %d has negative local_bw" k);
+      if c.router < 0 || c.router >= G.num_nodes topology then
+        invalid_arg (Printf.sprintf "Platform.make: cluster %d references bad router" k))
+    clusters;
+  Array.iteri
+    (fun i b ->
+      if b.bw <= 0.0 then
+        invalid_arg (Printf.sprintf "Platform.make: backbone %d has non-positive bw" i);
+      if b.max_connect < 0 then
+        invalid_arg (Printf.sprintf "Platform.make: backbone %d has negative max_connect" i))
+    backbones
+
+(* Validates that [links] is a path of backbone edges from router [src]
+   to router [dst]; returns unit or raises. *)
+let check_route topology ~src ~dst links =
+  let pos = ref src in
+  List.iter
+    (fun e ->
+      if e < 0 || e >= G.num_edges topology then
+        invalid_arg "Platform: route references unknown backbone link";
+      let u, v = G.endpoints topology e in
+      if u = !pos then pos := v
+      else if v = !pos then pos := u
+      else invalid_arg "Platform: route is not a connected path")
+    links;
+  if !pos <> dst then invalid_arg "Platform: route does not reach the destination router"
+
+let compute_routes ~clusters ~topology =
+  let kk = Array.length clusters in
+  let routes = Array.make_matrix kk kk None in
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      if k = l then routes.(k).(l) <- Some []
+      else begin
+        match
+          G.shortest_path topology ~src:clusters.(k).router ~dst:clusters.(l).router
+        with
+        | Some (_, edge_ids) -> routes.(k).(l) <- Some edge_ids
+        | None -> routes.(k).(l) <- None
+      end
+    done
+  done;
+  routes
+
+let make_with_routes ~clusters ~topology ~backbones ~routes:overrides =
+  check_inputs ~clusters ~topology ~backbones;
+  let routes = compute_routes ~clusters ~topology in
+  let kk = Array.length clusters in
+  List.iter
+    (fun (k, l, links) ->
+      if k < 0 || k >= kk || l < 0 || l >= kk then
+        invalid_arg "Platform.make_with_routes: bad cluster index in override";
+      check_route topology ~src:clusters.(k).router ~dst:clusters.(l).router links;
+      routes.(k).(l) <- Some links)
+    overrides;
+  { clusters; topology; backbones; routes }
+
+let make ~clusters ~topology ~backbones =
+  make_with_routes ~clusters ~topology ~backbones ~routes:[]
+
+let num_clusters t = Array.length t.clusters
+let num_routers t = G.num_nodes t.topology
+let num_backbones t = Array.length t.backbones
+
+let cluster t k =
+  if k < 0 || k >= num_clusters t then invalid_arg "Platform.cluster: bad index";
+  t.clusters.(k)
+
+let backbone t i =
+  if i < 0 || i >= num_backbones t then invalid_arg "Platform.backbone: bad index";
+  t.backbones.(i)
+
+let topology t = t.topology
+
+let speed t k = (cluster t k).speed
+let local_bw t k = (cluster t k).local_bw
+
+let route t k l =
+  if k < 0 || k >= num_clusters t || l < 0 || l >= num_clusters t then
+    invalid_arg "Platform.route: bad cluster index";
+  t.routes.(k).(l)
+
+let route_bottleneck t k l =
+  match route t k l with
+  | None -> None
+  | Some [] -> Some infinity
+  | Some links ->
+    Some (List.fold_left (fun acc e -> Float.min acc t.backbones.(e).bw) infinity links)
+
+let routes_through t link =
+  if link < 0 || link >= num_backbones t then
+    invalid_arg "Platform.routes_through: bad link";
+  let kk = num_clusters t in
+  let acc = ref [] in
+  for k = kk - 1 downto 0 do
+    for l = kk - 1 downto 0 do
+      if k <> l then begin
+        match t.routes.(k).(l) with
+        | Some links when List.mem link links -> acc := (k, l) :: !acc
+        | Some _ | None -> ()
+      end
+    done
+  done;
+  !acc
+
+let total_speed t = Array.fold_left (fun s c -> s +. c.speed) 0.0 t.clusters
+
+let validate t =
+  try
+    check_inputs ~clusters:t.clusters ~topology:t.topology ~backbones:t.backbones;
+    let kk = num_clusters t in
+    if Array.length t.routes <> kk then failwith "route table has wrong row count";
+    for k = 0 to kk - 1 do
+      if Array.length t.routes.(k) <> kk then failwith "route table has wrong column count";
+      for l = 0 to kk - 1 do
+        match t.routes.(k).(l) with
+        | None -> if k = l then failwith "missing self route"
+        | Some links ->
+          check_route t.topology ~src:t.clusters.(k).router
+            ~dst:t.clusters.(l).router links
+      done
+    done;
+    Ok ()
+  with
+  | Invalid_argument msg | Failure msg -> Error msg
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>platform: %d clusters, %d routers, %d backbones@,"
+    (num_clusters t) (num_routers t) (num_backbones t);
+  Array.iteri
+    (fun k c ->
+      Format.fprintf fmt "  C%d: s=%g g=%g router=%d@," k c.speed c.local_bw c.router)
+    t.clusters;
+  Array.iteri
+    (fun i b ->
+      let u, v = G.endpoints t.topology i in
+      Format.fprintf fmt "  l%d: %d--%d bw=%g maxcon=%d@," i u v b.bw b.max_connect)
+    t.backbones;
+  Format.fprintf fmt "@]"

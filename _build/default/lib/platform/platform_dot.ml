@@ -1,0 +1,34 @@
+module G = Dls_graph.Graph
+
+let to_dot p =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "graph platform {\n";
+  add "  rankdir=LR;\n";
+  add "  node [fontsize=10];\n";
+  for r = 0 to Platform.num_routers p - 1 do
+    add "  r%d [shape=circle, label=\"R%d\", width=0.3];\n" r r
+  done;
+  for k = 0 to Platform.num_clusters p - 1 do
+    let c = Platform.cluster p k in
+    add
+      "  c%d [shape=box, style=filled, fillcolor=\"%s\", label=\"C%d\\ns=%g g=%g\"];\n"
+      k
+      (if c.Platform.speed > 0.0 then "#dbeafe" else "#fde68a")
+      k c.Platform.speed c.Platform.local_bw;
+    add "  c%d -- r%d [style=dashed];\n" k c.Platform.router
+  done;
+  for i = 0 to Platform.num_backbones p - 1 do
+    let u, v = G.endpoints (Platform.topology p) i in
+    let b = Platform.backbone p i in
+    add "  r%d -- r%d [label=\"l%d bw=%g cap=%d\"];\n" u v i b.Platform.bw
+      b.Platform.max_connect
+  done;
+  add "}\n";
+  Buffer.contents buf
+
+let save ~path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot p))

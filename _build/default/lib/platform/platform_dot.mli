@@ -1,0 +1,13 @@
+(** Graphviz rendering of platforms.
+
+    Produces a [dot] digraph mirroring the paper's Figure 1/2 pictures:
+    box nodes for clusters (speed and local-link capacity in the
+    label), circle nodes for routers, and undirected-style backbone
+    edges labelled with per-connection bandwidth and connection cap.
+    Feed the output to [dot -Tsvg] (Graphviz is not required by this
+    library — the output is just a string). *)
+
+val to_dot : Platform.t -> string
+
+val save : path:string -> Platform.t -> unit
+(** @raise Sys_error on an unwritable path. *)

@@ -1,0 +1,123 @@
+module G = Dls_graph.Graph
+
+let to_string p =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "dls-platform 1\n";
+  add "routers %d\n" (Platform.num_routers p);
+  for k = 0 to Platform.num_clusters p - 1 do
+    let c = Platform.cluster p k in
+    add "cluster %.17g %.17g %d\n" c.Platform.speed c.Platform.local_bw
+      c.Platform.router
+  done;
+  for i = 0 to Platform.num_backbones p - 1 do
+    let u, v = G.endpoints (Platform.topology p) i in
+    let b = Platform.backbone p i in
+    add "backbone %d %d %.17g %d\n" u v b.Platform.bw b.Platform.max_connect
+  done;
+  for k = 0 to Platform.num_clusters p - 1 do
+    for l = 0 to Platform.num_clusters p - 1 do
+      if k <> l then begin
+        match Platform.route p k l with
+        | Some links ->
+          add "route %d %d%s\n" k l
+            (String.concat "" (List.map (fun e -> " " ^ string_of_int e) links))
+        | None -> ()
+      end
+    done
+  done;
+  Buffer.contents buf
+
+type parse_state = {
+  mutable routers : int option;
+  mutable clusters : Platform.cluster list;  (* reversed *)
+  mutable backbones : (int * int * Platform.backbone) list;  (* reversed *)
+  mutable routes : (int * int * int list) list;  (* reversed *)
+}
+
+let of_string text =
+  let state =
+    { routers = None; clusters = []; backbones = []; routes = [] }
+  in
+  let exception Parse_error of int * string in
+  let fail line msg = raise (Parse_error (line, msg)) in
+  try
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then ()
+        else begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "dls-platform"; "1" ] -> ()
+          | "dls-platform" :: _ -> fail lineno "unsupported format version"
+          | [ "routers"; n ] -> begin
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> state.routers <- Some n
+            | _ -> fail lineno "bad router count"
+          end
+          | [ "cluster"; speed; local_bw; router ] -> begin
+            match
+              (float_of_string_opt speed, float_of_string_opt local_bw,
+               int_of_string_opt router)
+            with
+            | Some speed, Some local_bw, Some router ->
+              state.clusters <-
+                { Platform.speed; local_bw; router } :: state.clusters
+            | _ -> fail lineno "bad cluster line"
+          end
+          | [ "backbone"; u; v; bw; maxcon ] -> begin
+            match
+              (int_of_string_opt u, int_of_string_opt v, float_of_string_opt bw,
+               int_of_string_opt maxcon)
+            with
+            | Some u, Some v, Some bw, Some max_connect ->
+              state.backbones <-
+                (u, v, { Platform.bw; max_connect }) :: state.backbones
+            | _ -> fail lineno "bad backbone line"
+          end
+          | "route" :: k :: l :: links -> begin
+            let ints = List.map int_of_string_opt (k :: l :: links) in
+            if List.exists (( = ) None) ints then fail lineno "bad route line"
+            else begin
+              match List.map Option.get ints with
+              | k :: l :: links -> state.routes <- (k, l, links) :: state.routes
+              | _ -> fail lineno "bad route line"
+            end
+          end
+          | token :: _ -> fail lineno (Printf.sprintf "unknown directive %S" token)
+          | [] -> ()
+        end)
+      lines;
+    let routers =
+      match state.routers with
+      | Some n -> n
+      | None -> fail 0 "missing 'routers' line"
+    in
+    let backbones = List.rev state.backbones in
+    let topology =
+      G.create ~n:routers ~edges:(List.map (fun (u, v, _) -> (u, v)) backbones)
+    in
+    let platform =
+      Platform.make_with_routes
+        ~clusters:(Array.of_list (List.rev state.clusters))
+        ~topology
+        ~backbones:(Array.of_list (List.map (fun (_, _, b) -> b) backbones))
+        ~routes:(List.rev state.routes)
+    in
+    Ok platform
+  with
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let save ~path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

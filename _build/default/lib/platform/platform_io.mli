@@ -1,0 +1,27 @@
+(** Plain-text serialization of platforms.
+
+    A simple line-oriented format so that interesting platforms (or ones
+    measured from a real testbed, the paper's stated next step) can be
+    saved, versioned and fed back to the CLI tools:
+
+    {v
+dls-platform 1
+routers 3
+cluster <speed> <local_bw> <router>      # one line per cluster, in index order
+backbone <u> <v> <bw> <max_connect>      # one line per link, in id order
+route <k> <l> <link-id> ...              # full routing table
+    v}
+
+    Floats are printed with round-trip precision; parsing rebuilds the
+    exact platform, including its routing table (comment lines starting
+    with [#] and blank lines are ignored). *)
+
+val to_string : Platform.t -> string
+
+val of_string : string -> (Platform.t, string) result
+(** Parse error messages include the offending line number. *)
+
+val save : path:string -> Platform.t -> unit
+(** @raise Sys_error on an unwritable path. *)
+
+val load : path:string -> (Platform.t, string) result

@@ -1,0 +1,105 @@
+type worker = { bandwidth : float; speed : float }
+
+type plan = {
+  chunks : (int * float) list;
+  makespan : float;
+  finish_times : float array;
+}
+
+let check_workers workers =
+  if Array.length workers = 0 then invalid_arg "Single_round: no workers";
+  Array.iter
+    (fun w ->
+      if w.bandwidth <= 0.0 || w.speed <= 0.0 then
+        invalid_arg "Single_round: worker rates must be positive")
+    workers
+
+let simulate ?(master_speed = 0.0) workers chunks =
+  let n = Array.length workers in
+  let port = ref 0.0 in
+  let ready = Array.make n 0.0 in
+  let master_ready = ref 0.0 in
+  List.iter
+    (fun (i, amount) ->
+      if amount < 0.0 then invalid_arg "Single_round.simulate: negative amount";
+      if amount > 0.0 then begin
+        if i = -1 then begin
+          if master_speed <= 0.0 then
+            invalid_arg "Single_round.simulate: master chunk without master speed";
+          (* The master computes its own share without using the port. *)
+          master_ready := !master_ready +. (amount /. master_speed)
+        end
+        else if i < 0 || i >= n then
+          invalid_arg "Single_round.simulate: bad worker index"
+        else begin
+          let arrival = !port +. (amount /. workers.(i).bandwidth) in
+          port := arrival;
+          let start = Float.max arrival ready.(i) in
+          ready.(i) <- start +. (amount /. workers.(i).speed)
+        end
+      end)
+    chunks;
+  let makespan = Array.fold_left Float.max !master_ready ready in
+  { chunks; makespan; finish_times = Array.copy ready }
+
+(* Equal-finish-time fractions for a given service order (time-per-unit
+   notation: z = 1/bandwidth, w = 1/speed):
+   alpha_{next} = alpha_prev * w_prev / (z_next + w_next). *)
+let fractions_for_order workers order =
+  let m = Array.length order in
+  let unnormalized = Array.make m 0.0 in
+  unnormalized.(0) <- 1.0;
+  for p = 1 to m - 1 do
+    let prev = workers.(order.(p - 1)) and cur = workers.(order.(p)) in
+    let w_prev = 1.0 /. prev.speed in
+    let z_cur = 1.0 /. cur.bandwidth and w_cur = 1.0 /. cur.speed in
+    unnormalized.(p) <- unnormalized.(p - 1) *. w_prev /. (z_cur +. w_cur)
+  done;
+  unnormalized
+
+let plan_for_order ?(master_speed = 0.0) workers ~load order =
+  let unnormalized = fractions_for_order workers order in
+  let first = workers.(order.(0)) in
+  (* Common finish time of the unnormalized solution. *)
+  let t_unnormalized =
+    unnormalized.(0) *. ((1.0 /. first.bandwidth) +. (1.0 /. first.speed))
+  in
+  let master_fraction =
+    if master_speed > 0.0 then t_unnormalized *. master_speed else 0.0
+  in
+  let total = master_fraction +. Array.fold_left ( +. ) 0.0 unnormalized in
+  let scale = load /. total in
+  let chunks =
+    (if master_fraction > 0.0 then [ (-1, master_fraction *. scale) ] else [])
+    @ List.mapi (fun p i -> (i, unnormalized.(p) *. scale)) (Array.to_list order)
+  in
+  simulate ~master_speed workers chunks
+
+let distribute ?(master_speed = 0.0) ~load workers =
+  check_workers workers;
+  if load <= 0.0 then invalid_arg "Single_round.distribute: non-positive load";
+  if master_speed < 0.0 then
+    invalid_arg "Single_round.distribute: negative master speed";
+  let order =
+    Array.init (Array.length workers) Fun.id
+  in
+  Array.sort
+    (fun a b -> Float.compare workers.(b).bandwidth workers.(a).bandwidth)
+    order;
+  plan_for_order ~master_speed workers ~load order
+
+let multi_installment ?(master_speed = 0.0) ~load ~rounds workers =
+  if rounds < 1 then invalid_arg "Single_round.multi_installment: rounds < 1";
+  let single = distribute ~master_speed ~load workers in
+  if rounds = 1 then single
+  else begin
+    (* Same per-worker totals, served as [rounds] round-robin
+       installments, so computation starts earlier everywhere. *)
+    let per_round =
+      List.map (fun (i, a) -> (i, a /. float_of_int rounds)) single.chunks
+    in
+    let chunks =
+      List.concat (List.init rounds (fun _ -> per_round))
+    in
+    simulate ~master_speed workers chunks
+  end

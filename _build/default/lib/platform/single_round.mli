@@ -1,0 +1,55 @@
+(** Classical single-cluster divisible-load distribution.
+
+    The paper stands on closed-form divisible-load theory for bus/star
+    networks (its references [6], [30], [5]): a master holding [load]
+    units serves workers over a one-port link, each worker computing as
+    soon as its chunk arrives, and the optimal schedule makes everyone
+    finish simultaneously.  This module provides those classical
+    results — they complement {!Equivalence} (which only aggregates
+    steady-state speed) by producing actual distribution {e plans} for
+    one shot of work inside a cluster:
+
+    - {!distribute}: the optimal single-round plan, serving workers in
+      decreasing bandwidth order with the equal-finish-time recurrence;
+    - {!multi_installment}: the multi-round refinement — splitting each
+      worker's share over [rounds] installments starts computation
+      earlier and shortens the makespan;
+    - {!simulate}: an independent one-port event simulation used to
+      price any chunk sequence (and to cross-check the closed forms in
+      the tests). *)
+
+type worker = {
+  bandwidth : float;  (** link rate from the master, load units/time; > 0 *)
+  speed : float;  (** compute rate, load units/time; > 0 *)
+}
+
+type plan = {
+  chunks : (int * float) list;
+  (** transmission sequence: (worker index, load amount) in send order *)
+  makespan : float;
+  finish_times : float array;  (** per worker *)
+}
+
+val simulate : ?master_speed:float -> worker array -> (int * float) list -> plan
+(** Price a chunk sequence under one-port semantics: the master sends
+    chunks back to back (a chunk for worker [i] takes [amount /
+    bandwidth_i]); each worker computes its received chunks in arrival
+    order.  With [master_speed > 0] the master also computes the chunks
+    sent to the pseudo-index [-1].
+    @raise Invalid_argument on bad worker indices or negative amounts. *)
+
+val distribute :
+  ?master_speed:float -> load:float -> worker array -> plan
+(** Optimal single-round plan: bandwidth-descending service order and
+    the equal-finish recurrence
+    [alpha_{i+1} = alpha_i * w_i / (z_{i+1} + w_{i+1})] (in time-per-unit
+    notation).  All finish times coincide (up to float noise; tested).
+    @raise Invalid_argument on non-positive load, empty workers, or
+    non-positive rates. *)
+
+val multi_installment :
+  ?master_speed:float -> load:float -> rounds:int -> worker array -> plan
+(** The single-round proportions split into [rounds] equal installments
+    served round-robin — computation overlaps communication sooner, so
+    the makespan is never worse than {!distribute}'s (tested).
+    @raise Invalid_argument if [rounds < 1]. *)

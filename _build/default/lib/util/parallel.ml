@@ -1,0 +1,41 @@
+let num_domains () = Stdlib.min 8 (Domain.recommended_domain_count ())
+
+let map ?domains f inputs =
+  let n = Array.length inputs in
+  let domains = match domains with Some d -> Stdlib.max 1 d | None -> num_domains () in
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.map f inputs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else begin
+          match f inputs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            (* First failure wins; the rest of the pool drains quickly. *)
+            ignore (Atomic.compare_and_set failure None (Some e));
+            continue := false
+        end
+      done
+    in
+    let spawned =
+      Array.init (Stdlib.min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Parallel.map: missing result (worker died?)")
+      results
+  end
+
+let map_list ?domains f inputs =
+  Array.to_list (map ?domains f (Array.of_list inputs))

@@ -1,0 +1,26 @@
+(** Fixed-pool data parallelism over OCaml 5 domains.
+
+    The experiment sweeps evaluate hundreds of independent platforms;
+    each evaluation is pure CPU (simplex pivots), so they scale across
+    cores.  This is a deliberately small work-stealing-free pool: tasks
+    are indexed, each domain repeatedly claims the next undone index
+    with an atomic counter, and results land in a pre-sized array — no
+    locks on the hot path, deterministic output order regardless of
+    scheduling.
+
+    Determinism note for callers: generate the random inputs
+    {e sequentially} first (so the PRNG draws are reproducible), then
+    map over them in parallel. *)
+
+val num_domains : unit -> int
+(** Pool width used by default: [Domain.recommended_domain_count],
+    capped at 8 (simplex working sets are cache-hungry). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f inputs] applies [f] to every element, in parallel when
+    [domains > 1] (default {!num_domains}).  Exceptions raised by [f]
+    are re-raised in the caller after all domains join.  Result order
+    matches input order. *)
+
+val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List convenience wrapper over {!map}. *)

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: xor-shift-multiply mixing of a Weyl sequence. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int: lo > hi";
+  let span = hi - lo + 1 in
+  if span <= 0 then
+    (* Range covers more than max_int: accept any 62-bit draw offset. *)
+    lo + bits62 t
+  else begin
+    (* Rejection sampling for exact uniformity. *)
+    let bound = 0x3FFF_FFFF_FFFF_FFFF / span * span in
+    let rec draw () =
+      let v = bits62 t in
+      if v >= bound then draw () else lo + (v mod span)
+    in
+    draw ()
+  end
+
+let float t ~lo ~hi =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 uniform bits in [0,1). *)
+  let unit = u *. 0x1.0p-53 in
+  lo +. (unit *. (hi -. lo))
+
+let bool t ~p = float t ~lo:0.0 ~hi:1.0 < p
+
+let pick t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int t ~lo:0 ~hi:(n - 1))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~lo:0 ~hi:i in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library (platform generation,
+    randomized rounding in LPRR, property-test workloads) draws from an
+    explicit [Prng.t] so that experiments are exactly reproducible from a
+    seed.  The generator is the splitmix64 mixer, which has a full 2^64
+    period and passes BigCrush; it is more than adequate for simulation
+    workloads and has no global state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from an integer seed.  Equal seeds
+    yield identical streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  The two
+    streams are statistically independent; used to give sub-experiments
+    their own stream so that adding draws to one does not perturb the
+    other. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range [\[lo, hi\]].  Uses rejection
+    sampling, so the distribution is exactly uniform.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val float : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. *)
+
+val bool : t -> p:float -> bool
+(** Bernoulli draw: [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,54 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int n)
+  end
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = sorted_copy a in
+    if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+  end
+
+let percentile a ~p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = sorted_copy a in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then b.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (b.(lo) *. (1.0 -. w)) +. (b.(hi) *. w)
+    end
+  end
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (a.(0), a.(0)) a
+
+let geometric_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun s x -> s +. log x) 0.0 a in
+    exp (acc /. float_of_int n)
+  end

@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by the experiment harness
+    to aggregate per-platform results into the series reported in the
+    paper's figures. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even lengths); 0 on
+    an empty array.  Does not mutate its argument. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile a ~p] for [p] in [\[0,100\]], linear interpolation between
+    closest ranks; 0 on an empty array. *)
+
+val min_max : float array -> float * float
+(** Minimum and maximum.
+    @raise Invalid_argument on an empty array. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; 0 on an empty array. *)

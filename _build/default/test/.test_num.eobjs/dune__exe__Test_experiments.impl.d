@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dls_core Dls_experiments Dls_platform Dls_util Filename Float Format List Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_flowsim.ml: Alcotest Allocation Array Dls_core Dls_flowsim Dls_graph Dls_platform Dls_util Float Fun Greedy List Problem QCheck2 QCheck_alcotest

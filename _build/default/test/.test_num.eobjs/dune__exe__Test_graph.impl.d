@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Dls_graph Dls_util Fun List Printf QCheck2 QCheck_alcotest Stdlib

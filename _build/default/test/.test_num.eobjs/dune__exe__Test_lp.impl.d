@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Dls_lp Dls_num Float List QCheck2 QCheck_alcotest

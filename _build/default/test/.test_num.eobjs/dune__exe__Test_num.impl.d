@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Dls_num Float List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,272 @@
+(* Tests for Dls_experiments: report rendering, the measurement unit,
+   and tiny smoke runs of every figure/table generator. *)
+
+module E = Dls_experiments
+module Prng = Dls_util.Prng
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_table =
+  { E.Report.title = "t";
+    header = [ "a"; "b" ];
+    rows = [ [ "1"; "x,y" ]; [ "22"; "quo\"te" ] ] }
+
+let test_report_csv () =
+  let csv = E.Report.to_csv sample_table in
+  Alcotest.(check string) "csv escaping" "a,b\n1,\"x,y\"\n22,\"quo\"\"te\"\n" csv
+
+let test_report_pp_aligned () =
+  let rendered = Format.asprintf "%a" E.Report.pp_table sample_table in
+  Alcotest.(check bool) "contains title" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "t");
+  (* All data rows must share the same width. *)
+  let lines =
+    List.filter (fun l -> String.length l > 0 && l.[0] = '|')
+      (String.split_on_char '\n' rendered)
+  in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (match widths with [] -> false | w :: rest -> List.for_all (( = ) w) rest)
+
+let test_report_write_csv () =
+  let path = Filename.temp_file "dls_report" ".csv" in
+  E.Report.write_csv ~path sample_table;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header row" "a,b" line
+
+let test_cell_float () =
+  Alcotest.(check string) "4 digits" "0.3333" (E.Report.cell_float (1.0 /. 3.0));
+  Alcotest.(check string) "nan" "nan" (E.Report.cell_float Float.nan)
+
+(* ------------------------------------------------------------------ *)
+(* Measure                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_problem_properties () =
+  let rng = Prng.create ~seed:21 in
+  for _ = 1 to 10 do
+    let pr = E.Measure.sample_problem rng ~k:9 in
+    Alcotest.(check int) "k clusters" 9 (Dls_core.Problem.num_clusters pr);
+    let active = Dls_core.Problem.active pr in
+    Alcotest.(check bool) "at least one app" true (List.length active >= 1);
+    (* Default workload: sources are pure data holders (speed 0). *)
+    List.iter
+      (fun k ->
+        Alcotest.(check (float 0.0)) "source speed 0" 0.0
+          (Dls_platform.Platform.speed (Dls_core.Problem.platform pr) k))
+      active
+  done
+
+let test_sample_problem_literal_setting () =
+  let rng = Prng.create ~seed:22 in
+  let pr =
+    E.Measure.sample_problem ~app_fraction:1.0 ~source_speed_factor:1.0 rng ~k:6
+  in
+  Alcotest.(check int) "all active" 6 (List.length (Dls_core.Problem.active pr));
+  (* The flat-line check of DESIGN.md section 2.2: all-local is optimal,
+     and G reaches the LP bound exactly. *)
+  match Dls_core.Heuristics.lp_bound ~objective:Dls_core.Lp_relax.Maxmin pr with
+  | Error msg -> Alcotest.failf "LP failed: %s" msg
+  | Ok bound ->
+    Alcotest.(check (float 1e-6)) "trivial optimum" 100.0 bound;
+    let g = Dls_core.Greedy.solve pr in
+    Alcotest.(check (float 1e-6)) "G reaches it" 100.0
+      (Dls_core.Allocation.maxmin_objective pr g)
+
+let test_evaluate_consistency () =
+  let rng = Prng.create ~seed:23 in
+  let pr = E.Measure.sample_problem rng ~k:6 in
+  match E.Measure.evaluate ~with_lprr:true ~rng pr with
+  | Error msg -> Alcotest.failf "evaluate failed: %s" msg
+  | Ok v ->
+    Alcotest.(check bool) "LP sum >= LP maxmin" true
+      (v.E.Measure.lp_sum >= v.E.Measure.lp_maxmin -. 1e-6);
+    Alcotest.(check bool) "bounds dominate" true
+      (v.E.Measure.g_maxmin <= v.E.Measure.lp_maxmin +. 1e-6
+       && v.E.Measure.lprg_sum <= v.E.Measure.lp_sum *. (1.0 +. 1e-9) +. 1e-6
+       && v.E.Measure.lpr_sum <= v.E.Measure.lprg_sum +. 1e-6);
+    Alcotest.(check bool) "lprr present" true
+      (v.E.Measure.lprr_sum <> None && v.E.Measure.time_lprr <> None);
+    Alcotest.(check bool) "timings non-negative" true
+      (v.E.Measure.time_lp >= 0.0 && v.E.Measure.time_g >= 0.0)
+
+let test_time_measures () =
+  let (), t = E.Measure.time (fun () -> Unix.sleepf 0.02) in
+  Alcotest.(check bool) "time ~ 20ms" true (t >= 0.015 && t < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure generators (tiny smoke runs)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig5_smoke () =
+  let rows = E.Fig5.run ~seed:31 ~ks:[ 4; 6 ] ~per_k:2 () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ratios in [0, 1+eps]" true
+        (r.E.Fig5.maxmin_lprg >= 0.0 && r.E.Fig5.maxmin_lprg <= 1.0 +. 1e-6
+         && r.E.Fig5.sum_g >= 0.0 && r.E.Fig5.sum_g <= 1.0 +. 1e-6))
+    rows;
+  let table = E.Fig5.table rows in
+  Alcotest.(check int) "table rows" 2 (List.length table.E.Report.rows)
+
+let test_fig6_smoke () =
+  let rows = E.Fig6.run ~seed:32 ~ks:[ 5 ] ~per_k:2 () in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "lprr ratio sane" true
+    (r.E.Fig6.maxmin_lprr >= 0.0 && r.E.Fig6.maxmin_lprr <= 1.0 +. 1e-6)
+
+let test_fig7_smoke () =
+  let rows = E.Fig7.run ~seed:33 ~ks:[ 4; 6 ] ~per_k:1 ~lprr_max_k:4 () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let r4 = List.nth rows 0 and r6 = List.nth rows 1 in
+  Alcotest.(check bool) "lprr only for small k" true
+    (r4.E.Fig7.time_lprr <> None && r6.E.Fig7.time_lprr = None)
+
+let test_aggregate_smoke () =
+  let s = E.Aggregate.run ~seed:34 ~ks:[ 5 ] ~per_k:3 () in
+  Alcotest.(check bool) "platforms counted" true (s.E.Aggregate.platforms > 0);
+  Alcotest.(check bool) "LPRG >= LPR vs LP" true
+    (s.E.Aggregate.lprg_over_lp_sum >= s.E.Aggregate.lpr_over_lp_sum -. 1e-9)
+
+let test_table1_smoke () =
+  let t = E.Table1.grid_table () in
+  Alcotest.(check int) "seven parameters" 7 (List.length t.E.Report.rows);
+  let stats = E.Table1.sample_stats ~seed:35 ~ks:[ 5 ] ~per_k:2 () in
+  Alcotest.(check int) "one row" 1 (List.length stats);
+  Alcotest.(check bool) "connected platforms have >= k-1 backbones" true
+    ((List.hd stats).E.Table1.mean_backbones >= 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations and adaptivity (smoke)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ablation_network_tight_smoke () =
+  let rows = E.Ablation.network_tight ~seed:41 ~ks:[ 5 ] ~per_k:3 () in
+  Alcotest.(check int) "one row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "LPRG SUM >= LPR SUM" true
+    (r.E.Ablation.sum_lprg >= r.E.Ablation.sum_lpr -. 1e-6);
+  Alcotest.(check bool) "ratios bounded" true
+    (r.E.Ablation.sum_g <= 1.0 +. 1e-6 && r.E.Ablation.maxmin_g <= 1.0 +. 1e-6)
+
+let test_ablation_workload_smoke () =
+  let rows = E.Ablation.workload ~seed:42 ~k:6 ~per_setting:2 () in
+  Alcotest.(check int) "five settings" 5 (List.length rows);
+  (* The literal reading (first row) is the trivial flat line. *)
+  let literal = List.hd rows in
+  Alcotest.(check (float 1e-6)) "flat line" 1.0 literal.E.Ablation.maxmin_g_ratio
+
+let test_adaptivity_smoke () =
+  match E.Adaptivity.run ~seed:9 ~k:8 ~periods:6 () with
+  | Error msg -> Alcotest.failf "adaptivity failed: %s" msg
+  | Ok trace ->
+    Alcotest.(check int) "six periods" 6 (List.length trace);
+    List.iter
+      (fun tp ->
+        Alcotest.(check bool)
+          (Printf.sprintf "adaptive >= static at period %d" tp.E.Adaptivity.period)
+          true
+          (tp.E.Adaptivity.adaptive_value >= tp.E.Adaptivity.static_value -. 1e-6))
+      trace
+
+let test_sweep_streaming () =
+  let rows = ref [] in
+  let completed, skipped =
+    E.Sweep.run ~seed:51 ~ks:[ 4; 6 ] ~per_k:2
+      ~on_record:(fun r -> rows := r :: !rows)
+      ()
+  in
+  Alcotest.(check int) "all evaluated" 4 completed;
+  Alcotest.(check int) "none skipped" 0 skipped;
+  Alcotest.(check int) "callback saw all" 4 (List.length !rows);
+  (* Records arrive in campaign order. *)
+  let indices = List.rev_map (fun r -> r.E.Sweep.index) !rows in
+  Alcotest.(check (list int)) "ordered" [ 0; 1; 2; 3 ] indices;
+  (* CSV rows have as many fields as the header. *)
+  let fields s = List.length (String.split_on_char ',' s) in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "csv arity" (fields E.Sweep.csv_header)
+        (fields (E.Sweep.to_csv_row r)))
+    !rows
+
+let test_sweep_deterministic () =
+  (* Drop the five trailing wall-clock columns: everything else must be
+     bit-identical across runs with the same seed. *)
+  let strip_timings row =
+    let fields = String.split_on_char ',' row in
+    let n = List.length fields in
+    List.filteri (fun i _ -> i < n - 5) fields |> String.concat ","
+  in
+  let capture () =
+    let rows = ref [] in
+    ignore
+      (E.Sweep.run ~seed:52 ~ks:[ 5 ] ~per_k:3
+         ~on_record:(fun r -> rows := strip_timings (E.Sweep.to_csv_row r) :: !rows)
+         ());
+    List.rev !rows
+  in
+  Alcotest.(check (list string)) "same seed, same rows" (capture ()) (capture ())
+
+let test_deliverable_fraction () =
+  let rng = Prng.create ~seed:43 in
+  let pr = E.Measure.sample_problem rng ~k:5 in
+  let a = Dls_core.Greedy.solve pr in
+  Alcotest.(check (float 1e-9)) "feasible plan delivers fully" 1.0
+    (E.Adaptivity.deliverable_fraction pr a);
+  (* Degrade every speed and bandwidth to 30%: at most 30% deliverable. *)
+  let p = Dls_core.Problem.platform pr in
+  let module P = Dls_platform.Platform in
+  let clusters =
+    Array.init (P.num_clusters p) (fun k ->
+        let c = P.cluster p k in
+        { c with P.speed = c.P.speed *. 0.3 })
+  in
+  let backbones =
+    Array.init (P.num_backbones p) (fun i ->
+        let b = P.backbone p i in
+        { b with P.bw = b.P.bw *. 0.3 })
+  in
+  let degraded =
+    Dls_core.Problem.make
+      (P.make ~clusters ~topology:(P.topology p) ~backbones)
+      ~payoffs:(Array.init (P.num_clusters p) (Dls_core.Problem.payoff pr))
+  in
+  let f = E.Adaptivity.deliverable_fraction degraded a in
+  Alcotest.(check bool) "fraction shrinks to <= 0.3" true (f <= 0.3 +. 1e-6);
+  Alcotest.(check bool) "fraction positive" true (f > 0.0)
+
+let () =
+  Alcotest.run "dls_experiments"
+    [ ( "report",
+        [ Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "aligned" `Quick test_report_pp_aligned;
+          Alcotest.test_case "write csv" `Quick test_report_write_csv;
+          Alcotest.test_case "cell float" `Quick test_cell_float ] );
+      ( "measure",
+        [ Alcotest.test_case "sampled problems" `Quick test_sample_problem_properties;
+          Alcotest.test_case "literal setting is trivial" `Quick
+            test_sample_problem_literal_setting;
+          Alcotest.test_case "evaluate" `Quick test_evaluate_consistency;
+          Alcotest.test_case "time" `Quick test_time_measures ] );
+      ( "figures",
+        [ Alcotest.test_case "fig5" `Quick test_fig5_smoke;
+          Alcotest.test_case "fig6" `Quick test_fig6_smoke;
+          Alcotest.test_case "fig7" `Quick test_fig7_smoke;
+          Alcotest.test_case "aggregate" `Quick test_aggregate_smoke;
+          Alcotest.test_case "table1" `Quick test_table1_smoke ] );
+      ( "ablation-adaptivity",
+        [ Alcotest.test_case "network tight" `Quick test_ablation_network_tight_smoke;
+          Alcotest.test_case "workload" `Quick test_ablation_workload_smoke;
+          Alcotest.test_case "adaptivity" `Quick test_adaptivity_smoke;
+          Alcotest.test_case "deliverable fraction" `Quick test_deliverable_fraction ] );
+      ( "sweep",
+        [ Alcotest.test_case "streaming" `Quick test_sweep_streaming;
+          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic ] ) ]

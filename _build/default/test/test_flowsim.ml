@@ -1,0 +1,301 @@
+(* Tests for Dls_flowsim: max-min fairness known answers and simulator
+   convergence to the steady-state throughput predicted by feasible
+   allocations. *)
+
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+module Gen = Dls_platform.Generator
+module Prng = Dls_util.Prng
+module Sharing = Dls_flowsim.Sharing
+module Sim = Dls_flowsim.Simulator
+open Dls_core
+
+let feps = 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Sharing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharing_equal_split () =
+  let r =
+    Sharing.rates ~capacities:[| 9.0 |]
+      [ Sharing.flow [ 0 ];
+        Sharing.flow [ 0 ];
+        Sharing.flow [ 0 ] ]
+  in
+  Array.iter (fun v -> Alcotest.(check (float feps)) "third" 3.0 v) r
+
+let test_sharing_cap_redistributes () =
+  (* One flow capped at 1 on a capacity-9 link: the others split 8. *)
+  let r =
+    Sharing.rates ~capacities:[| 9.0 |]
+      [ Sharing.flow ~cap:1.0 [ 0 ];
+        Sharing.flow [ 0 ];
+        Sharing.flow [ 0 ] ]
+  in
+  Alcotest.(check (float feps)) "capped" 1.0 r.(0);
+  Alcotest.(check (float feps)) "fair rest" 4.0 r.(1);
+  Alcotest.(check (float feps)) "fair rest 2" 4.0 r.(2)
+
+let test_sharing_two_resources () =
+  (* Classic max-min: flow A crosses both links, B only link 0, C only
+     link 1; capacities 2 and 4: A and B get 1 each on link 0; C gets 3. *)
+  let r =
+    Sharing.rates ~capacities:[| 2.0; 4.0 |]
+      [ Sharing.flow [ 0; 1 ];
+        Sharing.flow [ 0 ];
+        Sharing.flow [ 1 ] ]
+  in
+  Alcotest.(check (float feps)) "A" 1.0 r.(0);
+  Alcotest.(check (float feps)) "B" 1.0 r.(1);
+  Alcotest.(check (float feps)) "C" 3.0 r.(2)
+
+let test_sharing_no_resource_takes_cap () =
+  let r =
+    Sharing.rates ~capacities:[||] [ Sharing.flow ~cap:7.5 [] ]
+  in
+  Alcotest.(check (float feps)) "cap" 7.5 r.(0)
+
+let test_sharing_zero_capacity_pins () =
+  let r =
+    Sharing.rates ~capacities:[| 0.0 |]
+      [ Sharing.flow [ 0 ] ]
+  in
+  Alcotest.(check (float feps)) "pinned" 0.0 r.(0)
+
+let test_sharing_rejects_bad_input () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Sharing.rates: negative capacity") (fun () ->
+      ignore (Sharing.rates ~capacities:[| -1.0 |] []));
+  Alcotest.check_raises "unknown resource"
+    (Invalid_argument "Sharing.rates: unknown resource") (fun () ->
+      ignore
+        (Sharing.rates ~capacities:[||] [ Sharing.flow ~cap:1.0 [ 0 ] ]))
+
+let prop_sharing_respects_capacities =
+  QCheck2.Test.make ~name:"max-min rates never exceed capacities or caps" ~count:200
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 4) (float_range 0.5 20.0))
+        (list_size (int_range 1 8)
+           (pair (list_size (int_range 0 3) (int_range 0 3)) (float_range 0.1 30.0))))
+    (fun (capacities, flow_specs) ->
+      let nres = Array.length capacities in
+      let flows =
+        List.map
+          (fun (rs, cap) ->
+            Sharing.flow ~cap (List.filter (fun r -> r < nres) rs))
+          flow_specs
+      in
+      let rates = Sharing.rates ~capacities flows in
+      let used = Array.make nres 0.0 in
+      List.iteri
+        (fun i f ->
+          List.iter (fun r -> used.(r) <- used.(r) +. rates.(i)) f.Sharing.resources)
+        flows;
+      Array.for_all2 (fun u c -> u <= c +. 1e-6) used capacities
+      && List.for_all2
+           (fun f i -> rates.(i) <= f.Sharing.cap +. 1e-6)
+           flows
+           (List.init (List.length flows) Fun.id))
+
+let prop_sharing_work_conserving =
+  QCheck2.Test.make
+    ~name:"single shared link is fully used unless all flows are capped" ~count:200
+    QCheck2.Gen.(
+      pair (float_range 1.0 20.0)
+        (list_size (int_range 1 6) (float_range 0.1 30.0)))
+    (fun (capacity, caps) ->
+      let flows = List.map (fun cap -> Sharing.flow ~cap [ 0 ]) caps in
+      let rates = Sharing.rates ~capacities:[| capacity |] flows in
+      let total = Array.fold_left ( +. ) 0.0 rates in
+      let cap_sum = List.fold_left ( +. ) 0.0 caps in
+      Float.abs (total -. Float.min capacity cap_sum) < 1e-6)
+
+let test_sharing_weighted_split () =
+  (* Weights 3:1 on a capacity-8 link: rates 6 and 2. *)
+  let r =
+    Sharing.rates ~capacities:[| 8.0 |]
+      [ Sharing.flow ~weight:3.0 [ 0 ]; Sharing.flow ~weight:1.0 [ 0 ] ]
+  in
+  Alcotest.(check (float feps)) "heavy" 6.0 r.(0);
+  Alcotest.(check (float feps)) "light" 2.0 r.(1)
+
+let test_sharing_weighted_with_cap () =
+  (* The heavy flow is capped below its weighted share: the remainder
+     goes to the light one. *)
+  let r =
+    Sharing.rates ~capacities:[| 8.0 |]
+      [ Sharing.flow ~weight:3.0 ~cap:3.0 [ 0 ]; Sharing.flow ~weight:1.0 [ 0 ] ]
+  in
+  Alcotest.(check (float feps)) "capped heavy" 3.0 r.(0);
+  Alcotest.(check (float feps)) "light takes rest" 5.0 r.(1)
+
+let test_sharing_rejects_bad_weight () =
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Sharing.rates: non-positive weight") (fun () ->
+      ignore
+        (Sharing.rates ~capacities:[| 1.0 |] [ Sharing.flow ~weight:0.0 [ 0 ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Latency                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Lat = Dls_flowsim.Latency
+
+let line3_platform () =
+  let topology = G.path_graph 3 in
+  let clusters =
+    Array.init 3 (fun k -> { P.speed = 10.0; local_bw = 10.0; router = k })
+  in
+  let backbones = Array.make 2 { P.bw = 5.0; max_connect = 4 } in
+  P.make ~clusters ~topology ~backbones
+
+let test_latency_one_way () =
+  let p = line3_platform () in
+  let lat = Lat.of_arrays p ~link:[| 0.1; 0.2 |] ~local:[| 0.01; 0.02; 0.03 |] in
+  Alcotest.(check (float 1e-9)) "self" 0.0 (Lat.one_way p lat 1 1);
+  (* 0 -> 2: local 0 + local 2 + links 0 and 1. *)
+  Alcotest.(check (float 1e-9)) "path" (0.01 +. 0.03 +. 0.1 +. 0.2)
+    (Lat.one_way p lat 0 2);
+  Alcotest.(check (float 1e-9)) "rtt doubles" (2.0 *. Lat.one_way p lat 0 2)
+    (Lat.rtt p lat 0 2);
+  Alcotest.(check bool) "short route heavier weight" true
+    (Lat.tcp_weight p lat 0 1 > Lat.tcp_weight p lat 0 2)
+
+let test_latency_validation () =
+  let p = line3_platform () in
+  Alcotest.check_raises "negative" (Invalid_argument "Latency: negative latency")
+    (fun () -> ignore (Lat.uniform p ~backbone:(-1.0) ~local:0.0));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Latency.of_arrays: one latency per backbone link required")
+    (fun () -> ignore (Lat.of_arrays p ~link:[| 0.0 |] ~local:[| 0.0; 0.0; 0.0 |]))
+
+let test_simulator_with_latency () =
+  (* Latency delays arrivals but steady-state throughput survives; zero
+     latency must match the plain run exactly. *)
+  let p = line3_platform () in
+  let pr = Problem.make p ~payoffs:[| 1.0; 0.0; 0.0 |] in
+  let a = Allocation.zero 3 in
+  a.Allocation.alpha.(0).(1) <- 4.0;
+  a.Allocation.beta.(0).(1) <- 1;
+  Alcotest.(check bool) "feasible" true (Allocation.is_feasible pr a);
+  let plain = Sim.run ~periods:30 ~warmup:5 pr a in
+  let zero_lat = Sim.run ~periods:30 ~warmup:5 ~latency:(Lat.none p) pr a in
+  Alcotest.(check (float 1e-9)) "zero latency = plain" plain.Sim.achieved.(0)
+    zero_lat.Sim.achieved.(0);
+  let lat = Lat.uniform p ~backbone:0.05 ~local:0.01 in
+  let delayed = Sim.run ~periods:30 ~warmup:5 ~latency:lat pr a in
+  Alcotest.(check bool) "latency does not destroy throughput" true
+    (delayed.Sim.achieved.(0) >= 0.9 *. plain.Sim.achieved.(0));
+  Alcotest.(check bool) "throughput still bounded" true
+    (delayed.Sim.achieved.(0) <= plain.Sim.predicted.(0) +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let two_cluster_problem () =
+  let topology = G.path_graph 2 in
+  let clusters =
+    Array.init 2 (fun k -> { P.speed = 10.0; local_bw = 4.0; router = k })
+  in
+  let backbones = [| { P.bw = 2.0; max_connect = 2 } |] in
+  Problem.uniform (P.make ~clusters ~topology ~backbones)
+
+let test_simulator_local_only () =
+  let pr = two_cluster_problem () in
+  let a = Allocation.zero 2 in
+  a.Allocation.alpha.(0).(0) <- 7.0;
+  a.Allocation.alpha.(1).(1) <- 3.0;
+  let stats = Sim.run ~periods:10 ~warmup:1 pr a in
+  Alcotest.(check (float 1e-6)) "app0" 7.0 stats.Sim.achieved.(0);
+  Alcotest.(check (float 1e-6)) "app1" 3.0 stats.Sim.achieved.(1);
+  Alcotest.(check int) "no late" 0 stats.Sim.late_transfers;
+  Alcotest.(check (float 1e-9)) "efficiency" 1.0 (Sim.efficiency stats)
+
+let test_simulator_remote_transfer () =
+  let pr = two_cluster_problem () in
+  let a = Allocation.zero 2 in
+  a.Allocation.alpha.(0).(0) <- 6.0;
+  a.Allocation.alpha.(0).(1) <- 4.0;
+  a.Allocation.beta.(0).(1) <- 2;
+  Alcotest.(check bool) "precondition feasible" true (Allocation.is_feasible pr a);
+  let stats = Sim.run ~periods:30 ~warmup:3 pr a in
+  Alcotest.(check bool) "app0 near predicted" true
+    (stats.Sim.achieved.(0) >= 9.5 && stats.Sim.achieved.(0) <= 10.0 +. 1e-6);
+  Alcotest.(check int) "no stalls" 0 stats.Sim.stalled_transfers
+
+let test_simulator_stalled_when_no_connection () =
+  let pr = two_cluster_problem () in
+  let a = Allocation.zero 2 in
+  (* Positive remote work but zero connections: rate cap 0. *)
+  a.Allocation.alpha.(0).(1) <- 1.0;
+  let stats = Sim.run ~periods:5 ~warmup:1 pr a in
+  Alcotest.(check bool) "stalled detected" true (stats.Sim.stalled_transfers > 0);
+  Alcotest.(check (float 1e-6)) "nothing achieved" 0.0 stats.Sim.achieved.(0)
+
+let test_simulator_rejects_bad_window () =
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Simulator.run: need 0 <= warmup < periods") (fun () ->
+      ignore (Sim.run ~periods:2 ~warmup:2 (two_cluster_problem ()) (Allocation.zero 2)))
+
+let random_problem seed =
+  let rng = Prng.create ~seed in
+  let k = Prng.int rng ~lo:2 ~hi:6 in
+  Problem.uniform
+    (Gen.generate rng
+       { Gen.default_params with k; connectivity = 0.5; heterogeneity = 0.4 })
+
+let prop_simulator_close_to_prediction =
+  QCheck2.Test.make
+    ~name:"simulated throughput within 15% of prediction for greedy allocations"
+    ~count:15
+    (QCheck2.Gen.int_range 0 10_000)
+    (fun seed ->
+      let pr = random_problem seed in
+      let a = Greedy.solve pr in
+      let stats = Sim.run ~periods:30 ~warmup:5 pr a in
+      stats.Sim.stalled_transfers = 0 && Sim.efficiency stats >= 0.85
+      && Sim.efficiency stats <= 1.0 +. 1e-6)
+
+let prop_simulator_never_exceeds_prediction =
+  QCheck2.Test.make ~name:"simulated throughput never exceeds prediction" ~count:15
+    (QCheck2.Gen.int_range 0 10_000)
+    (fun seed ->
+      let pr = random_problem (seed + 77) in
+      let a = Greedy.solve pr in
+      let stats = Sim.run ~periods:20 ~warmup:4 pr a in
+      Array.for_all2
+        (fun ach pre -> ach <= pre +. 1e-6)
+        stats.Sim.achieved stats.Sim.predicted)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dls_flowsim"
+    [ ( "sharing",
+        [ Alcotest.test_case "equal split" `Quick test_sharing_equal_split;
+          Alcotest.test_case "cap redistributes" `Quick test_sharing_cap_redistributes;
+          Alcotest.test_case "two resources" `Quick test_sharing_two_resources;
+          Alcotest.test_case "no resource" `Quick test_sharing_no_resource_takes_cap;
+          Alcotest.test_case "zero capacity" `Quick test_sharing_zero_capacity_pins;
+          Alcotest.test_case "bad input" `Quick test_sharing_rejects_bad_input;
+          Alcotest.test_case "weighted split" `Quick test_sharing_weighted_split;
+          Alcotest.test_case "weighted with cap" `Quick test_sharing_weighted_with_cap;
+          Alcotest.test_case "bad weight" `Quick test_sharing_rejects_bad_weight ] );
+      qsuite "sharing-prop"
+        [ prop_sharing_respects_capacities; prop_sharing_work_conserving ];
+      ( "latency",
+        [ Alcotest.test_case "one way" `Quick test_latency_one_way;
+          Alcotest.test_case "validation" `Quick test_latency_validation;
+          Alcotest.test_case "simulator with latency" `Quick
+            test_simulator_with_latency ] );
+      ( "simulator",
+        [ Alcotest.test_case "local only" `Quick test_simulator_local_only;
+          Alcotest.test_case "remote transfer" `Quick test_simulator_remote_transfer;
+          Alcotest.test_case "stalled transfer" `Quick
+            test_simulator_stalled_when_no_connection;
+          Alcotest.test_case "bad window" `Quick test_simulator_rejects_bad_window ] );
+      qsuite "simulator-prop"
+        [ prop_simulator_close_to_prediction; prop_simulator_never_exceeds_prediction ] ]

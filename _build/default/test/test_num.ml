@@ -1,0 +1,393 @@
+(* Tests for Dls_num.Bigint and Dls_num.Rat: known-answer unit tests plus
+   property tests checking agreement with native int arithmetic in range
+   and the algebraic laws that the exact simplex relies on. *)
+
+module B = Dls_num.Bigint
+module Q = Dls_num.Rat
+
+let bigint = Alcotest.testable B.pp B.equal
+let rat = Alcotest.testable Q.pp Q.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int)) (string_of_int n) (Some n) (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; 1 lsl 31; -(1 lsl 31); (1 lsl 62) - 1 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890";
+      "-98765432109876543210987654321098765432109876543210";
+      "2147483648"; "4611686018427387904"; "1000000000000000000000000000" ]
+
+let test_add_known () =
+  let a = B.of_string "99999999999999999999999999999999" in
+  let b = B.of_string "1" in
+  Alcotest.check bigint "carry chain"
+    (B.of_string "100000000000000000000000000000000")
+    (B.add a b)
+
+let test_mul_known () =
+  let a = B.of_string "123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  Alcotest.check bigint "product"
+    (B.of_string "121932631356500531347203169112635269")
+    (B.mul a b)
+
+let test_divmod_known () =
+  let a = B.of_string "121932631356500531347203169112635270" in
+  let b = B.of_string "987654321987654321" in
+  let q, r = B.divmod a b in
+  Alcotest.check bigint "quotient" (B.of_string "123456789123456789") q;
+  Alcotest.check bigint "remainder" B.one r
+
+let test_divmod_signs () =
+  let check a b eq er =
+    let q, r = B.divmod (B.of_int a) (B.of_int b) in
+    Alcotest.check bigint (Printf.sprintf "%d /%% %d q" a b) (B.of_int eq) q;
+    Alcotest.check bigint (Printf.sprintf "%d /%% %d r" a b) (B.of_int er) r
+  in
+  (* Truncated division semantics, like OCaml's / and mod. *)
+  check 7 2 3 1;
+  check (-7) 2 (-3) (-1);
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 3 (-1)
+
+let test_ediv () =
+  let check a b eq er =
+    let q, r = B.ediv (B.of_int a) (B.of_int b) in
+    Alcotest.check bigint (Printf.sprintf "ediv %d %d q" a b) (B.of_int eq) q;
+    Alcotest.check bigint (Printf.sprintf "ediv %d %d r" a b) (B.of_int er) r
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-4) 1;
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 4 1
+
+let test_div_by_zero () =
+  Alcotest.check_raises "divmod by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_gcd_lcm () =
+  Alcotest.check bigint "gcd" (B.of_int 6) (B.gcd (B.of_int 54) (B.of_int (-24)));
+  Alcotest.check bigint "gcd 0" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  Alcotest.check bigint "lcm" (B.of_int 36) (B.lcm (B.of_int 12) (B.of_int 18));
+  Alcotest.check bigint "lcm 0" B.zero (B.lcm B.zero (B.of_int 7));
+  let huge = B.of_string "123456789012345678901234567890" in
+  Alcotest.check bigint "gcd self" (B.abs huge) (B.gcd huge huge)
+
+let test_pow () =
+  Alcotest.check bigint "2^100"
+    (B.of_string "1267650600228229401496703205376")
+    (B.pow (B.of_int 2) 100);
+  Alcotest.check bigint "x^0" B.one (B.pow (B.of_int 12345) 0);
+  Alcotest.check bigint "(-3)^3" (B.of_int (-27)) (B.pow (B.of_int (-3)) 3)
+
+let test_shift_left () =
+  Alcotest.check bigint "1 << 100"
+    (B.pow (B.of_int 2) 100)
+    (B.shift_left B.one 100);
+  Alcotest.check bigint "5 << 31" (B.of_int (5 * (1 lsl 31))) (B.shift_left (B.of_int 5) 31)
+
+let test_compare_ordering () =
+  let vals =
+    List.map B.of_string
+      [ "-100000000000000000000"; "-5"; "-1"; "0"; "1"; "5"; "100000000000000000000" ]
+  in
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter (fun y -> Alcotest.(check bool) "lt" true (B.compare x y < 0)) rest;
+      pairs rest
+  in
+  pairs vals
+
+let test_to_float () =
+  Alcotest.(check (float 0.0)) "small" 42.0 (B.to_float (B.of_int 42));
+  Alcotest.(check (float 1e6)) "2^70" (Float.ldexp 1.0 70) (B.to_float (B.pow (B.of_int 2) 70))
+
+let test_num_bits () =
+  Alcotest.(check int) "0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "256" 9 (B.num_bits (B.of_int 256));
+  Alcotest.(check int) "2^100" 101 (B.num_bits (B.pow (B.of_int 2) 100))
+
+(* ------------------------------------------------------------------ *)
+(* Bigint property tests                                               *)
+(* ------------------------------------------------------------------ *)
+
+let int_gen = QCheck2.Gen.int_range (-1_000_000_000) 1_000_000_000
+
+(* Pairs of big operands built from strings of random digits, so that
+   multi-limb paths (carry chains, Knuth D) are exercised. *)
+let big_gen =
+  let open QCheck2.Gen in
+  let* ndigits = int_range 1 60 in
+  let* digits = list_repeat ndigits (int_range 0 9) in
+  let* negative = bool in
+  let s = String.concat "" (List.map string_of_int digits) in
+  let s = if negative then "-" ^ s else s in
+  return (B.of_string s)
+
+let prop_add_matches_int =
+  QCheck2.Test.make ~name:"bigint add matches int" ~count:500
+    QCheck2.Gen.(pair int_gen int_gen)
+    (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck2.Test.make ~name:"bigint mul matches int" ~count:500
+    QCheck2.Gen.(pair int_gen int_gen)
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_divmod_invariant =
+  QCheck2.Test.make ~name:"bigint a = q*b + r, |r| < |b|" ~count:300
+    QCheck2.Gen.(pair big_gen big_gen)
+    (fun (a, b) ->
+      if B.is_zero b then true
+      else begin
+        let q, r = B.divmod a b in
+        B.equal a (B.add (B.mul q b) r)
+        && B.compare (B.abs r) (B.abs b) < 0
+        && (B.is_zero r || B.sign r = B.sign a)
+      end)
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"bigint string roundtrip" ~count:300 big_gen
+    (fun a -> B.equal a (B.of_string (B.to_string a)))
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"bigint add commutative" ~count:300
+    QCheck2.Gen.(pair big_gen big_gen)
+    (fun (a, b) -> B.equal (B.add a b) (B.add b a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"bigint mul distributes over add" ~count:200
+    QCheck2.Gen.(triple big_gen big_gen big_gen)
+    (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)))
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"bigint gcd divides both" ~count:200
+    QCheck2.Gen.(pair big_gen big_gen)
+    (fun (a, b) ->
+      let g = B.gcd a b in
+      if B.is_zero g then B.is_zero a && B.is_zero b
+      else B.is_zero (B.rem a g) && B.is_zero (B.rem b g))
+
+(* Adversarial limb patterns: powers of two and their neighbours stress
+   the Knuth-D normalization, qhat estimation, and add-back paths far
+   harder than uniform decimal digits. *)
+let test_divmod_adversarial_patterns () =
+  let specials =
+    let pow2 k = B.shift_left B.one k in
+    List.concat_map
+      (fun k ->
+        [ pow2 k; B.pred (pow2 k); B.succ (pow2 k);
+          B.sub (pow2 k) (pow2 (k / 2)); B.add (pow2 k) (pow2 (k / 2)) ])
+      [ 1; 30; 31; 32; 61; 62; 63; 64; 93; 124 ]
+  in
+  let specials = specials @ List.map B.neg specials in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (B.is_zero b) then begin
+            let q, r = B.divmod a b in
+            if not (B.equal a (B.add (B.mul q b) r)) then
+              Alcotest.failf "a = qb + r broken for %s / %s" (B.to_string a)
+                (B.to_string b);
+            if B.compare (B.abs r) (B.abs b) >= 0 then
+              Alcotest.failf "remainder too large for %s / %s" (B.to_string a)
+                (B.to_string b)
+          end)
+        specials)
+    specials
+
+let prop_sub_add_cancel =
+  QCheck2.Test.make ~name:"bigint (a+b)-b = a" ~count:300
+    QCheck2.Gen.(pair big_gen big_gen)
+    (fun (a, b) -> B.equal a (B.sub (B.add a b) b))
+
+(* ------------------------------------------------------------------ *)
+(* Rat unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Q.of_ints 3 2) (Q.of_ints 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Q.of_ints 3 2) (Q.of_ints (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Q.of_ints (-3) 2) (Q.of_ints 6 (-4));
+  Alcotest.check rat "0/7 = 0" Q.zero (Q.of_ints 0 7);
+  Alcotest.(check string) "den positive" "1" (B.to_string (Q.den (Q.of_ints 0 (-7))))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Q.of_ints 5 6) (Q.add (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rat "1/2 - 1/3" (Q.of_ints 1 6) (Q.sub (Q.of_ints 1 2) (Q.of_ints 1 3));
+  Alcotest.check rat "2/3 * 3/4" (Q.of_ints 1 2) (Q.mul (Q.of_ints 2 3) (Q.of_ints 3 4));
+  Alcotest.check rat "(2/3) / (4/3)" (Q.of_ints 1 2) (Q.div (Q.of_ints 2 3) (Q.of_ints 4 3))
+
+let test_rat_floor_ceil () =
+  let check s ef ec =
+    let v = Q.of_string s in
+    Alcotest.check bigint (s ^ " floor") (B.of_int ef) (Q.floor v);
+    Alcotest.check bigint (s ^ " ceil") (B.of_int ec) (Q.ceil v)
+  in
+  check "7/2" 3 4;
+  check "-7/2" (-4) (-3);
+  check "4" 4 4;
+  check "-4" (-4) (-4);
+  check "1/3" 0 1;
+  check "-1/3" (-1) 0
+
+let test_rat_of_float_exact () =
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.0)) (string_of_float f) f (Q.to_float (Q.of_float f)))
+    [ 0.5; 0.1; -0.75; 3.141592653589793; 1e-10; 123456.789; -0.0; 2.0 ** 40.0 ]
+
+let test_rat_approx_of_float () =
+  Alcotest.check rat "pi ~ 22/7" (Q.of_ints 22 7)
+    (Q.approx_of_float Float.pi ~max_den:10);
+  Alcotest.check rat "pi ~ 355/113" (Q.of_ints 355 113)
+    (Q.approx_of_float Float.pi ~max_den:500);
+  Alcotest.check rat "exact half" (Q.of_ints 1 2) (Q.approx_of_float 0.5 ~max_den:100);
+  Alcotest.check rat "negative" (Q.of_ints (-1) 3)
+    (Q.approx_of_float (-1.0 /. 3.0) ~max_den:10);
+  Alcotest.check rat "integer" (Q.of_int 7) (Q.approx_of_float 7.0 ~max_den:10)
+
+let test_rat_approx_directed () =
+  (* pi from below with den <= 10: 25/8; from above: 22/7. *)
+  Alcotest.check rat "pi below" (Q.of_ints 25 8)
+    (Q.approx_of_float_below Float.pi ~max_den:10);
+  Alcotest.check rat "pi above" (Q.of_ints 22 7)
+    (Q.approx_of_float_above Float.pi ~max_den:10);
+  (* Exactly representable values are returned unchanged. *)
+  Alcotest.check rat "exact below" (Q.of_ints 1 2)
+    (Q.approx_of_float_below 0.5 ~max_den:10);
+  Alcotest.check rat "exact above" (Q.of_ints 1 2)
+    (Q.approx_of_float_above 0.5 ~max_den:10);
+  Alcotest.check rat "integer" (Q.of_int (-3)) (Q.approx_of_float_below (-3.0) ~max_den:7);
+  (* Negative values: below means more negative. *)
+  Alcotest.(check bool) "negative below <= x" true
+    (Q.to_float (Q.approx_of_float_below (-0.3) ~max_den:7) <= -0.3);
+  Alcotest.(check bool) "negative above >= x" true
+    (Q.to_float (Q.approx_of_float_above (-0.3) ~max_den:7) >= -0.3)
+
+let prop_rat_approx_below_is_lower_bound =
+  QCheck2.Test.make ~name:"approx_of_float_below <= x <= approx_of_float_above"
+    ~count:300
+    QCheck2.Gen.(pair (float_range (-100.0) 100.0) (int_range 1 10_000))
+    (fun (f, max_den) ->
+      let below = Q.approx_of_float_below f ~max_den in
+      let above = Q.approx_of_float_above f ~max_den in
+      let x = Q.of_float f in
+      Q.compare below x <= 0 && Q.compare x above <= 0
+      && B.compare (Q.den below) (B.of_int max_den) <= 0
+      && B.compare (Q.den above) (B.of_int max_den) <= 0)
+
+let prop_rat_approx_below_is_best =
+  (* No fraction with the same denominator bound fits strictly between
+     the lower approximation and x (checked by brute force for tiny
+     denominators). *)
+  QCheck2.Test.make ~name:"approx_of_float_below is the best lower bound" ~count:100
+    QCheck2.Gen.(pair (float_range 0.0 3.0) (int_range 1 12))
+    (fun (f, max_den) ->
+      let below = Q.approx_of_float_below f ~max_den in
+      let x = Q.of_float f in
+      let better = ref false in
+      for q = 1 to max_den do
+        for p = 0 to 3 * q + 1 do
+          let cand = Q.of_ints p q in
+          if Q.compare cand x <= 0 && Q.compare cand below > 0 then better := true
+        done
+      done;
+      not !better)
+
+let test_rat_string () =
+  Alcotest.(check string) "3/2" "3/2" (Q.to_string (Q.of_ints 3 2));
+  Alcotest.(check string) "int" "-5" (Q.to_string (Q.of_int (-5)));
+  Alcotest.check rat "parse" (Q.of_ints (-5) 3) (Q.of_string "-5/3")
+
+(* ------------------------------------------------------------------ *)
+(* Rat property tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rat_gen =
+  let open QCheck2.Gen in
+  let* n = int_range (-10_000) 10_000 in
+  let* d = int_range 1 10_000 in
+  return (Q.of_ints n d)
+
+let prop_rat_field_add_assoc =
+  QCheck2.Test.make ~name:"rat add associative" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_rat_mul_inverse =
+  QCheck2.Test.make ~name:"rat x * 1/x = 1" ~count:300 rat_gen (fun a ->
+      Q.is_zero a || Q.equal Q.one (Q.mul a (Q.inv a)))
+
+let prop_rat_compare_consistent_with_float =
+  QCheck2.Test.make ~name:"rat compare agrees with float compare" ~count:300
+    QCheck2.Gen.(pair rat_gen rat_gen)
+    (fun (a, b) ->
+      let c = Q.compare a b in
+      let fa = Q.to_float a and fb = Q.to_float b in
+      if Float.abs (fa -. fb) < 1e-12 then true
+      else (c < 0) = (fa < fb) && (c > 0) = (fa > fb))
+
+let prop_rat_floor_bound =
+  QCheck2.Test.make ~name:"rat floor <= x < floor+1" ~count:300 rat_gen (fun a ->
+      let f = Q.of_bigint (Q.floor a) in
+      Q.compare f a <= 0 && Q.compare a (Q.add f Q.one) < 0)
+
+let prop_rat_approx_within_tolerance =
+  QCheck2.Test.make ~name:"rat approx_of_float close to input" ~count:300
+    QCheck2.Gen.(float_range (-1000.0) 1000.0)
+    (fun f ->
+      let r = Q.approx_of_float f ~max_den:1_000_000 in
+      Float.abs (Q.to_float r -. f) < 1e-4)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dls_num"
+    [ ( "bigint-unit",
+        [ Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "add carry" `Quick test_add_known;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "divmod known" `Quick test_divmod_known;
+          Alcotest.test_case "divmod signs" `Quick test_divmod_signs;
+          Alcotest.test_case "ediv" `Quick test_ediv;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "gcd lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "shift_left" `Quick test_shift_left;
+          Alcotest.test_case "ordering" `Quick test_compare_ordering;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "divmod adversarial patterns" `Quick
+            test_divmod_adversarial_patterns ] );
+      qsuite "bigint-prop"
+        [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_invariant;
+          prop_string_roundtrip; prop_add_commutative; prop_mul_distributes;
+          prop_gcd_divides; prop_sub_add_cancel ];
+      ( "rat-unit",
+        [ Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "floor ceil" `Quick test_rat_floor_ceil;
+          Alcotest.test_case "of_float exact" `Quick test_rat_of_float_exact;
+          Alcotest.test_case "approx_of_float" `Quick test_rat_approx_of_float;
+          Alcotest.test_case "approx directed" `Quick test_rat_approx_directed;
+          Alcotest.test_case "strings" `Quick test_rat_string ] );
+      qsuite "rat-prop"
+        [ prop_rat_field_add_assoc; prop_rat_mul_inverse;
+          prop_rat_compare_consistent_with_float; prop_rat_floor_bound;
+          prop_rat_approx_within_tolerance; prop_rat_approx_below_is_lower_bound;
+          prop_rat_approx_below_is_best ] ]

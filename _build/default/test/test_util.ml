@@ -1,0 +1,203 @@
+(* Tests for Dls_util: PRNG determinism and distribution sanity, plus
+   the descriptive-statistics helpers. *)
+
+module Prng = Dls_util.Prng
+module Stats = Dls_util.Stats
+
+let feps = 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy starts at same point" va vb;
+  ignore (Prng.bits64 a);
+  ignore (Prng.bits64 a);
+  Alcotest.(check bool) "advancing a does not advance b" true
+    (Prng.bits64 b <> Prng.bits64 a)
+
+let test_prng_split_diverges () =
+  let a = Prng.create ~seed:4 in
+  let c = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true (Prng.bits64 c <> Prng.bits64 a)
+
+let test_prng_int_range () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng ~lo:(-3) ~hi:7 in
+    if v < -3 || v > 7 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Prng.int: lo > hi") (fun () ->
+      ignore (Prng.int rng ~lo:1 ~hi:0))
+
+let test_prng_int_covers_range () =
+  let rng = Prng.create ~seed:6 in
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng ~lo:0 ~hi:3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed:8 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng ~lo:2.0 ~hi:5.0 in
+    if v < 2.0 || v >= 5.0 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_prng_bool_bias () =
+  let rng = Prng.create ~seed:9 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bool rng ~p:0.25 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "frequency ~ 0.25" true (Float.abs (freq -. 0.25) < 0.02)
+
+let test_prng_mean_uniform () =
+  let rng = Prng.create ~seed:10 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.float rng ~lo:0.0 ~hi:1.0
+  done;
+  Alcotest.(check bool) "mean ~ 0.5" true
+    (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.01)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:11 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_prng_pick () =
+  let rng = Prng.create ~seed:12 in
+  Alcotest.(check int) "singleton" 42 (Prng.pick rng [| 42 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float feps)) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float feps)) "mean empty" 0.0 (Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 1.25)
+    (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.(check (float feps)) "stddev singleton" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_stats_median_percentile () =
+  Alcotest.(check (float feps)) "odd median" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.(check (float feps)) "even median" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float feps)) "p0" 1.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:0.0);
+  Alcotest.(check (float feps)) "p100" 3.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:100.0);
+  Alcotest.(check (float feps)) "p50 = median" 2.0
+    (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:50.0)
+
+let test_stats_min_max_geomean () =
+  Alcotest.(check (pair (float feps) (float feps))) "min max" (1.0, 9.0)
+    (Stats.min_max [| 3.0; 9.0; 1.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.min_max: empty array")
+    (fun () -> ignore (Stats.min_max [||]));
+  Alcotest.(check (float 1e-9)) "geometric mean" 2.0
+    (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let prop_median_between_min_max =
+  QCheck2.Test.make ~name:"median lies between min and max" ~count:200
+    QCheck2.Gen.(array_size (int_range 1 20) (float_range (-100.0) 100.0))
+    (fun a ->
+      let mn, mx = Stats.min_max a in
+      let med = Stats.median a in
+      mn -. 1e-9 <= med && med <= mx +. 1e-9)
+
+let prop_stddev_nonneg =
+  QCheck2.Test.make ~name:"stddev non-negative" ~count:200
+    QCheck2.Gen.(array_size (int_range 0 20) (float_range (-50.0) 50.0))
+    (fun a -> Stats.stddev a >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Dls_util.Parallel
+
+let test_parallel_preserves_order () =
+  let inputs = Array.init 100 Fun.id in
+  let doubled = Par.map (fun x -> 2 * x) inputs in
+  Alcotest.(check (array int)) "order kept" (Array.init 100 (fun i -> 2 * i)) doubled
+
+let test_parallel_matches_sequential () =
+  let inputs = Array.init 50 (fun i -> i * 7) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "same as domains:1"
+    (Par.map ~domains:1 f inputs)
+    (Par.map ~domains:4 f inputs)
+
+let test_parallel_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map (fun x -> x) [||]);
+  Alcotest.(check (array int)) "singleton" [| 9 |] (Par.map (fun x -> x + 4) [| 5 |])
+
+let test_parallel_propagates_exception () =
+  Alcotest.check_raises "worker exception" (Failure "boom") (fun () ->
+      ignore
+        (Par.map ~domains:3
+           (fun x -> if x = 17 then failwith "boom" else x)
+           (Array.init 40 Fun.id)))
+
+let test_parallel_map_list () =
+  Alcotest.(check (list int)) "list wrapper" [ 2; 4; 6 ]
+    (Par.map_list (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let prop_parallel_equals_map =
+  QCheck2.Test.make ~name:"Parallel.map is Array.map" ~count:50
+    QCheck2.Gen.(array_size (int_range 0 200) int)
+    (fun a -> Par.map (fun x -> x lxor 42) a = Array.map (fun x -> x lxor 42) a)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dls_util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split" `Quick test_prng_split_diverges;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_covers_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bool bias" `Quick test_prng_bool_bias;
+          Alcotest.test_case "uniform mean" `Quick test_prng_mean_uniform;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_prng_pick ] );
+      ( "stats",
+        [ Alcotest.test_case "mean stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "median percentile" `Quick test_stats_median_percentile;
+          Alcotest.test_case "min max geomean" `Quick test_stats_min_max_geomean ] );
+      ( "parallel",
+        [ Alcotest.test_case "order preserved" `Quick test_parallel_preserves_order;
+          Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick test_parallel_empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_propagates_exception;
+          Alcotest.test_case "list wrapper" `Quick test_parallel_map_list ] );
+      qsuite "stats-prop"
+        [ prop_median_between_min_max; prop_stddev_nonneg; prop_parallel_equals_map ] ]
