@@ -1,1 +1,1 @@
-lib/core/lp_relax.ml: Array Dls_lp Dls_platform Float Fun Hashtbl List Option Printf Problem
+lib/core/lp_relax.ml: Array Dls_lp Dls_platform Float Fun Hashtbl List Option Printf Problem Stdlib

@@ -1,1 +1,1 @@
-lib/core/lp_relax.mli: Dls_num Problem
+lib/core/lp_relax.mli: Dls_lp Dls_num Problem

@@ -1,1 +1,1 @@
-lib/core/lprr.ml: Allocation Array Dls_platform Dls_util Float Hashtbl List Lp_relax Problem Stdlib
+lib/core/lprr.ml: Allocation Array Dls_lp Dls_platform Dls_util Float List Lp_relax Problem Result Stdlib

@@ -1,1 +1,1 @@
-lib/core/lprr.mli: Allocation Dls_util Lp_relax Problem
+lib/core/lprr.mli: Allocation Dls_lp Dls_util Lp_relax Problem

@@ -57,3 +57,42 @@ val remote_pairs : Problem.t -> (int * int) list
 (** Ordered pairs (k, l), k active, k <> l, joined by a route that
     crosses at least one backbone link — exactly the pairs whose beta
     matters, i.e. LPRR's rounding domain. *)
+
+(** Warm-started float path for iterated pinning (LPRR's inner loop).
+
+    The relaxation is encoded once; {!Incremental.pin} then updates the
+    sparse solver state in place — it tightens the pair's bound row to
+    [v * g_{k,l}], deletes the pair's [1/g] slot charge from every
+    backbone row of its route and lowers those right-hand sides by [v]
+    — and {!Incremental.solve} re-optimizes from the previous optimal
+    basis instead of rebuilding the model and re-solving from the
+    all-slack basis.  Each solve is the same LP the cold
+    [solve ~fixed:(pinned so far)] path would build (the handle carries
+    one extra, initially redundant, bound row per remote pair), so
+    optimal objectives agree within float tolerance — a property the
+    test suite checks on random platforms. *)
+module Incremental : sig
+  type handle
+
+  val create : ?objective:objective -> Problem.t -> handle
+  (** Encode the relaxation (default [Maxmin]) with no pair pinned. *)
+
+  val pin : handle -> int * int -> int -> (unit, string) result
+  (** [pin h (k, l) v] fixes the pair's connection count to [v].
+      [Error] (with the same message as the cold path's [Failed]) when
+      [v] exceeds the slots remaining on a backbone link of the route;
+      the handle is left unchanged in that case.
+      @raise Invalid_argument on a negative [v], a pair outside
+      {!remote_pairs}, or a pair already pinned. *)
+
+  val pinned : handle -> ((int * int) * int) list
+  (** Pins applied so far, in no particular order. *)
+
+  val solve : ?max_iterations:int -> handle -> float outcome
+  (** Re-optimize under the current pins.  The first call is a cold
+      start; later calls warm-start (with automatic cold fallback when
+      the carried basis went stale). *)
+
+  val counters : handle -> Dls_lp.Revised_simplex.counters
+  (** Cumulative solver instrumentation for this handle. *)
+end

@@ -1,17 +1,55 @@
 module P = Dls_platform.Platform
 module Prng = Dls_util.Prng
+module Rs = Dls_lp.Revised_simplex
 
 type stats = {
   allocation : Allocation.t;
   lp_solves : int;
   upward_rounds : int;
+  pin_trace : ((int * int) * int) list;
+  lp_objectives : float list;
+  counters : Rs.counters option;
 }
 
 let floor_eps = 1e-9
 
-(* Remaining connection slots on the route (k, l) after accounting for
-   every already-pinned pair crossing each of its links. *)
-let route_slack problem fixed_tbl (k, l) =
+(* Incremental per-link used-slots table: O(route length) per query
+   instead of rescanning every pinned pair through [routes_through] for
+   every candidate on every iteration (O(K^4) over a full LPRR run). *)
+module Slots = struct
+  type t = { problem : Problem.t; used : int array }
+
+  let create problem =
+    { problem;
+      used = Array.make (P.num_backbones (Problem.platform problem)) 0 }
+
+  (* Routes are paths, but [make_with_routes] overrides could repeat a
+     link; count each crossed link once, like [routes_through] does. *)
+  let route_links p k l =
+    match P.route p k l with
+    | None | Some [] -> []
+    | Some links -> List.sort_uniq compare links
+
+  let pin t (k, l) v =
+    List.iter
+      (fun link -> t.used.(link) <- t.used.(link) + v)
+      (route_links (Problem.platform t.problem) k l)
+
+  let route_slack t (k, l) =
+    let p = Problem.platform t.problem in
+    match route_links p k l with
+    | [] -> 0
+    | links ->
+      List.fold_left
+        (fun acc link ->
+          Stdlib.min acc ((P.backbone p link).P.max_connect - t.used.(link)))
+        max_int links
+end
+
+(* Reference implementation of the slack computation, quadratic in the
+   number of pins: kept for the property test pitting it against the
+   incremental table, and for callers holding a bare pin list. *)
+let recompute_route_slack problem pins (k, l) =
   let p = Problem.platform problem in
   match P.route p k l with
   | None | Some [] -> 0
@@ -21,7 +59,7 @@ let route_slack problem fixed_tbl (k, l) =
         let used =
           List.fold_left
             (fun u pair ->
-              match Hashtbl.find_opt fixed_tbl pair with
+              match List.assoc_opt pair pins with
               | Some v -> u + v
               | None -> u)
             0
@@ -30,27 +68,38 @@ let route_slack problem fixed_tbl (k, l) =
         Stdlib.min acc ((P.backbone p link).P.max_connect - used))
       max_int links
 
-let run ~equal_probability ?objective ~rng problem =
-  let pairs = Lp_relax.remote_pairs problem in
-  let fixed_tbl = Hashtbl.create 64 in
-  let fixed_list () = Hashtbl.fold (fun pair v acc -> (pair, v) :: acc) fixed_tbl [] in
+(* The rounding loop, shared by the warm and cold paths.  [solve_pinned]
+   re-solves the relaxation under the pins so far; [record_pin] commits
+   one rounding decision. *)
+let rounding_loop ~equal_probability ~rng ~pairs ~slots ~solve_pinned
+    ~record_pin =
   let unfixed = ref pairs in
   let lp_solves = ref 0 in
   let upward = ref 0 in
+  let trace = ref [] in
+  let objectives = ref [] in
   let failure = ref None in
   let finished = ref false in
+  let pin pair v =
+    match record_pin pair v with
+    | Ok () ->
+      Slots.pin slots pair v;
+      trace := (pair, v) :: !trace
+    | Error msg -> failure := Some msg
+  in
   while not !finished && !failure = None do
-    match Lp_relax.solve ?objective ~fixed:(fixed_list ()) problem with
+    match solve_pinned () with
     | Lp_relax.Failed msg -> failure := Some msg
     | Lp_relax.Solution sol ->
       incr lp_solves;
+      objectives := sol.Lp_relax.objective_value :: !objectives;
       let candidates =
         List.filter (fun (k, l) -> sol.Lp_relax.beta.(k).(l) > floor_eps) !unfixed
       in
       (match candidates with
        | [] ->
          (* No live fractional route left: pin the rest to zero. *)
-         List.iter (fun pair -> Hashtbl.replace fixed_tbl pair 0) !unfixed;
+         List.iter (fun pair -> pin pair 0) !unfixed;
          unfixed := [];
          finished := true
        | _ :: _ ->
@@ -64,34 +113,72 @@ let run ~equal_probability ?objective ~rng problem =
          in
          let v = if up then fl + 1 else fl in
          (* Feasibility clamp: never pin more slots than the route has. *)
-         let v = Stdlib.min v (route_slack problem fixed_tbl (k, l)) in
+         let v = Stdlib.min v (Slots.route_slack slots (k, l)) in
          let v = Stdlib.max v 0 in
          if up && v = fl + 1 then incr upward;
-         Hashtbl.replace fixed_tbl (k, l) v;
+         pin (k, l) v;
          unfixed := List.filter (fun pair -> pair <> (k, l)) !unfixed)
   done;
   match !failure with
   | Some msg -> Error msg
   | None ->
     (* Final solve with every beta pinned gives the alphas. *)
-    (match Lp_relax.solve ?objective ~fixed:(fixed_list ()) problem with
+    (match solve_pinned () with
      | Lp_relax.Failed msg -> Error msg
      | Lp_relax.Solution sol ->
        incr lp_solves;
-       let kk = Problem.num_clusters problem in
-       let alloc = Allocation.zero kk in
-       for k = 0 to kk - 1 do
-         for l = 0 to kk - 1 do
-           alloc.Allocation.alpha.(k).(l) <- sol.Lp_relax.alpha.(k).(l)
-         done
-       done;
-       Hashtbl.iter
-         (fun (k, l) v -> alloc.Allocation.beta.(k).(l) <- v)
-         fixed_tbl;
-       Ok { allocation = alloc; lp_solves = !lp_solves; upward_rounds = !upward })
+       objectives := sol.Lp_relax.objective_value :: !objectives;
+       Ok (sol, !lp_solves, !upward, List.rev !trace, List.rev !objectives))
 
-let solve ?objective ~rng problem =
-  run ~equal_probability:false ?objective ~rng problem
+let finish problem (sol, lp_solves, upward, trace, objectives) ~counters =
+  let kk = Problem.num_clusters problem in
+  let alloc = Allocation.zero kk in
+  for k = 0 to kk - 1 do
+    for l = 0 to kk - 1 do
+      alloc.Allocation.alpha.(k).(l) <- sol.Lp_relax.alpha.(k).(l)
+    done
+  done;
+  List.iter
+    (fun ((k, l), v) -> alloc.Allocation.beta.(k).(l) <- v)
+    trace;
+  { allocation = alloc; lp_solves; upward_rounds = upward; pin_trace = trace;
+    lp_objectives = objectives; counters }
 
-let solve_equal_probability ?objective ~rng problem =
-  run ~equal_probability:true ?objective ~rng problem
+let run ~equal_probability ~warm ?objective ~rng problem =
+  let pairs = Lp_relax.remote_pairs problem in
+  let slots = Slots.create problem in
+  if warm then begin
+    (* Warm path: encode once, thread the incremental handle through
+       the pinning loop; each re-solve starts from the previous optimal
+       basis. *)
+    let handle = Lp_relax.Incremental.create ?objective problem in
+    let outcome =
+      rounding_loop ~equal_probability ~rng ~pairs ~slots
+        ~solve_pinned:(fun () -> Lp_relax.Incremental.solve handle)
+        ~record_pin:(fun pair v -> Lp_relax.Incremental.pin handle pair v)
+    in
+    Result.map
+      (fun r ->
+        finish problem r ~counters:(Some (Lp_relax.Incremental.counters handle)))
+      outcome
+  end
+  else begin
+    (* Cold path (the paper's cost model and our warm-vs-cold bench
+       baseline): rebuild the model and re-solve from the all-slack
+       basis at every iteration. *)
+    let pins = ref [] in
+    let outcome =
+      rounding_loop ~equal_probability ~rng ~pairs ~slots
+        ~solve_pinned:(fun () -> Lp_relax.solve ?objective ~fixed:!pins problem)
+        ~record_pin:(fun pair v ->
+          pins := (pair, v) :: !pins;
+          Ok ())
+    in
+    Result.map (fun r -> finish problem r ~counters:None) outcome
+  end
+
+let solve ?(warm = true) ?objective ~rng problem =
+  run ~equal_probability:false ~warm ?objective ~rng problem
+
+let solve_equal_probability ?(warm = true) ?objective ~rng problem =
+  run ~equal_probability:true ~warm ?objective ~rng problem

@@ -1,1 +1,1 @@
-lib/experiments/measure.ml: Allocation Array Dls_core Dls_platform Dls_util Greedy Heuristics List Lp_relax Lpr Lprg Lprr Problem Result Unix
+lib/experiments/measure.ml: Allocation Array Dls_core Dls_lp Dls_platform Dls_util Greedy Heuristics List Lp_relax Lpr Lprg Lprr Problem Result Unix

@@ -1,1 +1,1 @@
-lib/experiments/measure.mli: Dls_core Dls_platform Dls_util
+lib/experiments/measure.mli: Dls_core Dls_lp Dls_platform Dls_util

@@ -31,7 +31,10 @@ let rounding_policy ?(seed = 6) ?(ks = [ 8; 12 ]) ?(per_k = 4) () =
         | Ok bound when bound <= eps -> ()
         | Ok bound ->
           let run solve =
-            match solve ?objective:(Some Lp_relax.Maxmin) ~rng:(Prng.split rng) problem with
+            match
+              solve ?warm:None ?objective:(Some Lp_relax.Maxmin)
+                ~rng:(Prng.split rng) problem
+            with
             | Ok stats ->
               Some (Allocation.maxmin_objective problem stats.Lprr.allocation /. bound)
             | Error _ -> None

@@ -10,6 +10,9 @@ type row = {
   sum_lprr : float;
   maxmin_lprg : float;
   sum_lprg : float;
+  lprr_pivots : float;
+  lprr_reinversions : float;
+  lprr_warm_starts : float;
 }
 
 let eps = 1e-9
@@ -18,7 +21,7 @@ let run ?(seed = 2) ?(ks = [ 15; 20; 25 ]) ?(per_k = 4) () =
   let rng = Prng.create ~seed in
   List.map
     (fun k ->
-      let acc = Array.make 6 [] in
+      let acc = Array.make 9 [] in
       let push i v = acc.(i) <- v :: acc.(i) in
       let used = ref 0 in
       (* Sequential sampling (PRNG reproducibility), parallel evaluation;
@@ -46,26 +49,38 @@ let run ?(seed = 2) ?(ks = [ 15; 20; 25 ]) ?(per_k = 4) () =
              push 2 (lprr_maxmin /. v.Measure.lp_maxmin);
              push 3 (lprr_sum /. v.Measure.lp_sum);
              push 4 (v.Measure.lprg_maxmin /. v.Measure.lp_maxmin);
-             push 5 (v.Measure.lprg_sum /. v.Measure.lp_sum)
+             push 5 (v.Measure.lprg_sum /. v.Measure.lp_sum);
+             (match v.Measure.lprr_counters with
+              | Some c ->
+                push 6 (float_of_int c.Dls_lp.Revised_simplex.pivots);
+                push 7 (float_of_int c.Dls_lp.Revised_simplex.reinversions);
+                push 8 (float_of_int c.Dls_lp.Revised_simplex.warm_starts)
+              | None -> ())
            | _ -> ()))
         evaluations;
       let mean i = Stats.mean (Array.of_list acc.(i)) in
       { k; platforms = !used;
         maxmin_g = mean 0; sum_g = mean 1;
         maxmin_lprr = mean 2; sum_lprr = mean 3;
-        maxmin_lprg = mean 4; sum_lprg = mean 5 })
+        maxmin_lprg = mean 4; sum_lprg = mean 5;
+        lprr_pivots = mean 6; lprr_reinversions = mean 7;
+        lprr_warm_starts = mean 8 })
     ks
 
 let table rows =
   { Report.title = "Figure 6: LPRR vs G (LPRG for context), relative to LP";
     header =
       [ "K"; "platforms"; "MAXMIN(G)/LP"; "SUM(G)/LP"; "MAXMIN(LPRR)/LP";
-        "SUM(LPRR)/LP"; "MAXMIN(LPRG)/LP"; "SUM(LPRG)/LP" ];
+        "SUM(LPRR)/LP"; "MAXMIN(LPRG)/LP"; "SUM(LPRG)/LP";
+        "LPRR pivots"; "LPRR reinv"; "LPRR warm" ];
     rows =
       List.map
         (fun r ->
           [ string_of_int r.k; string_of_int r.platforms;
             Report.cell_float r.maxmin_g; Report.cell_float r.sum_g;
             Report.cell_float r.maxmin_lprr; Report.cell_float r.sum_lprr;
-            Report.cell_float r.maxmin_lprg; Report.cell_float r.sum_lprg ])
+            Report.cell_float r.maxmin_lprg; Report.cell_float r.sum_lprg;
+            Report.cell_float r.lprr_pivots;
+            Report.cell_float r.lprr_reinversions;
+            Report.cell_float r.lprr_warm_starts ])
         rows }

@@ -9,6 +9,8 @@ type row = {
   time_lpr : float;
   time_lprg : float;
   time_lprr : float option;
+  lprr_pivots : float option;
+  lprr_reinversions : float option;
 }
 
 let run ?(seed = 3) ?(ks = [ 10; 20; 30; 40 ]) ?(per_k = 3) ?(lprr_max_k = 20) () =
@@ -18,6 +20,7 @@ let run ?(seed = 3) ?(ks = [ 10; 20; 30; 40 ]) ?(per_k = 3) ?(lprr_max_k = 20) (
       let with_lprr = k <= lprr_max_k in
       let tg = ref [] and tlp = ref [] and tlpr = ref [] in
       let tlprg = ref [] and tlprr = ref [] in
+      let pivots = ref [] and reinv = ref [] in
       let used = ref 0 in
       for _ = 1 to per_k do
         let problem = Measure.sample_problem rng ~k in
@@ -31,25 +34,37 @@ let run ?(seed = 3) ?(ks = [ 10; 20; 30; 40 ]) ?(per_k = 3) ?(lprr_max_k = 20) (
           tlprg := v.Measure.time_lprg :: !tlprg;
           (match v.Measure.time_lprr with
            | Some t -> tlprr := t :: !tlprr
+           | None -> ());
+          (match v.Measure.lprr_counters with
+           | Some c ->
+             pivots := float_of_int c.Dls_lp.Revised_simplex.pivots :: !pivots;
+             reinv :=
+               float_of_int c.Dls_lp.Revised_simplex.reinversions :: !reinv
            | None -> ())
       done;
       let mean l = Stats.mean (Array.of_list l) in
+      let opt l = if l = [] then None else Some (mean l) in
       { k; platforms = !used;
         time_g = mean !tg;
         time_lp = mean !tlp;
         time_lpr = mean !tlpr;
         time_lprg = mean !tlprg;
-        time_lprr = (if !tlprr = [] then None else Some (mean !tlprr)) })
+        time_lprr = opt !tlprr;
+        lprr_pivots = opt !pivots;
+        lprr_reinversions = opt !reinv })
     ks
 
 let table rows =
   { Report.title = "Figure 7: mean running time (seconds) by K";
-    header = [ "K"; "platforms"; "G"; "LP"; "LPR"; "LPRG"; "LPRR" ];
+    header =
+      [ "K"; "platforms"; "G"; "LP"; "LPR"; "LPRG"; "LPRR"; "LPRR pivots";
+        "LPRR reinv" ];
     rows =
-      List.map
-        (fun r ->
-          [ string_of_int r.k; string_of_int r.platforms;
-            Report.cell_float r.time_g; Report.cell_float r.time_lp;
-            Report.cell_float r.time_lpr; Report.cell_float r.time_lprg;
-            (match r.time_lprr with Some t -> Report.cell_float t | None -> "-") ])
-        rows }
+      (let opt = function Some t -> Report.cell_float t | None -> "-" in
+       List.map
+         (fun r ->
+           [ string_of_int r.k; string_of_int r.platforms;
+             Report.cell_float r.time_g; Report.cell_float r.time_lp;
+             Report.cell_float r.time_lpr; Report.cell_float r.time_lprg;
+             opt r.time_lprr; opt r.lprr_pivots; opt r.lprr_reinversions ])
+         rows) }

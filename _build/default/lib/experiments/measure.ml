@@ -13,6 +13,7 @@ type values = {
   lprg_maxmin : float;
   lprr_sum : float option;
   lprr_maxmin : float option;
+  lprr_counters : Dls_lp.Revised_simplex.counters option;
   time_lp : float;
   time_g : float;
   time_lpr : float;
@@ -107,16 +108,20 @@ let evaluate ?(with_lprr = false) ?rng problem =
   let* lprg_maxmin, lprg_sum, time_lprg =
     run_lp_based "LPRG" (fun ~objective pr -> Lprg.solve ~objective pr)
   in
-  let* lprr_maxmin, lprr_sum, time_lprr =
-    if not with_lprr then Ok (None, None, None)
+  let* lprr_maxmin, lprr_sum, lprr_counters, time_lprr =
+    if not with_lprr then Ok (None, None, None, None)
     else begin
+      (* Capture solver counters from the MAXMIN run (the timed one). *)
+      let counters = ref None in
       let* mm, s, t =
         run_lp_based "LPRR" (fun ~objective pr ->
             Result.map
-              (fun st -> st.Lprr.allocation)
+              (fun st ->
+                if objective = Lp_relax.Maxmin then counters := st.Lprr.counters;
+                st.Lprr.allocation)
               (Lprr.solve ~objective ~rng pr))
       in
-      Ok (Some mm, Some s, Some t)
+      Ok (Some mm, Some s, !counters, Some t)
     end
   in
   Ok
@@ -124,4 +129,5 @@ let evaluate ?(with_lprr = false) ?rng problem =
       g_sum = value `Sum g_alloc;
       g_maxmin = value `Maxmin g_alloc;
       lpr_sum; lpr_maxmin; lprg_sum; lprg_maxmin; lprr_sum; lprr_maxmin;
+      lprr_counters;
       time_lp; time_g; time_lpr; time_lprg; time_lprr }

@@ -16,6 +16,9 @@ type values = {
   lprg_maxmin : float;
   lprr_sum : float option;  (** [None] unless [with_lprr] *)
   lprr_maxmin : float option;
+  lprr_counters : Dls_lp.Revised_simplex.counters option;
+  (** Solver instrumentation of the MAXMIN LPRR run (pivots, warm/cold
+      starts, reinversions, wall-clock); [None] unless [with_lprr]. *)
   time_lp : float;  (** seconds, one relaxation solve (MAXMIN) *)
   time_g : float;
   time_lpr : float;

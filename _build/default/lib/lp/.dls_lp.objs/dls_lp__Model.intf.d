@@ -1,1 +1,1 @@
-lib/lp/model.mli: Field Format Simplex
+lib/lp/model.mli: Field Format Revised_simplex Simplex

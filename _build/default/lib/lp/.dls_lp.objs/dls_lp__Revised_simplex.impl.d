@@ -1,1 +1,1 @@
-lib/lp/revised_simplex.ml: Array Float Hashtbl List Option Printf Queue
+lib/lp/revised_simplex.ml: Array Float Hashtbl List Logs Option Printf Queue Unix

@@ -139,27 +139,63 @@ module Float = struct
           rows = rows @ bound_rows }
     end
 
+  let result_of_sparse t (sol : Revised_simplex.solution) =
+    let status =
+      match sol.Revised_simplex.status with
+      | Revised_simplex.Optimal -> Solver.Optimal
+      | Revised_simplex.Unbounded -> Solver.Unbounded
+      | Revised_simplex.Iteration_limit -> Solver.Iteration_limit
+    in
+    { status;
+      objective = sol.Revised_simplex.objective;
+      value =
+        (fun v ->
+          check_var t v;
+          sol.Revised_simplex.values.(v));
+      duals =
+        Array.sub sol.Revised_simplex.duals 0
+          (Stdlib.min t.nrows (Array.length sol.Revised_simplex.duals));
+      iterations = sol.Revised_simplex.iterations }
+
   let solve_auto ?max_iterations t =
     match packed_form t with
     | None -> solve ?max_iterations t
     | Some problem ->
-      let sol = Revised_simplex.solve ?max_iterations problem in
-      let status =
-        match sol.Revised_simplex.status with
-        | Revised_simplex.Optimal -> Solver.Optimal
-        | Revised_simplex.Unbounded -> Solver.Unbounded
-        | Revised_simplex.Iteration_limit -> Solver.Iteration_limit
-      in
-      { status;
-        objective = sol.Revised_simplex.objective;
-        value =
-          (fun v ->
-            check_var t v;
-            sol.Revised_simplex.values.(v));
-        duals =
-          Array.sub sol.Revised_simplex.duals 0
-            (Stdlib.min t.nrows (Array.length sol.Revised_simplex.duals));
-        iterations = sol.Revised_simplex.iterations }
+      result_of_sparse t (Revised_simplex.solve ?max_iterations problem)
+
+  (* Incremental-solve handle: the model is snapshotted once into a
+     sparse revised-simplex state; subsequent row edits go through the
+     state (the builder is not kept in sync) and re-solves warm-start
+     from the previous optimal basis. *)
+  type incremental = { model : t; state : Revised_simplex.state }
+
+  let incremental t =
+    match packed_form t with
+    | None ->
+      invalid_arg "Model.Float.incremental: model not in packed inequality form"
+    | Some problem -> { model = t; state = Revised_simplex.create problem }
+
+  let check_row h row =
+    if row < 0 || row >= h.model.nrows then
+      invalid_arg "Model.Float.incremental: row out of range"
+
+  let inc_set_rhs h ~row v =
+    check_row h row;
+    Revised_simplex.set_rhs h.state ~row v
+
+  let inc_rhs h ~row =
+    check_row h row;
+    Revised_simplex.rhs h.state ~row
+
+  let inc_zero_coeff h ~row v =
+    check_row h row;
+    check_var h.model v;
+    Revised_simplex.zero_coeff h.state ~row ~var:v
+
+  let inc_solve ?max_iterations h =
+    result_of_sparse h.model (Revised_simplex.solve_state ?max_iterations h.state)
+
+  let inc_counters h = Revised_simplex.counters h.state
 end
 
 module Exact = Make (Field.Exact)

@@ -67,6 +67,39 @@ module Float : sig
       DLS relaxation) to the sparse {!Revised_simplex}, falling back to
       the dense tableau otherwise.  Identical results up to float
       tolerance; cross-checked by the property tests. *)
+
+  type incremental
+  (** Handle for a sequence of warm-started re-solves of one packed
+      model (LPRR's pinning loop).  Created by snapshotting the builder;
+      later edits to the builder are {e not} reflected in the handle. *)
+
+  val incremental : t -> incremental
+  (** Snapshot the model into a sparse revised-simplex state.
+      @raise Invalid_argument unless the model is in packed inequality
+      form (all rows [<=], right-hand sides and upper bounds
+      non-negative). *)
+
+  val inc_set_rhs : incremental -> row:int -> float -> unit
+  (** Replace the right-hand side of the [row]-th constraint (in order
+      of [add_le] addition; variable-bound rows are not addressable).
+      @raise Invalid_argument on an out-of-range row or negative
+      value. *)
+
+  val inc_rhs : incremental -> row:int -> float
+  (** Current right-hand side of the [row]-th constraint. *)
+
+  val inc_zero_coeff : incremental -> row:int -> var -> unit
+  (** Delete a variable's coefficient from a constraint (no-op if the
+      variable does not appear in it). *)
+
+  val inc_solve : ?max_iterations:int -> incremental -> result
+  (** Re-optimize: the first call is a cold start, later calls
+      warm-start from the previous optimal basis (with automatic
+      fallback to a cold start when that basis is stale — singular or
+      infeasible after the edits). *)
+
+  val inc_counters : incremental -> Revised_simplex.counters
+  (** Cumulative solver instrumentation for this handle. *)
 end
 (** Pre-instantiated float model (the experiments' fast path). *)
 

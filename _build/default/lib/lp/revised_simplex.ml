@@ -16,6 +16,23 @@ type solution = {
   iterations : int;
 }
 
+type counters = {
+  solves : int;
+  warm_starts : int;
+  cold_starts : int;
+  pivots : int;
+  reinversions : int;
+  wall_clock : float;
+}
+
+let zero_counters =
+  { solves = 0; warm_starts = 0; cold_starts = 0; pivots = 0;
+    reinversions = 0; wall_clock = 0.0 }
+
+let src = Logs.Src.create "dls.lp.revised" ~doc:"Sparse revised simplex"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 (* Eta matrix of one pivot: identity with column [row] replaced by the
    (sparse) transformed entering column; [pivot] is that column's entry
    in position [row]. *)
@@ -43,6 +60,13 @@ type state = {
   x_basic : float array;
   mutable etas : eta list;  (* newest first *)
   mutable num_etas : int;
+  mutable pivot_etas : int;  (* etas appended by pivots since the last
+                                reinversion — the factorization's own
+                                etas must not count against the
+                                refactorization interval, or a large
+                                basis re-inverts on every pivot *)
+  mutable solved : bool;  (* a previous solve's basis is carried *)
+  mutable ctr : counters;  (* cumulative over the state's lifetime *)
 }
 
 (* v <- B^-1 v : apply etas oldest-first. *)
@@ -96,7 +120,9 @@ let pack_eta row w m =
   { row; pivot = w.(row); idx; value }
 
 (* Rebuild the eta representation for the current basis set from
-   scratch (reinversion), then recompute the basic values.
+   scratch (reinversion), then recompute the basic values.  Returns
+   [true] when the carried basis was kept, [false] when it was singular
+   and the state fell back to the all-slack basis.
 
    Phase 1 — triangularization: repeatedly eliminate a row whose support
    among the remaining basis columns is a singleton.  In that order each
@@ -105,6 +131,7 @@ let pack_eta row w m =
    pivoted generically with partial pivoting over the unused rows.  Row
    assignments may permute, so [basis] is rewritten accordingly. *)
 let refactor st =
+  st.ctr <- { st.ctr with reinversions = st.ctr.reinversions + 1 };
   let columns = Array.copy st.basis in
   let ncols = Array.length columns in
   st.etas <- [];
@@ -223,14 +250,16 @@ let refactor st =
       st.in_basis.(st.n + i) <- true
     done
   end;
+  st.pivot_etas <- 0;
   (* Recompute basic values x_B = B^-1 b. *)
   Array.blit st.rhs 0 st.x_basic 0 st.m;
   ftran st st.x_basic;
   for i = 0 to st.m - 1 do
     if st.x_basic.(i) < 0.0 && st.x_basic.(i) > -1e-6 then st.x_basic.(i) <- 0.0
-  done
+  done;
+  !ok
 
-let build problem =
+let create problem =
   let rows = Array.of_list problem.rows in
   let m = Array.length rows in
   let n = problem.num_vars in
@@ -269,7 +298,45 @@ let build problem =
     in_basis.(n + i) <- true
   done;
   { m; n; col_idx; col_val; obj; rhs; basis; in_basis;
-    x_basic = Array.copy rhs; etas = []; num_etas = 0 }
+    x_basic = Array.copy rhs; etas = []; num_etas = 0; pivot_etas = 0;
+    solved = false; ctr = zero_counters }
+
+let counters st = st.ctr
+
+(* ---------------- incremental updates ---------------- *)
+
+let set_rhs st ~row v =
+  if row < 0 || row >= st.m then
+    invalid_arg "Revised_simplex.set_rhs: row out of range";
+  if v < 0.0 then invalid_arg "Revised_simplex.set_rhs: negative right-hand side";
+  st.rhs.(row) <- v
+
+let rhs st ~row =
+  if row < 0 || row >= st.m then
+    invalid_arg "Revised_simplex.rhs: row out of range";
+  st.rhs.(row)
+
+let zero_coeff st ~row ~var =
+  if row < 0 || row >= st.m then
+    invalid_arg "Revised_simplex.zero_coeff: row out of range";
+  if var < 0 || var >= st.n then
+    invalid_arg "Revised_simplex.zero_coeff: variable out of range";
+  let idx = st.col_idx.(var) and value = st.col_val.(var) in
+  for k = 0 to Array.length idx - 1 do
+    if idx.(k) = row then value.(k) <- 0.0
+  done
+
+(* Reset to the (always primal-feasible) all-slack starting basis. *)
+let reset_cold st =
+  st.etas <- [];
+  st.num_etas <- 0;
+  st.pivot_etas <- 0;
+  Array.fill st.in_basis 0 (st.n + st.m) false;
+  for i = 0 to st.m - 1 do
+    st.basis.(i) <- st.n + i;
+    st.in_basis.(st.n + i) <- true
+  done;
+  Array.blit st.rhs 0 st.x_basic 0 st.m
 
 let objective_value st =
   let z = ref 0.0 in
@@ -279,8 +346,9 @@ let objective_value st =
   done;
   !z
 
-let solve ?max_iterations problem =
-  let st = build problem in
+(* Primal simplex iterations from the current (primal-feasible) basis:
+   Dantzig pricing with a stall-triggered switch to Bland's rule. *)
+let optimize ?max_iterations st =
   let total_cols = st.n + st.m in
   let budget =
     match max_iterations with
@@ -298,7 +366,7 @@ let solve ?max_iterations problem =
   while !result = None do
     if !iterations >= budget then result := Some Iteration_limit
     else begin
-      if st.num_etas >= refactor_interval then refactor st;
+      if st.pivot_etas >= refactor_interval then ignore (refactor st : bool);
       (* Pricing: y = (B^-1)' c_B, then reduced costs per nonbasic column. *)
       Array.fill y 0 st.m 0.0;
       for i = 0 to st.m - 1 do
@@ -371,6 +439,7 @@ let solve ?max_iterations problem =
           st.basis.(r) <- q;
           st.etas <- pack_eta r w st.m :: st.etas;
           st.num_etas <- st.num_etas + 1;
+          st.pivot_etas <- st.pivot_etas + 1;
           incr iterations;
           let z = objective_value st in
           if z > !last_z +. 1e-12 then begin
@@ -386,6 +455,28 @@ let solve ?max_iterations problem =
     end
   done;
   let status = match !result with Some s -> s | None -> assert false in
+  (status, !iterations)
+
+let solve_state ?max_iterations st =
+  let t0 = Unix.gettimeofday () in
+  let before = st.ctr in
+  (* Warm attempt: reinvert the carried basis against the (possibly
+     updated) matrix and right-hand sides; fall back to the all-slack
+     cold start when the basis is singular or no longer primal
+     feasible. *)
+  let warm =
+    st.solved
+    && refactor st
+    && not (Array.exists (fun x -> x < 0.0) st.x_basic)
+  in
+  if not warm then reset_cold st;
+  st.ctr <-
+    { st.ctr with
+      solves = st.ctr.solves + 1;
+      warm_starts = (st.ctr.warm_starts + if warm then 1 else 0);
+      cold_starts = (st.ctr.cold_starts + if warm then 0 else 1) };
+  let status, iterations = optimize ?max_iterations st in
+  st.solved <- true;
   let values = Array.make st.n 0.0 in
   let duals = Array.make st.m 0.0 in
   if status = Optimal then begin
@@ -403,4 +494,18 @@ let solve ?max_iterations problem =
   let objective =
     Array.fold_left ( +. ) 0.0 (Array.mapi (fun j v -> st.obj.(j) *. v) values)
   in
-  { status; objective; values; duals; iterations = !iterations }
+  let dt = Unix.gettimeofday () -. t0 in
+  st.ctr <-
+    { st.ctr with
+      pivots = st.ctr.pivots + iterations;
+      wall_clock = st.ctr.wall_clock +. dt };
+  Log.debug (fun m ->
+      m "solve #%d (%s): %d pivots, %d reinversions, %.3f ms"
+        st.ctr.solves
+        (if warm then "warm" else "cold")
+        iterations
+        (st.ctr.reinversions - before.reinversions)
+        (1e3 *. dt));
+  { status; objective; values; duals; iterations }
+
+let solve ?max_iterations problem = solve_state ?max_iterations (create problem)

@@ -15,7 +15,20 @@
     [x >= 0] and [b >= 0] — so the all-slack basis is feasible and no
     phase 1 is needed.  {!Model.Float.solve_auto} routes eligible
     programs here and everything else to the dense tableau; both engines
-    are cross-checked on random programs in the test suite. *)
+    are cross-checked on random programs in the test suite.
+
+    {2 Resumable solves}
+
+    A {!state} survives across solves: after {!solve_state}, the
+    optimal basis is carried, the caller may tighten right-hand sides
+    ({!set_rhs}) or delete matrix entries ({!zero_coeff}), and the next
+    {!solve_state} {e warm-starts} — it reinverts the carried basis via
+    the triangularized refactorization and re-optimizes from there,
+    falling back to the cold all-slack start when the carried basis is
+    singular or no longer primal feasible.  LPRR's iterated rounding
+    (one LP per remote route, each differing from the previous by one
+    pinned beta) is the motivating client; see
+    [Dls_core.Lp_relax.Incremental]. *)
 
 type constr = {
   coeffs : (int * float) list;  (** duplicate indices are summed *)
@@ -41,5 +54,52 @@ type solution = {
 }
 
 val solve : ?max_iterations:int -> problem -> solution
-(** @raise Invalid_argument on an out-of-range variable index or a
+(** One-shot solve from the all-slack basis.
+    @raise Invalid_argument on an out-of-range variable index or a
     negative right-hand side. *)
+
+(** {2 Resumable solver state} *)
+
+type state
+(** A built problem plus its carried basis and factorization. *)
+
+type counters = {
+  solves : int;  (** calls to {!solve_state} on this state *)
+  warm_starts : int;  (** solves begun from a carried basis *)
+  cold_starts : int;
+  (** solves begun from the all-slack basis: the first solve plus every
+      fallback from a singular or primal-infeasible carried basis *)
+  pivots : int;  (** simplex iterations, cumulative *)
+  reinversions : int;
+  (** basis refactorizations, cumulative (periodic refreshes during a
+      solve plus the one opening every warm start) *)
+  wall_clock : float;  (** seconds spent inside {!solve_state} *)
+}
+
+val create : problem -> state
+(** Build the compressed-column form once.  Raises like {!solve}. *)
+
+val solve_state : ?max_iterations:int -> state -> solution
+(** Optimize the state's current problem.  The first call is a cold
+    start; later calls warm-start from the carried basis as described
+    above.  Cumulative {!counters} are updated, and a [dls.lp.revised]
+    debug line is logged per solve (pivots, reinversions, warm/cold
+    tag, wall-clock). *)
+
+val set_rhs : state -> row:int -> float -> unit
+(** Replace a row's right-hand side (rows are indexed in the order they
+    were given to {!create}).
+    @raise Invalid_argument on an out-of-range row or a negative
+    value. *)
+
+val rhs : state -> row:int -> float
+(** Current right-hand side of a row. *)
+
+val zero_coeff : state -> row:int -> var:int -> unit
+(** Set the coefficient of [var] in [row] to zero without rebuilding
+    the compressed-column matrix (entries absent from the row are left
+    untouched).  The carried basis is revalidated on the next
+    {!solve_state}. *)
+
+val counters : state -> counters
+(** Snapshot of the cumulative instrumentation counters. *)

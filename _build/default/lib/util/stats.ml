@@ -11,9 +11,11 @@ let stddev a =
     sqrt (acc /. float_of_int n)
   end
 
+(* Float.compare, not polymorphic compare: specialized (no boxing) and a
+   deterministic total order on NaN-containing series (NaNs first). *)
 let sorted_copy a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let median a =
@@ -25,6 +27,8 @@ let median a =
   end
 
 let percentile a ~p =
+  if Float.is_nan p then invalid_arg "Stats.percentile: p is NaN";
+  let p = Float.max 0.0 (Float.min 100.0 p) in
   let n = Array.length a in
   if n = 0 then 0.0
   else begin
@@ -48,6 +52,9 @@ let min_max a =
 let geometric_mean a =
   let n = Array.length a in
   if n = 0 then 0.0
+  else if Array.exists (fun x -> x < 0.0 || Float.is_nan x) a then
+    invalid_arg "Stats.geometric_mean: negative or NaN input"
+  else if Array.exists (fun x -> x = 0.0) a then 0.0
   else begin
     let acc = Array.fold_left (fun s x -> s +. log x) 0.0 a in
     exp (acc /. float_of_int n)

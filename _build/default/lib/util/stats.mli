@@ -10,15 +10,26 @@ val stddev : float array -> float
 
 val median : float array -> float
 (** Median (average of the two middle elements for even lengths); 0 on
-    an empty array.  Does not mutate its argument. *)
+    an empty array.  Does not mutate its argument.  Order statistics
+    use [Float.compare], so NaN-containing series (degenerate 0/0
+    ratio records) sort deterministically with NaNs first — i.e. NaNs
+    occupy the {e low} ranks. *)
 
 val percentile : float array -> p:float -> float
-(** [percentile a ~p] for [p] in [\[0,100\]], linear interpolation between
-    closest ranks; 0 on an empty array. *)
+(** [percentile a ~p], linear interpolation between closest ranks; 0 on
+    an empty array.  [p] is clamped to [\[0, 100\]], so [p < 0] yields
+    the minimum and [p > 100] the maximum instead of indexing out of
+    bounds.  NaN elements sort first (see {!median}).
+    @raise Invalid_argument when [p] itself is NaN. *)
 
 val min_max : float array -> float * float
 (** Minimum and maximum.
     @raise Invalid_argument on an empty array. *)
 
 val geometric_mean : float array -> float
-(** Geometric mean of strictly positive values; 0 on an empty array. *)
+(** Geometric mean; 0 on an empty array.  A zero element makes the
+    result exactly 0 (instead of silently computing [exp (-.infinity)]
+    — the Section 6.1 ratio summaries legitimately contain LPR scores
+    of 0).
+    @raise Invalid_argument on a negative or NaN input, whose geometric
+    mean is undefined. *)

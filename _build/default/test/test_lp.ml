@@ -540,6 +540,150 @@ let prop_revised_strong_duality =
         && Array.for_all (fun d -> d >= -1e-7) sol.Dls_lp.Revised_simplex.duals
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Resumable solves (warm starts)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let textbook_rows rhs1 rhs2 rhs3 =
+  [ { Rs.coeffs = [ (0, 1.0) ]; rhs = rhs1 };
+    { Rs.coeffs = [ (1, 2.0) ]; rhs = rhs2 };
+    { Rs.coeffs = [ (0, 3.0); (1, 2.0) ]; rhs = rhs3 } ]
+
+let textbook_problem rhs1 rhs2 rhs3 =
+  { Rs.num_vars = 2;
+    maximize = [ (0, 3.0); (1, 5.0) ];
+    rows = textbook_rows rhs1 rhs2 rhs3 }
+
+let test_warm_relax_nonbinding () =
+  (* Relaxing a row that is slack at the optimum keeps the carried
+     basis primal-feasible: the re-solve must be a warm start and reach
+     the same optimum. *)
+  let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
+  let s1 = Rs.solve_state st in
+  check_float "first solve" 36.0 s1.Rs.objective;
+  check_float "rhs read-back" 4.0 (Rs.rhs st ~row:0);
+  Rs.set_rhs st ~row:0 5.0;
+  let s2 = Rs.solve_state st in
+  check_float "re-solve" 36.0 s2.Rs.objective;
+  let c = Rs.counters st in
+  Alcotest.(check int) "solves" 2 c.Rs.solves;
+  Alcotest.(check int) "cold starts" 1 c.Rs.cold_starts;
+  Alcotest.(check int) "warm starts" 1 c.Rs.warm_starts;
+  Alcotest.(check bool) "wall clock advances" true (c.Rs.wall_clock > 0.0)
+
+let test_warm_tighten_rhs () =
+  (* Tightening may invalidate the carried basis (automatic cold
+     fallback) — either way the optimum must match a from-scratch
+     solve of the updated program. *)
+  let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
+  ignore (Rs.solve_state st);
+  Rs.set_rhs st ~row:1 6.0;
+  let s2 = Rs.solve_state st in
+  let cold = Rs.solve (textbook_problem 4.0 6.0 18.0) in
+  check_float "warm matches cold" cold.Rs.objective s2.Rs.objective;
+  check_float "objective" 27.0 s2.Rs.objective;
+  let c = Rs.counters st in
+  Alcotest.(check int) "solves" 2 c.Rs.solves;
+  Alcotest.(check int) "every solve tagged" 2 (c.Rs.warm_starts + c.Rs.cold_starts)
+
+let test_warm_zero_coeff () =
+  let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
+  ignore (Rs.solve_state st);
+  (* Drop x from the third row: rows become x <= 4, 2y <= 12, 2y <= 18. *)
+  Rs.zero_coeff st ~row:2 ~var:0;
+  let s2 = Rs.solve_state st in
+  let cold =
+    Rs.solve
+      { Rs.num_vars = 2;
+        maximize = [ (0, 3.0); (1, 5.0) ];
+        rows =
+          [ { Rs.coeffs = [ (0, 1.0) ]; rhs = 4.0 };
+            { Rs.coeffs = [ (1, 2.0) ]; rhs = 12.0 };
+            { Rs.coeffs = [ (1, 2.0) ]; rhs = 18.0 } ] }
+  in
+  check_float "matches rebuilt LP" cold.Rs.objective s2.Rs.objective;
+  check_float "objective" 42.0 s2.Rs.objective
+
+let test_state_update_validation () =
+  let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
+  Alcotest.check_raises "negative rhs"
+    (Invalid_argument "Revised_simplex.set_rhs: negative right-hand side")
+    (fun () -> Rs.set_rhs st ~row:0 (-1.0));
+  Alcotest.check_raises "row out of range"
+    (Invalid_argument "Revised_simplex.set_rhs: row out of range") (fun () ->
+      Rs.set_rhs st ~row:3 1.0);
+  Alcotest.check_raises "var out of range"
+    (Invalid_argument "Revised_simplex.zero_coeff: variable out of range")
+    (fun () -> Rs.zero_coeff st ~row:0 ~var:2)
+
+let test_model_incremental_handle () =
+  let m = Mf.create () in
+  let x = Mf.add_var ~name:"x" m in
+  let y = Mf.add_var ~name:"y" m in
+  Mf.add_le m [ (x, 1.0) ] 4.0;
+  Mf.add_le m [ (y, 2.0) ] 12.0;
+  Mf.add_le m [ (x, 3.0); (y, 2.0) ] 18.0;
+  Mf.set_objective m [ (x, 3.0); (y, 5.0) ];
+  let h = Mf.incremental m in
+  let r1 = Mf.inc_solve h in
+  Alcotest.(check bool) "optimal" true (r1.Mf.status = Mf.Solver.Optimal);
+  check_float "first objective" 36.0 r1.Mf.objective;
+  Mf.inc_set_rhs h ~row:1 6.0;
+  check_float "rhs read-back" 6.0 (Mf.inc_rhs h ~row:1);
+  let r2 = Mf.inc_solve h in
+  check_float "tightened objective" 27.0 r2.Mf.objective;
+  check_float "x" 4.0 (r2.Mf.value x);
+  check_float "y" 3.0 (r2.Mf.value y);
+  Mf.inc_zero_coeff h ~row:2 x;
+  let r3 = Mf.inc_solve h in
+  check_float "zeroed objective" 27.0 r3.Mf.objective;
+  let c = Mf.inc_counters h in
+  Alcotest.(check int) "solves counted" 3
+    c.Dls_lp.Revised_simplex.solves
+
+let prop_warm_matches_cold_after_tightening =
+  (* The tentpole's correctness property in miniature: solve, scale
+     every rhs down, re-solve the same state — the warm (or fallen-back)
+     result must equal a from-scratch solve of the updated program. *)
+  let gen =
+    let open QCheck2.Gen in
+    let* lp = packed_lp_gen in
+    let* nums = list_repeat 8 (int_range 0 10) in
+    return (lp, nums)
+  in
+  QCheck2.Test.make
+    ~name:"warm re-solve equals cold solve after rhs tightening" ~count:300 gen
+    (fun ((nv, obj, rows), nums) ->
+      let objf = List.map (fun (v, c) -> (v, float_of_int c)) obj in
+      let scale i rhs =
+        float_of_int rhs *. (float_of_int (List.nth nums (i mod 8)) /. 10.0)
+      in
+      let rowsf =
+        List.map
+          (fun (terms, rhs) ->
+            { Rs.coeffs = List.map (fun (v, c) -> (v, float_of_int c)) terms;
+              rhs = float_of_int rhs })
+          rows
+      in
+      let st = Rs.create { Rs.num_vars = nv; maximize = objf; rows = rowsf } in
+      ignore (Rs.solve_state st);
+      List.iteri (fun i (_, rhs) -> Rs.set_rhs st ~row:i (scale i rhs)) rows;
+      let warm = Rs.solve_state st in
+      let cold =
+        Rs.solve
+          { Rs.num_vars = nv;
+            maximize = objf;
+            rows =
+              List.mapi
+                (fun i r -> { r with Rs.rhs = scale i (int_of_float r.Rs.rhs) })
+                rowsf }
+      in
+      match (warm.Rs.status, cold.Rs.status) with
+      | Rs.Optimal, Rs.Optimal ->
+        Float.abs (warm.Rs.objective -. cold.Rs.objective) < 1e-6
+      | Rs.Unbounded, Rs.Unbounded -> true
+      | _ -> false)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -571,10 +715,20 @@ let () =
             test_revised_rejects_negative_rhs;
           Alcotest.test_case "refactorization path" `Quick
             test_revised_many_pivots_refactor ] );
+      ( "warm-start",
+        [ Alcotest.test_case "relax non-binding row" `Quick
+            test_warm_relax_nonbinding;
+          Alcotest.test_case "tighten rhs" `Quick test_warm_tighten_rhs;
+          Alcotest.test_case "zero coefficient" `Quick test_warm_zero_coeff;
+          Alcotest.test_case "update validation" `Quick
+            test_state_update_validation;
+          Alcotest.test_case "model incremental handle" `Quick
+            test_model_incremental_handle ] );
       ( "duals",
         [ Alcotest.test_case "textbook duals" `Quick test_dense_duals_textbook ] );
       qsuite "simplex-prop"
         [ prop_float_matches_exact; prop_optimal_point_is_feasible;
           prop_revised_matches_dense; prop_revised_solution_feasible;
           prop_dense_strong_duality; prop_dense_dual_signs;
-          prop_exact_strong_duality; prop_revised_strong_duality ] ]
+          prop_exact_strong_duality; prop_revised_strong_duality;
+          prop_warm_matches_cold_after_tightening ] ]

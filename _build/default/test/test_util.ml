@@ -113,6 +113,42 @@ let test_stats_median_percentile () =
   Alcotest.(check (float feps)) "p50 = median" 2.0
     (Stats.percentile [| 3.0; 1.0; 2.0 |] ~p:50.0)
 
+let test_stats_percentile_clamped () =
+  (* p outside [0, 100] clamps to the edges instead of indexing out of
+     bounds. *)
+  let a = [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (float feps)) "p < 0 -> minimum" 1.0
+    (Stats.percentile a ~p:(-5.0));
+  Alcotest.(check (float feps)) "p > 100 -> maximum" 3.0
+    (Stats.percentile a ~p:150.0);
+  Alcotest.(check (float feps)) "p = -infinity -> minimum" 1.0
+    (Stats.percentile a ~p:Float.neg_infinity);
+  Alcotest.check_raises "NaN p rejected"
+    (Invalid_argument "Stats.percentile: p is NaN") (fun () ->
+      ignore (Stats.percentile a ~p:Float.nan))
+
+let test_stats_nan_ordering () =
+  (* Float.compare sorts NaNs first, so order statistics on
+     NaN-containing series are deterministic (NaNs take the low ranks). *)
+  let a = [| 2.0; Float.nan; 1.0 |] in
+  Alcotest.(check (float feps)) "median skips past the NaN" 1.0
+    (Stats.median a);
+  Alcotest.(check (float feps)) "p100 is the true maximum" 2.0
+    (Stats.percentile a ~p:100.0);
+  Alcotest.(check bool) "p0 is the NaN" true
+    (Float.is_nan (Stats.percentile a ~p:0.0))
+
+let test_stats_geomean_edge_cases () =
+  Alcotest.(check (float feps)) "zero element -> 0" 0.0
+    (Stats.geometric_mean [| 1.0; 0.0; 4.0 |]);
+  Alcotest.(check (float feps)) "empty -> 0" 0.0 (Stats.geometric_mean [||]);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Stats.geometric_mean: negative or NaN input") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; -2.0 |]));
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.geometric_mean: negative or NaN input") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; Float.nan |]))
+
 let test_stats_min_max_geomean () =
   Alcotest.(check (pair (float feps) (float feps))) "min max" (1.0, 9.0)
     (Stats.min_max [| 3.0; 9.0; 1.0 |]);
@@ -191,7 +227,12 @@ let () =
       ( "stats",
         [ Alcotest.test_case "mean stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "median percentile" `Quick test_stats_median_percentile;
-          Alcotest.test_case "min max geomean" `Quick test_stats_min_max_geomean ] );
+          Alcotest.test_case "min max geomean" `Quick test_stats_min_max_geomean;
+          Alcotest.test_case "percentile clamping" `Quick
+            test_stats_percentile_clamped;
+          Alcotest.test_case "NaN ordering" `Quick test_stats_nan_ordering;
+          Alcotest.test_case "geometric mean edge cases" `Quick
+            test_stats_geomean_edge_cases ] );
       ( "parallel",
         [ Alcotest.test_case "order preserved" `Quick test_parallel_preserves_order;
           Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;

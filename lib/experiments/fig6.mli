@@ -14,6 +14,10 @@ type row = {
   sum_lprr : float;
   maxmin_lprg : float;
   sum_lprg : float;
+  lprr_pivots : float;
+  (** Mean total simplex pivots of the (warm-started) MAXMIN LPRR run. *)
+  lprr_reinversions : float;  (** mean basis reinversions per run *)
+  lprr_warm_starts : float;  (** mean warm-started solves per run *)
 }
 
 val run : ?seed:int -> ?ks:int list -> ?per_k:int -> unit -> row list

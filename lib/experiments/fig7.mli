@@ -14,6 +14,9 @@ type row = {
   time_lpr : float;
   time_lprg : float;
   time_lprr : float option;  (** [None] beyond [lprr_max_k] *)
+  lprr_pivots : float option;
+  (** Mean total simplex pivots of the MAXMIN LPRR run. *)
+  lprr_reinversions : float option;  (** mean basis reinversions per run *)
 }
 
 val run :
