@@ -97,6 +97,34 @@ let lprr_warm_vs_cold ?(seed = 42) ?(ks = [ 15; 20; 25 ]) ?(per_k = 2) () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1c: campaign-runner throughput (chunked streaming map scaling) *)
+(* ------------------------------------------------------------------ *)
+
+(* Same campaign, increasing domain counts: per-index PRNG streams make
+   the records identical whatever the pool width, so this isolates the
+   scheduling overhead and scaling of Parallel.map_chunked. *)
+let campaign_throughput ?(ks = [ 10; 15 ]) ?(per_k = 6) () =
+  Format.printf "=== Campaign runner throughput (identical records per row) ===@.@.";
+  Format.printf "%-8s %-10s %-12s %-8s@." "domains" "wall-s" "records/s" "records";
+  let widths =
+    List.sort_uniq compare [ 1; 2; Dls_util.Parallel.num_domains () ]
+  in
+  List.iter
+    (fun domains ->
+      let config =
+        { E.Campaign.default_config with E.Campaign.ks; per_k; seed = 77 }
+      in
+      match E.Campaign.run ~domains config with
+      | Error msg -> Format.printf "%-8d failed: %s@." domains msg
+      | Ok s ->
+        Format.printf "%-8d %-10.3f %-12.1f %-8d@." domains s.E.Campaign.s_wall
+          (float_of_int s.E.Campaign.s_evaluated
+           /. Float.max 1e-9 s.E.Campaign.s_wall)
+          s.E.Campaign.s_evaluated)
+    widths;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one group per table/figure       *)
 (* ------------------------------------------------------------------ *)
 
@@ -253,9 +281,13 @@ let () =
   else if Array.exists (String.equal "--warm") Sys.argv then
     (* Just the warm-vs-cold LPRR acceptance series. *)
     lprr_warm_vs_cold ()
+  else if Array.exists (String.equal "--campaign") Sys.argv then
+    (* Just the campaign-runner scaling series. *)
+    campaign_throughput ()
   else begin
     reproduction ();
     lprr_warm_vs_cold ();
+    campaign_throughput ();
     run_benchmarks ();
     Format.printf "@.done.@."
   end

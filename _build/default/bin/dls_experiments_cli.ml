@@ -142,6 +142,96 @@ let sweep_cmd =
     Term.(const run $ seed_arg 12 $ ks_arg [ 5; 15; 25; 35; 45; 55 ] $ count_arg
           $ with_lprr_arg $ out_arg)
 
+let campaign_cmd =
+  let out_jsonl_arg =
+    let doc =
+      "Append every record to $(docv) as JSONL (one JSON entry per line) and \
+       maintain a checkpoint manifest at $(docv).manifest."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "out-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Replay an existing --out-jsonl log, drop any torn trailing line, and \
+       evaluate only the remaining indices."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let shards_arg =
+    let doc = "Partition indices round-robin into $(docv) shards." in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let shard_arg =
+    let doc =
+      "Run only shard $(docv) (0-based); omit to run all shards sequentially."
+    in
+    Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Rewrite the checkpoint manifest every $(docv) records." in
+    Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: available cores, capped at 8)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let chunk_arg =
+    let doc =
+      "Records evaluated per parallel burst; memory stays O($(docv))."
+    in
+    Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let with_lprr_arg =
+    Arg.(value & flag
+         & info [ "with-lprr" ]
+             ~doc:"Also run LPRR on every platform (K^2 LP solves).")
+  in
+  let lprr_max_k_arg =
+    let doc = "With --with-lprr, only run LPRR for K up to $(docv)." in
+    Arg.(value & opt (some int) None & info [ "lprr-max-k" ] ~docv:"K" ~doc)
+  in
+  let no_timings_arg =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Record all wall-clock fields as 0, making the log \
+                   byte-reproducible (used by the determinism tests).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress progress lines (warnings only).")
+  in
+  let run seed ks per_k with_lprr lprr_max_k no_timings shards shard resume
+      out_jsonl checkpoint_every domains chunk quiet =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if quiet then Logs.Warning else Logs.Info));
+    let config =
+      { E.Campaign.seed; ks; per_k; with_lprr; lprr_max_k;
+        measure_time = not no_timings }
+    in
+    match
+      E.Campaign.run ?domains ?chunk ~checkpoint_every ~shards ?shard ~resume
+        ?out:out_jsonl config
+    with
+    | Error msg ->
+      Format.eprintf "campaign failed: %s@." msg;
+      exit 1
+    | Ok s ->
+      emit (E.Campaign.summary_table s);
+      if not no_timings && s.E.Campaign.s_evaluated > 0 then
+        emit (E.Campaign.times_table s)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a paper-scale evaluation campaign: per-index PRNG streams, \
+          sharding, an append-only JSONL record log with a checkpoint \
+          manifest, and crash-safe --resume.")
+    Term.(const run $ seed_arg 12 $ ks_arg [ 5; 15; 25; 35; 45; 55 ]
+          $ per_k_arg 5 $ with_lprr_arg $ lprr_max_k_arg $ no_timings_arg
+          $ shards_arg $ shard_arg $ resume_arg $ out_jsonl_arg
+          $ checkpoint_every_arg $ domains_arg $ chunk_arg $ quiet_arg)
+
 let adaptivity_cmd =
   let run seed out =
     setup_logs ();
@@ -187,4 +277,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info [ table1_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
                                    aggregate_cmd; ablation_cmd; adaptivity_cmd;
-                                   sweep_cmd; all_cmd ]))
+                                   sweep_cmd; campaign_cmd; all_cmd ]))

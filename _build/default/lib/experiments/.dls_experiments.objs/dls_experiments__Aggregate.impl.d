@@ -1,1 +1,1 @@
-lib/experiments/aggregate.ml: Array Dls_util List Logs Measure Report
+lib/experiments/aggregate.ml: Array Campaign Dls_util List Measure Report

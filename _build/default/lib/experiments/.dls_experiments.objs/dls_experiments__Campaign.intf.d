@@ -1,0 +1,1 @@
+lib/experiments/campaign.mli: Dls_platform Measure Report

@@ -1,1 +1,1 @@
-lib/experiments/fig5.ml: Array Dls_util List Logs Measure Report
+lib/experiments/fig5.ml: Array Campaign Dls_platform Dls_util List Measure Report

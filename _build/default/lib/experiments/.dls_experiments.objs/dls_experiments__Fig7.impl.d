@@ -1,1 +1,1 @@
-lib/experiments/fig7.ml: Array Dls_lp Dls_util List Logs Measure Report
+lib/experiments/fig7.ml: Array Campaign Dls_lp Dls_platform Dls_util List Measure Report

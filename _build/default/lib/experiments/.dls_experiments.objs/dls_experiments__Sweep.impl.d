@@ -1,1 +1,1 @@
-lib/experiments/sweep.ml: Array Dls_core Dls_platform Dls_util List Logs Measure Printf Problem String
+lib/experiments/sweep.ml: Campaign Dls_platform Logs Measure Printf String

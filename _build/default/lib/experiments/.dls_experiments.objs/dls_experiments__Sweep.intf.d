@@ -1,1 +1,1 @@
-lib/experiments/sweep.mli: Dls_platform Measure
+lib/experiments/sweep.mli: Campaign Dls_platform Measure

@@ -1,4 +1,3 @@
-module Prng = Dls_util.Prng
 module Stats = Dls_util.Stats
 
 type summary = {
@@ -14,31 +13,29 @@ type summary = {
 let eps = 1e-9
 
 let run ?(seed = 4) ?(ks = [ 5; 15; 25; 35; 45 ]) ?(per_k = 4) () =
-  let rng = Prng.create ~seed in
+  let records =
+    Campaign.collect
+      { Campaign.default_config with Campaign.seed; ks; per_k }
+  in
   let ratio_mm = ref [] and ratio_sum = ref [] in
   let lpr_zero = ref 0 and lpr_lp = ref [] in
   let g_lp = ref [] and lprg_lp = ref [] in
   let used = ref 0 in
   List.iter
-    (fun k ->
-      for _ = 1 to per_k do
-        let problem = Measure.sample_problem rng ~k in
-        match Measure.evaluate problem with
-        | Error msg -> Logs.warn (fun m -> m "aggregate: skipping platform: %s" msg)
-        | Ok v ->
-          if v.Measure.lp_sum > eps then begin
-            incr used;
-            if v.Measure.g_maxmin > eps then
-              ratio_mm := (v.Measure.lprg_maxmin /. v.Measure.g_maxmin) :: !ratio_mm;
-            if v.Measure.g_sum > eps then
-              ratio_sum := (v.Measure.lprg_sum /. v.Measure.g_sum) :: !ratio_sum;
-            if v.Measure.lpr_sum <= eps then incr lpr_zero;
-            lpr_lp := (v.Measure.lpr_sum /. v.Measure.lp_sum) :: !lpr_lp;
-            g_lp := (v.Measure.g_sum /. v.Measure.lp_sum) :: !g_lp;
-            lprg_lp := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !lprg_lp
-          end
-      done)
-    ks;
+    (fun (r : Campaign.record) ->
+      let v = r.Campaign.values in
+      if v.Measure.lp_sum > eps then begin
+        incr used;
+        if v.Measure.g_maxmin > eps then
+          ratio_mm := (v.Measure.lprg_maxmin /. v.Measure.g_maxmin) :: !ratio_mm;
+        if v.Measure.g_sum > eps then
+          ratio_sum := (v.Measure.lprg_sum /. v.Measure.g_sum) :: !ratio_sum;
+        if v.Measure.lpr_sum <= eps then incr lpr_zero;
+        lpr_lp := (v.Measure.lpr_sum /. v.Measure.lp_sum) :: !lpr_lp;
+        g_lp := (v.Measure.g_sum /. v.Measure.lp_sum) :: !g_lp;
+        lprg_lp := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !lprg_lp
+      end)
+    records;
   let mean l = Stats.mean (Array.of_list l) in
   { platforms = !used;
     lprg_over_g_maxmin = mean !ratio_mm;

@@ -1,0 +1,623 @@
+module Gen = Dls_platform.Generator
+module Prng = Dls_util.Prng
+module J = Dls_util.Json
+module Parallel = Dls_util.Parallel
+open Dls_core
+
+type config = {
+  seed : int;
+  ks : int list;
+  per_k : int;
+  with_lprr : bool;
+  lprr_max_k : int option;
+  measure_time : bool;
+}
+
+let default_config =
+  { seed = 12;
+    ks = [ 5; 15; 25; 35; 45; 55 ];
+    per_k = 5;
+    with_lprr = false;
+    lprr_max_k = None;
+    measure_time = true }
+
+let total config = config.per_k * List.length config.ks
+
+let k_of_index config index = List.nth config.ks (index / config.per_k)
+
+type record = {
+  index : int;
+  params : Gen.params;
+  active_apps : int;
+  values : Measure.values;
+}
+
+type entry =
+  | Record of record
+  | Skipped of { index : int; reason : string }
+
+let entry_index = function
+  | Record r -> r.index
+  | Skipped { index; _ } -> index
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation of one index                                             *)
+(* ------------------------------------------------------------------ *)
+
+let zero_counters (c : Dls_lp.Revised_simplex.counters) =
+  { c with Dls_lp.Revised_simplex.wall_clock = 0.0 }
+
+let zero_times (v : Measure.values) =
+  { v with
+    Measure.time_lp = 0.0;
+    time_g = 0.0;
+    time_lpr = 0.0;
+    time_lprg = 0.0;
+    time_lprr = Option.map (fun _ -> 0.0) v.Measure.time_lprr;
+    lprr_counters = Option.map zero_counters v.Measure.lprr_counters }
+
+let evaluate_index config index =
+  let k = k_of_index config index in
+  (* The whole point: this index's draws come from its own O(1)-derived
+     stream, so neither evaluation order nor partitioning can change
+     them. *)
+  let rng = Prng.derive ~seed:config.seed ~index in
+  let params = Measure.sample_params rng ~k in
+  let platform = Gen.generate rng params in
+  let problem = Measure.assign_workload rng platform in
+  let with_lprr =
+    config.with_lprr
+    && (match config.lprr_max_k with None -> true | Some m -> k <= m)
+  in
+  match Measure.evaluate ~with_lprr ~rng:(Prng.split rng) problem with
+  | Error reason -> Skipped { index; reason }
+  | Ok values ->
+    let values = if config.measure_time then values else zero_times values in
+    Record
+      { index; params;
+        active_apps = List.length (Problem.active problem);
+        values }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let topology_to_json = function
+  | Gen.Erdos_renyi -> J.Str "erdos_renyi"
+  | Gen.Waxman { alpha; beta } ->
+    J.Obj [ ("waxman", J.Obj [ ("alpha", J.Num alpha); ("beta", J.Num beta) ]) ]
+  | Gen.Barabasi_albert { m } ->
+    J.Obj [ ("barabasi_albert", J.Obj [ ("m", J.Num (float_of_int m)) ]) ]
+
+let params_to_json (p : Gen.params) =
+  J.Obj
+    [ ("k", J.Num (float_of_int p.Gen.k));
+      ("topology", topology_to_json p.Gen.topology_model);
+      ("connectivity", J.Num p.Gen.connectivity);
+      ("heterogeneity", J.Num p.Gen.heterogeneity);
+      ("mean_g", J.Num p.Gen.mean_g);
+      ("mean_bw", J.Num p.Gen.mean_bw);
+      ("mean_maxcon", J.Num p.Gen.mean_maxcon);
+      ("speed", J.Num p.Gen.speed);
+      ("speed_heterogeneity", J.Num p.Gen.speed_heterogeneity) ]
+
+let counters_to_json (c : Dls_lp.Revised_simplex.counters) =
+  let open Dls_lp.Revised_simplex in
+  J.Obj
+    [ ("solves", J.Num (float_of_int c.solves));
+      ("warm_starts", J.Num (float_of_int c.warm_starts));
+      ("cold_starts", J.Num (float_of_int c.cold_starts));
+      ("pivots", J.Num (float_of_int c.pivots));
+      ("reinversions", J.Num (float_of_int c.reinversions));
+      ("wall_clock", J.Num c.wall_clock) ]
+
+let opt_num = function Some v -> J.Num v | None -> J.Null
+
+let values_to_json (v : Measure.values) =
+  J.Obj
+    [ ("lp_sum", J.Num v.Measure.lp_sum);
+      ("lp_maxmin", J.Num v.Measure.lp_maxmin);
+      ("g_sum", J.Num v.Measure.g_sum);
+      ("g_maxmin", J.Num v.Measure.g_maxmin);
+      ("lpr_sum", J.Num v.Measure.lpr_sum);
+      ("lpr_maxmin", J.Num v.Measure.lpr_maxmin);
+      ("lprg_sum", J.Num v.Measure.lprg_sum);
+      ("lprg_maxmin", J.Num v.Measure.lprg_maxmin);
+      ("lprr_sum", opt_num v.Measure.lprr_sum);
+      ("lprr_maxmin", opt_num v.Measure.lprr_maxmin);
+      ("lprr_counters",
+       (match v.Measure.lprr_counters with
+        | Some c -> counters_to_json c
+        | None -> J.Null));
+      ("time_lp", J.Num v.Measure.time_lp);
+      ("time_g", J.Num v.Measure.time_g);
+      ("time_lpr", J.Num v.Measure.time_lpr);
+      ("time_lprg", J.Num v.Measure.time_lprg);
+      ("time_lprr", opt_num v.Measure.time_lprr) ]
+
+let entry_to_line = function
+  | Record r ->
+    J.to_string
+      (J.Obj
+         [ ("type", J.Str "record");
+           ("index", J.Num (float_of_int r.index));
+           ("params", params_to_json r.params);
+           ("active_apps", J.Num (float_of_int r.active_apps));
+           ("values", values_to_json r.values) ])
+  | Skipped { index; reason } ->
+    J.to_string
+      (J.Obj
+         [ ("type", J.Str "skipped");
+           ("index", J.Num (float_of_int index));
+           ("reason", J.Str reason) ])
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> Error ("missing field \"" ^ name ^ "\"")
+
+let num_field name json =
+  let* v = field name json in
+  J.to_num v
+
+let int_field name json =
+  let* v = field name json in
+  J.to_int v
+
+let str_field name json =
+  let* v = field name json in
+  J.to_str v
+
+let opt_num_field name json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v -> Result.map Option.some (J.to_num v)
+
+let topology_of_json = function
+  | J.Str "erdos_renyi" -> Ok Gen.Erdos_renyi
+  | J.Obj _ as obj when J.member "waxman" obj <> None ->
+    let* w = field "waxman" obj in
+    let* alpha = num_field "alpha" w in
+    let* beta = num_field "beta" w in
+    Ok (Gen.Waxman { alpha; beta })
+  | J.Obj _ as obj when J.member "barabasi_albert" obj <> None ->
+    let* b = field "barabasi_albert" obj in
+    let* m = int_field "m" b in
+    Ok (Gen.Barabasi_albert { m })
+  | _ -> Error "unknown topology model"
+
+let params_of_json json =
+  let* k = int_field "k" json in
+  let* topology = field "topology" json in
+  let* topology_model = topology_of_json topology in
+  let* connectivity = num_field "connectivity" json in
+  let* heterogeneity = num_field "heterogeneity" json in
+  let* mean_g = num_field "mean_g" json in
+  let* mean_bw = num_field "mean_bw" json in
+  let* mean_maxcon = num_field "mean_maxcon" json in
+  let* speed = num_field "speed" json in
+  let* speed_heterogeneity = num_field "speed_heterogeneity" json in
+  Ok
+    { Gen.k; topology_model; connectivity; heterogeneity; mean_g; mean_bw;
+      mean_maxcon; speed; speed_heterogeneity }
+
+let counters_of_json json =
+  match json with
+  | J.Null -> Ok None
+  | _ ->
+    let* solves = int_field "solves" json in
+    let* warm_starts = int_field "warm_starts" json in
+    let* cold_starts = int_field "cold_starts" json in
+    let* pivots = int_field "pivots" json in
+    let* reinversions = int_field "reinversions" json in
+    let* wall_clock = num_field "wall_clock" json in
+    Ok
+      (Some
+         { Dls_lp.Revised_simplex.solves; warm_starts; cold_starts; pivots;
+           reinversions; wall_clock })
+
+let values_of_json json =
+  let* lp_sum = num_field "lp_sum" json in
+  let* lp_maxmin = num_field "lp_maxmin" json in
+  let* g_sum = num_field "g_sum" json in
+  let* g_maxmin = num_field "g_maxmin" json in
+  let* lpr_sum = num_field "lpr_sum" json in
+  let* lpr_maxmin = num_field "lpr_maxmin" json in
+  let* lprg_sum = num_field "lprg_sum" json in
+  let* lprg_maxmin = num_field "lprg_maxmin" json in
+  let* lprr_sum = opt_num_field "lprr_sum" json in
+  let* lprr_maxmin = opt_num_field "lprr_maxmin" json in
+  let* counters_json = field "lprr_counters" json in
+  let* lprr_counters = counters_of_json counters_json in
+  let* time_lp = num_field "time_lp" json in
+  let* time_g = num_field "time_g" json in
+  let* time_lpr = num_field "time_lpr" json in
+  let* time_lprg = num_field "time_lprg" json in
+  let* time_lprr = opt_num_field "time_lprr" json in
+  Ok
+    { Measure.lp_sum; lp_maxmin; g_sum; g_maxmin; lpr_sum; lpr_maxmin;
+      lprg_sum; lprg_maxmin; lprr_sum; lprr_maxmin; lprr_counters; time_lp;
+      time_g; time_lpr; time_lprg; time_lprr }
+
+let entry_of_line line =
+  let* json = J.of_string line in
+  let* kind = str_field "type" json in
+  let* index = int_field "index" json in
+  match kind with
+  | "record" ->
+    let* params_json = field "params" json in
+    let* params = params_of_json params_json in
+    let* active_apps = int_field "active_apps" json in
+    let* values_json = field "values" json in
+    let* values = values_of_json values_json in
+    Ok (Record { index; params; active_apps; values })
+  | "skipped" ->
+    let* reason = str_field "reason" json in
+    Ok (Skipped { index; reason })
+  | other -> Error ("unknown entry type \"" ^ other ^ "\"")
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint manifest                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type manifest = {
+  m_config : config;
+  m_total : int;
+  m_completed : int;
+}
+
+let manifest_to_string m =
+  let c = m.m_config in
+  J.to_string
+    (J.Obj
+       [ ("version", J.Num 1.0);
+         ("seed", J.Num (float_of_int c.seed));
+         ("ks", J.Arr (List.map (fun k -> J.Num (float_of_int k)) c.ks));
+         ("per_k", J.Num (float_of_int c.per_k));
+         ("with_lprr", J.Bool c.with_lprr);
+         ("lprr_max_k",
+          (match c.lprr_max_k with
+           | Some m -> J.Num (float_of_int m)
+           | None -> J.Null));
+         ("measure_time", J.Bool c.measure_time);
+         ("total", J.Num (float_of_int m.m_total));
+         ("completed", J.Num (float_of_int m.m_completed)) ])
+
+let manifest_of_string s =
+  let* json = J.of_string s in
+  let* version = int_field "version" json in
+  if version <> 1 then Error (Printf.sprintf "unsupported manifest version %d" version)
+  else
+    let* seed = int_field "seed" json in
+    let* ks_json = field "ks" json in
+    let* ks_items = J.to_list ks_json in
+    let* ks =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* k = J.to_int item in
+          Ok (k :: acc))
+        (Ok []) ks_items
+    in
+    let ks = List.rev ks in
+    let* per_k = int_field "per_k" json in
+    let* with_lprr_json = field "with_lprr" json in
+    let* with_lprr = J.to_bool with_lprr_json in
+    let* lprr_max_k =
+      match J.member "lprr_max_k" json with
+      | None | Some J.Null -> Ok None
+      | Some v -> Result.map Option.some (J.to_int v)
+    in
+    let* measure_time_json = field "measure_time" json in
+    let* measure_time = J.to_bool measure_time_json in
+    let* m_total = int_field "total" json in
+    let* m_completed = int_field "completed" json in
+    Ok
+      { m_config = { seed; ks; per_k; with_lprr; lprr_max_k; measure_time };
+        m_total;
+        m_completed }
+
+let manifest_path out = out ^ ".manifest"
+
+let write_manifest ~out m =
+  (* Atomic replace: a crash mid-write can only lose the update, never
+     produce a torn manifest. *)
+  let path = manifest_path out in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (manifest_to_string m);
+      output_char oc '\n');
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Log replay                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let load_log ~path =
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length content in
+  let rec go pos line_no acc =
+    if pos >= len then Ok (List.rev acc, pos)
+    else
+      match String.index_from_opt content pos '\n' with
+      | None ->
+        (* Final line never got its newline: interrupted write. *)
+        Ok (List.rev acc, pos)
+      | Some nl -> (
+        let line = String.sub content pos (nl - pos) in
+        match entry_of_line line with
+        | Ok e -> go (nl + 1) (line_no + 1) (e :: acc)
+        | Error msg ->
+          if nl = len - 1 then
+            (* Unparseable final line: also an interrupted write. *)
+            Ok (List.rev acc, pos)
+          else
+            Error
+              (Printf.sprintf "%s: corrupt entry at line %d: %s" path line_no
+                 msg))
+  in
+  go 0 1 []
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  s_total : int;
+  s_completed : int;
+  s_skipped : int;
+  s_evaluated : int;
+  s_replayed : int;
+  s_wall : float;
+  s_times : (string * float array) list;
+}
+
+let heuristic_labels = [ "LP"; "G"; "LPR"; "LPRG"; "LPRR" ]
+
+let times_of_values (v : Measure.values) =
+  [ Some v.Measure.time_lp; Some v.Measure.time_g; Some v.Measure.time_lpr;
+    Some v.Measure.time_lprg; v.Measure.time_lprr ]
+
+let validate config ~shards ~shard =
+  if config.ks = [] then Error "campaign: ks must be non-empty"
+  else if config.per_k < 0 then Error "campaign: per_k must be >= 0"
+  else if shards < 1 then Error "campaign: shards must be >= 1"
+  else
+    match shard with
+    | Some s when s < 0 || s >= shards ->
+      Error (Printf.sprintf "campaign: shard %d outside [0, %d)" s shards)
+    | _ -> Ok ()
+
+let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
+    ?(resume = false) ?out ?(on_entry = fun _ -> ()) config =
+  let* () = validate config ~shards ~shard in
+  let n = total config in
+  (* `Pending / `Record / `Skipped per index; replay flips entries out
+     of `Pending so only the frontier is evaluated. *)
+  let status = Array.make (Stdlib.max n 1) `Pending in
+  let* replayed =
+    match out with
+    | Some path when resume && Sys.file_exists path ->
+      let* () =
+        let mpath = manifest_path path in
+        if not (Sys.file_exists mpath) then Ok ()
+        else
+          let* m =
+            manifest_of_string
+              (In_channel.with_open_bin mpath In_channel.input_all)
+          in
+          if m.m_config <> config then
+            Error
+              (mpath
+               ^ ": checkpoint belongs to a different campaign config; \
+                  refusing to resume")
+          else Ok ()
+      in
+      let* entries, valid_len = load_log ~path in
+      let size = (Unix.stat path).Unix.st_size in
+      if valid_len < size then begin
+        Logs.warn (fun m ->
+            m "campaign: dropping %d torn trailing bytes of %s"
+              (size - valid_len) path);
+        Unix.truncate path valid_len
+      end;
+      let* entries =
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let i = entry_index e in
+            if i < 0 || i >= n then
+              Error
+                (Printf.sprintf
+                   "%s: entry index %d outside campaign of %d entries; log \
+                    belongs to a different config"
+                   path i n)
+            else if status.(i) <> `Pending then Ok acc (* duplicate *)
+            else begin
+              status.(i) <-
+                (match e with Record _ -> `Record | Skipped _ -> `Skipped);
+              Ok (e :: acc)
+            end)
+          (Ok []) entries
+      in
+      Ok (List.rev entries)
+    | Some path ->
+      (* Fresh start: clear stale artifacts of a previous campaign. *)
+      if Sys.file_exists path then Sys.remove path;
+      let mpath = manifest_path path in
+      if Sys.file_exists mpath then Sys.remove mpath;
+      Ok []
+    | None -> Ok []
+  in
+  let replayed_n = List.length replayed in
+  List.iter on_entry replayed;
+  let shards_to_run =
+    match shard with Some s -> [ s ] | None -> List.init shards Fun.id
+  in
+  let pending_of s =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if i mod shards = s && status.(i) = `Pending then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let pending_total =
+    List.fold_left (fun acc s -> acc + Array.length (pending_of s)) 0
+      shards_to_run
+  in
+  let oc =
+    Option.map
+      (fun path ->
+        open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
+      out
+  in
+  let logged_total = ref replayed_n in
+  let checkpoint () =
+    match out with
+    | Some path ->
+      write_manifest ~out:path
+        { m_config = config; m_total = n; m_completed = !logged_total }
+    | None -> ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let evaluated = ref 0 in
+  let since_checkpoint = ref 0 in
+  let last_progress = ref t0 in
+  let time_samples = List.map (fun label -> (label, ref [])) heuristic_labels in
+  let handle_entry e =
+    (match oc with
+     | Some oc ->
+       output_string oc (entry_to_line e);
+       output_char oc '\n'
+     | None -> ());
+    (match e with
+     | Record r ->
+       status.(r.index) <- `Record;
+       List.iter2
+         (fun (_, samples) t ->
+           match t with Some t -> samples := t :: !samples | None -> ())
+         time_samples
+         (times_of_values r.values)
+     | Skipped { index; reason } ->
+       status.(index) <- `Skipped;
+       Logs.warn (fun m -> m "campaign: platform %d skipped: %s" index reason));
+    incr evaluated;
+    incr since_checkpoint;
+    incr logged_total;
+    on_entry e
+  in
+  let progress () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_progress >= 2.0 && !evaluated > 0 then begin
+      last_progress := now;
+      let rate = float_of_int !evaluated /. (now -. t0) in
+      let remaining = pending_total - !evaluated in
+      Logs.info (fun m ->
+          m "campaign: %d/%d evaluated (%.2f records/s, ETA %.0fs)" !evaluated
+            pending_total rate
+            (float_of_int remaining /. Stdlib.max 1e-9 rate))
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out oc)
+    (fun () ->
+      checkpoint ();
+      List.iter
+        (fun s ->
+          Parallel.map_chunked ?domains ?chunk (evaluate_index config)
+            (pending_of s)
+            ~on_chunk:(fun ~offset:_ results ->
+              Array.iter handle_entry results;
+              Option.iter flush oc;
+              if !since_checkpoint >= checkpoint_every then begin
+                since_checkpoint := 0;
+                checkpoint ()
+              end;
+              progress ()))
+        shards_to_run;
+      checkpoint ());
+  let wall = Unix.gettimeofday () -. t0 in
+  let completed = ref 0 and skipped = ref 0 in
+  Array.iteri
+    (fun i st ->
+      if i < n then
+        match st with
+        | `Record -> incr completed
+        | `Skipped -> incr skipped
+        | `Pending -> ())
+    status;
+  (* Per-heuristic wall-clock digest for long campaigns. *)
+  let times =
+    List.map
+      (fun (label, samples) ->
+        (label, Array.of_list (List.rev !samples)))
+      time_samples
+  in
+  if config.measure_time && !evaluated > 0 then
+    List.iter
+      (fun (label, samples) ->
+        if Array.length samples > 0 then
+          Logs.info (fun m ->
+              m "campaign: %s wall-clock mean %.4fs median %.4fs p95 %.4fs \
+                 over %d records"
+                label
+                (Dls_util.Stats.mean samples)
+                (Dls_util.Stats.median samples)
+                (Dls_util.Stats.percentile samples ~p:95.0)
+                (Array.length samples)))
+      times;
+  Ok
+    { s_total = n;
+      s_completed = !completed;
+      s_skipped = !skipped;
+      s_evaluated = !evaluated;
+      s_replayed = replayed_n;
+      s_wall = wall;
+      s_times = times }
+
+let summary_table s =
+  { Report.title = "Campaign summary";
+    header = [ "statistic"; "value" ];
+    rows =
+      [ [ "total indices"; string_of_int s.s_total ];
+        [ "completed records"; string_of_int s.s_completed ];
+        [ "skipped"; string_of_int s.s_skipped ];
+        [ "evaluated this run"; string_of_int s.s_evaluated ];
+        [ "replayed from log"; string_of_int s.s_replayed ];
+        [ "wall-clock (s)"; Report.cell_float s.s_wall ];
+        [ "records/s";
+          Report.cell_float
+            (float_of_int s.s_evaluated /. Stdlib.max 1e-9 s.s_wall) ] ] }
+
+let times_table s =
+  let module Stats = Dls_util.Stats in
+  { Report.title = "Per-heuristic wall-clock (seconds, this run)";
+    header = [ "heuristic"; "records"; "mean"; "median"; "p95"; "max" ];
+    rows =
+      List.filter_map
+        (fun (label, samples) ->
+          if Array.length samples = 0 then None
+          else
+            Some
+              [ label; string_of_int (Array.length samples);
+                Report.cell_float (Stats.mean samples);
+                Report.cell_float (Stats.median samples);
+                Report.cell_float (Stats.percentile samples ~p:95.0);
+                Report.cell_float (snd (Stats.min_max samples)) ])
+        s.s_times }
+
+let collect ?domains config =
+  let records = ref [] in
+  match
+    run ?domains
+      ~on_entry:(function Record r -> records := r :: !records | Skipped _ -> ())
+      config
+  with
+  | Ok _ ->
+    List.sort (fun a b -> Stdlib.compare a.index b.index) !records
+  | Error msg -> invalid_arg ("Campaign.collect: " ^ msg)

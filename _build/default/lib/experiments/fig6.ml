@@ -1,4 +1,4 @@
-module Prng = Dls_util.Prng
+module Gen = Dls_platform.Generator
 module Stats = Dls_util.Stats
 
 type row = {
@@ -18,28 +18,22 @@ type row = {
 let eps = 1e-9
 
 let run ?(seed = 2) ?(ks = [ 15; 20; 25 ]) ?(per_k = 4) () =
-  let rng = Prng.create ~seed in
+  (* One LPRR-enabled campaign; each index carries its own coin stream. *)
+  let records =
+    Campaign.collect
+      { Campaign.default_config with
+        Campaign.seed; ks; per_k; with_lprr = true }
+  in
   List.map
     (fun k ->
       let acc = Array.make 9 [] in
       let push i v = acc.(i) <- v :: acc.(i) in
       let used = ref 0 in
-      (* Sequential sampling (PRNG reproducibility), parallel evaluation;
-         each platform gets its own pre-split LPRR coin stream. *)
-      let inputs =
-        Array.init per_k (fun _ ->
-            let problem = Measure.sample_problem rng ~k in
-            (problem, Prng.split rng))
-      in
-      let evaluations =
-        Dls_util.Parallel.map
-          (fun (problem, coin) -> Measure.evaluate ~with_lprr:true ~rng:coin problem)
-          inputs
-      in
-      Array.iter
-        (function
-        | Error msg -> Logs.warn (fun m -> m "fig6: skipping platform: %s" msg)
-        | Ok v ->
+      List.iter
+        (fun (r : Campaign.record) ->
+          let v = r.Campaign.values in
+          if r.Campaign.params.Gen.k <> k then ()
+          else
           (match (v.Measure.lprr_maxmin, v.Measure.lprr_sum) with
            | Some lprr_maxmin, Some lprr_sum
              when v.Measure.lp_maxmin > eps && v.Measure.lp_sum > eps ->
@@ -57,7 +51,7 @@ let run ?(seed = 2) ?(ks = [ 15; 20; 25 ]) ?(per_k = 4) () =
                 push 8 (float_of_int c.Dls_lp.Revised_simplex.warm_starts)
               | None -> ())
            | _ -> ()))
-        evaluations;
+        records;
       let mean i = Stats.mean (Array.of_list acc.(i)) in
       { k; platforms = !used;
         maxmin_g = mean 0; sum_g = mean 1;

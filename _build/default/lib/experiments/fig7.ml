@@ -1,4 +1,4 @@
-module Prng = Dls_util.Prng
+module Gen = Dls_platform.Generator
 module Stats = Dls_util.Stats
 
 type row = {
@@ -14,34 +14,40 @@ type row = {
 }
 
 let run ?(seed = 3) ?(ks = [ 10; 20; 30; 40 ]) ?(per_k = 3) ?(lprr_max_k = 20) () =
-  let rng = Prng.create ~seed in
+  (* One campaign with LPRR gated by K (it costs K² LP solves). *)
+  let records =
+    Campaign.collect
+      { Campaign.default_config with
+        Campaign.seed; ks; per_k;
+        with_lprr = true;
+        lprr_max_k = Some lprr_max_k }
+  in
   List.map
     (fun k ->
-      let with_lprr = k <= lprr_max_k in
       let tg = ref [] and tlp = ref [] and tlpr = ref [] in
       let tlprg = ref [] and tlprr = ref [] in
       let pivots = ref [] and reinv = ref [] in
       let used = ref 0 in
-      for _ = 1 to per_k do
-        let problem = Measure.sample_problem rng ~k in
-        match Measure.evaluate ~with_lprr ~rng:(Prng.split rng) problem with
-        | Error msg -> Logs.warn (fun m -> m "fig7: skipping platform: %s" msg)
-        | Ok v ->
-          incr used;
-          tg := v.Measure.time_g :: !tg;
-          tlp := v.Measure.time_lp :: !tlp;
-          tlpr := v.Measure.time_lpr :: !tlpr;
-          tlprg := v.Measure.time_lprg :: !tlprg;
-          (match v.Measure.time_lprr with
-           | Some t -> tlprr := t :: !tlprr
-           | None -> ());
-          (match v.Measure.lprr_counters with
-           | Some c ->
-             pivots := float_of_int c.Dls_lp.Revised_simplex.pivots :: !pivots;
-             reinv :=
-               float_of_int c.Dls_lp.Revised_simplex.reinversions :: !reinv
-           | None -> ())
-      done;
+      List.iter
+        (fun (r : Campaign.record) ->
+          let v = r.Campaign.values in
+          if r.Campaign.params.Gen.k = k then begin
+            incr used;
+            tg := v.Measure.time_g :: !tg;
+            tlp := v.Measure.time_lp :: !tlp;
+            tlpr := v.Measure.time_lpr :: !tlpr;
+            tlprg := v.Measure.time_lprg :: !tlprg;
+            (match v.Measure.time_lprr with
+             | Some t -> tlprr := t :: !tlprr
+             | None -> ());
+            (match v.Measure.lprr_counters with
+             | Some c ->
+               pivots := float_of_int c.Dls_lp.Revised_simplex.pivots :: !pivots;
+               reinv :=
+                 float_of_int c.Dls_lp.Revised_simplex.reinversions :: !reinv
+             | None -> ())
+          end)
+        records;
       let mean l = Stats.mean (Array.of_list l) in
       let opt l = if l = [] then None else Some (mean l) in
       { k; platforms = !used;

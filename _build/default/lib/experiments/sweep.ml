@@ -1,8 +1,6 @@
 module Gen = Dls_platform.Generator
-module Prng = Dls_util.Prng
-open Dls_core
 
-type record = {
+type record = Campaign.record = {
   index : int;
   params : Gen.params;
   active_apps : int;
@@ -11,40 +9,22 @@ type record = {
 
 let run ?(seed = 12) ?(ks = [ 5; 15; 25; 35; 45; 55 ]) ?(per_k = 5)
     ?(with_lprr = false) ?(on_record = fun _ -> ()) () =
-  let rng = Prng.create ~seed in
-  (* Sample the whole campaign sequentially: reproducible and cheap
-     relative to evaluation. *)
-  let inputs =
-    List.concat_map
-      (fun k ->
-        List.init per_k (fun _ ->
-            let params = Measure.sample_params rng ~k in
-            let platform = Gen.generate rng params in
-            let problem = Measure.assign_workload rng platform in
-            (params, problem, Prng.split rng)))
-      ks
+  let config =
+    { Campaign.default_config with
+      Campaign.seed; ks; per_k; with_lprr }
   in
-  let evaluations =
-    Dls_util.Parallel.map
-      (fun (params, problem, coin) ->
-        (params, problem, Measure.evaluate ~with_lprr ~rng:coin problem))
-      (Array.of_list inputs)
-  in
-  let completed = ref 0 and skipped = ref 0 in
-  Array.iteri
-    (fun index (params, problem, outcome) ->
-      match outcome with
-      | Error msg ->
-        incr skipped;
-        Logs.warn (fun m -> m "sweep: platform %d skipped: %s" index msg)
-      | Ok values ->
-        incr completed;
-        on_record
-          { index; params;
-            active_apps = List.length (Problem.active problem);
-            values })
-    evaluations;
-  (!completed, !skipped)
+  match
+    Campaign.run
+      ~on_entry:(function
+        | Campaign.Record r -> on_record r
+        | Campaign.Skipped { index; reason } ->
+          Logs.warn (fun m -> m "sweep: platform %d skipped: %s" index reason))
+      config
+  with
+  | Ok s -> (s.Campaign.s_completed, s.Campaign.s_skipped)
+  | Error msg ->
+    (* No log file is involved, so the only errors are invalid configs. *)
+    invalid_arg ("Sweep.run: " ^ msg)
 
 let csv_header =
   String.concat ","

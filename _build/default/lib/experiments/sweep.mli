@@ -1,14 +1,13 @@
-(** Streaming evaluation campaign over the Table 1 grid.
+(** Streaming CSV view of a Table 1 campaign.
 
-    The paper's evaluation is a quarter-million-platform sweep; this
-    module is the production harness for running arbitrarily large
-    sampled campaigns here: platforms are drawn from the grid marginals,
-    evaluated in parallel batches across domains, and each completed
-    record is handed to a callback in deterministic order — so the CLI
-    can stream CSV rows to disk as they finish and nothing is lost if a
-    long campaign is interrupted. *)
+    Thin wrapper over {!Campaign}: platforms are drawn from the grid
+    marginals with per-index PRNG streams, evaluated in bounded parallel
+    chunks, and each completed record is handed to a callback in
+    campaign order — so the CLI can stream CSV rows to disk as they
+    finish.  For crash-safe logging, sharding and resume, use the
+    [campaign] subcommand / {!Campaign.run} directly. *)
 
-type record = {
+type record = Campaign.record = {
   index : int;  (** 0-based position in the campaign *)
   params : Dls_platform.Generator.params;  (** the sampled grid point *)
   active_apps : int;

@@ -39,3 +39,23 @@ let map ?domains f inputs =
 
 let map_list ?domains f inputs =
   Array.to_list (map ?domains f (Array.of_list inputs))
+
+let default_chunk domains = Stdlib.max domains (4 * domains)
+
+let map_chunked ?domains ?chunk ~on_chunk f inputs =
+  let n = Array.length inputs in
+  let width = match domains with Some d -> Stdlib.max 1 d | None -> num_domains () in
+  let chunk =
+    match chunk with Some c -> Stdlib.max 1 c | None -> default_chunk width
+  in
+  let offset = ref 0 in
+  while !offset < n do
+    let len = Stdlib.min chunk (n - !offset) in
+    (* Each chunk is one bounded parallel burst: the pool joins before
+       [on_chunk] runs, so a raised exception (from a worker or from the
+       callback itself) leaves no live domain behind and no chunk is
+       reported out of order. *)
+    let results = map ~domains:width f (Array.sub inputs !offset len) in
+    on_chunk ~offset:!offset results;
+    offset := !offset + len
+  done

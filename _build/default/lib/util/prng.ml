@@ -20,6 +20,16 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Prng.derive: negative index";
+  (* Two splitmix derivation rounds: the seed selects a stream family,
+     the index selects the member.  Equivalent to seeding a master
+     generator and taking its [index]-th split, but O(1) in [index] —
+     shard workers can jump straight to their slice of a campaign. *)
+  let family = mix (Int64.add (Int64.of_int seed) golden_gamma) in
+  { state =
+      mix (Int64.add family (Int64.mul (Int64.of_int (index + 1)) golden_gamma)) }
+
 (* Top 62 bits as a non-negative OCaml int. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

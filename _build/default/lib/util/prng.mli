@@ -23,6 +23,15 @@ val split : t -> t
     their own stream so that adding draws to one does not perturb the
     other. *)
 
+val derive : seed:int -> index:int -> t
+(** [derive ~seed ~index] is the [index]-th member of the stream family
+    identified by [seed]: a generator statistically independent of every
+    other index's, computed in O(1) (no master generator to advance).
+    This is what makes campaign evaluation order-free — any shard or
+    domain can reconstruct platform [index]'s exact random draws without
+    replaying the first [index - 1] platforms.
+    @raise Invalid_argument on a negative [index]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

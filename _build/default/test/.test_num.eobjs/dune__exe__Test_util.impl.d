@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Dls_util Float Fun List QCheck2 QCheck_alcotest
+test/test_util.ml: Alcotest Array Dls_util Float Format Fun Int64 List Printf QCheck2 QCheck_alcotest Stdlib String

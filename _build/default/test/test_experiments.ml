@@ -243,6 +243,302 @@ let test_deliverable_fraction () =
   Alcotest.(check bool) "fraction shrinks to <= 0.3" true (f <= 0.3 +. 1e-6);
   Alcotest.(check bool) "fraction positive" true (f > 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Campaign: determinism, crash/resume, codecs, goldens                *)
+(* ------------------------------------------------------------------ *)
+
+module C = E.Campaign
+module G = Dls_platform.Generator
+
+(* measure_time = false zeroes every wall-clock field, so log lines are
+   byte-reproducible — the only nondeterministic inputs are gone. *)
+let small_config =
+  { C.default_config with
+    C.seed = 71; ks = [ 4; 6 ]; per_k = 3; measure_time = false }
+
+let run_lines ?domains ?chunk ?shards ?shard ?resume ?out config =
+  let lines = ref [] in
+  match
+    C.run ?domains ?chunk ?shards ?shard ?resume ?out
+      ~on_entry:(fun e -> lines := C.entry_to_line e :: !lines)
+      config
+  with
+  | Ok s -> (s, List.rev !lines)
+  | Error msg -> Alcotest.failf "campaign run failed: %s" msg
+
+let sort_by_index lines =
+  List.map snd
+    (List.sort compare
+       (List.map
+          (fun line ->
+            match C.entry_of_line line with
+            | Ok e -> (C.entry_index e, line)
+            | Error msg -> Alcotest.failf "unparseable log line: %s" msg)
+          lines))
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let file_lines path =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' (read_file path))
+
+let test_campaign_deterministic_across_domains () =
+  let _, one = run_lines ~domains:1 small_config in
+  let _, eight = run_lines ~domains:8 ~chunk:2 small_config in
+  Alcotest.(check int) "all evaluated" (C.total small_config) (List.length one);
+  (* Single shard: both runs deliver in index order — the streams must
+     already be byte-identical line for line. *)
+  Alcotest.(check (list string)) "1 vs 8 domains byte-identical" one eight
+
+let test_campaign_deterministic_across_shards () =
+  let out1 = Filename.temp_file "dls_campaign" ".jsonl" in
+  let out4 = Filename.temp_file "dls_campaign" ".jsonl" in
+  let s1, _ = run_lines ~shards:1 ~out:out1 small_config in
+  let s4, _ = run_lines ~shards:4 ~chunk:2 ~out:out4 small_config in
+  Alcotest.(check int) "shards=1 completes" (C.total small_config) s1.C.s_completed;
+  Alcotest.(check int) "shards=4 completes" (C.total small_config) s4.C.s_completed;
+  let l1 = sort_by_index (file_lines out1) in
+  let l4 = sort_by_index (file_lines out4) in
+  Alcotest.(check (list string)) "1 vs 4 shards byte-identical after sort" l1 l4;
+  List.iter Sys.remove
+    [ out1; out4; C.manifest_path out1; C.manifest_path out4 ]
+
+let test_campaign_single_shard_runs_its_slice () =
+  let _, lines = run_lines ~shards:3 ~shard:1 small_config in
+  let indices =
+    List.map
+      (fun l ->
+        match C.entry_of_line l with
+        | Ok e -> C.entry_index e
+        | Error msg -> Alcotest.failf "bad line: %s" msg)
+      lines
+  in
+  Alcotest.(check (list int)) "only indices = 1 mod 3" [ 1; 4 ] indices
+
+let test_campaign_crash_resume () =
+  let _, baseline = run_lines small_config in
+  let baseline = sort_by_index baseline in
+  let out = Filename.temp_file "dls_campaign" ".jsonl" in
+  (* Crash mid-campaign: the sink raises after the third durable entry
+     (each line is already written when on_entry fires). *)
+  let exception Simulated_crash in
+  let count = ref 0 in
+  (try
+     ignore
+       (C.run ~domains:2 ~chunk:2 ~out
+          ~on_entry:(fun _ ->
+            incr count;
+            if !count = 3 then raise Simulated_crash)
+          small_config)
+   with Simulated_crash -> ());
+  (* And the final append was torn mid-line by the dying process. *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 out in
+  output_string oc "{\"type\":\"record\",\"index\":4,\"par";
+  close_out oc;
+  let s, _ = run_lines ~resume:true ~out small_config in
+  Alcotest.(check bool) "some entries replayed" true (s.C.s_replayed >= 3);
+  Alcotest.(check bool) "frontier re-evaluated" true (s.C.s_evaluated >= 1);
+  Alcotest.(check int) "campaign complete" (C.total small_config) s.C.s_completed;
+  let merged = sort_by_index (file_lines out) in
+  Alcotest.(check (list string)) "merged log equals uninterrupted run"
+    baseline merged;
+  List.iter Sys.remove [ out; C.manifest_path out ]
+
+let test_campaign_resume_rejects_mismatch () =
+  let out = Filename.temp_file "dls_campaign" ".jsonl" in
+  let _ = run_lines ~out small_config in
+  (match
+     C.run ~resume:true ~out { small_config with C.seed = 72 }
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "resume accepted a different campaign config");
+  List.iter Sys.remove [ out; C.manifest_path out ]
+
+let test_campaign_corrupt_middle_rejected () =
+  let out = Filename.temp_file "dls_campaign" ".jsonl" in
+  let _ = run_lines ~out small_config in
+  (* Smash a line in the middle of the log: resume must refuse rather
+     than silently drop completed work. *)
+  let lines = file_lines out in
+  let oc = open_out out in
+  List.iteri
+    (fun i l ->
+      output_string oc (if i = 2 then "{\"type\":zzz}" else l);
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  (match C.run ~resume:true ~out small_config with
+   | Error msg ->
+     Alcotest.(check bool) "mentions corruption" true
+       (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "resume accepted a corrupt mid-log entry");
+  List.iter Sys.remove [ out; C.manifest_path out ]
+
+(* --- QCheck codecs ------------------------------------------------- *)
+
+let gen_finite = QCheck2.Gen.float_range (-1e9) 1e9
+
+let gen_topology =
+  QCheck2.Gen.(
+    oneof
+      [ return G.Erdos_renyi;
+        map2
+          (fun alpha beta -> G.Waxman { alpha; beta })
+          (float_range 0.0 1.0) (float_range 0.0 1.0);
+        map (fun m -> G.Barabasi_albert { m }) (int_range 1 10) ])
+
+let gen_params =
+  QCheck2.Gen.(
+    let* k = int_range 1 99 in
+    let* topology_model = gen_topology in
+    let* connectivity = float_range 0.0 1.0 in
+    let* heterogeneity = float_range 0.0 0.99 in
+    let* mean_g = gen_finite in
+    let* mean_bw = gen_finite in
+    let* mean_maxcon = gen_finite in
+    let* speed = gen_finite in
+    let* speed_heterogeneity = float_range 0.0 0.99 in
+    return
+      { G.k; topology_model; connectivity; heterogeneity; mean_g; mean_bw;
+        mean_maxcon; speed; speed_heterogeneity })
+
+let gen_counters =
+  QCheck2.Gen.(
+    let* solves = int_range 0 1_000_000 in
+    let* warm_starts = int_range 0 1_000_000 in
+    let* cold_starts = int_range 0 1_000_000 in
+    let* pivots = int_range 0 1_000_000 in
+    let* reinversions = int_range 0 1_000_000 in
+    let* wall_clock = float_range 0.0 1e6 in
+    return
+      { Dls_lp.Revised_simplex.solves; warm_starts; cold_starts; pivots;
+        reinversions; wall_clock })
+
+let gen_values =
+  QCheck2.Gen.(
+    let* lp_sum = gen_finite in
+    let* lp_maxmin = gen_finite in
+    let* g_sum = gen_finite in
+    let* g_maxmin = gen_finite in
+    let* lpr_sum = gen_finite in
+    let* lpr_maxmin = gen_finite in
+    let* lprg_sum = gen_finite in
+    let* lprg_maxmin = gen_finite in
+    let* lprr_sum = option gen_finite in
+    let* lprr_maxmin = option gen_finite in
+    let* lprr_counters = option gen_counters in
+    let* time_lp = float_range 0.0 1e4 in
+    let* time_g = float_range 0.0 1e4 in
+    let* time_lpr = float_range 0.0 1e4 in
+    let* time_lprg = float_range 0.0 1e4 in
+    let* time_lprr = option (float_range 0.0 1e4) in
+    return
+      { E.Measure.lp_sum; lp_maxmin; g_sum; g_maxmin; lpr_sum; lpr_maxmin;
+        lprg_sum; lprg_maxmin; lprr_sum; lprr_maxmin; lprr_counters; time_lp;
+        time_g; time_lpr; time_lprg; time_lprr })
+
+let gen_entry =
+  QCheck2.Gen.(
+    let record =
+      let* index = int_range 0 1_000_000 in
+      let* params = gen_params in
+      let* active_apps = int_range 0 99 in
+      let* values = gen_values in
+      return (C.Record { C.index; params; active_apps; values })
+    in
+    let skipped =
+      let* index = int_range 0 1_000_000 in
+      let* reason = string_size ~gen:printable (int_range 0 40) in
+      return (C.Skipped { index; reason })
+    in
+    oneof [ record; skipped ])
+
+let prop_entry_roundtrip =
+  QCheck2.Test.make ~name:"JSONL entry decode inverts encode" ~count:300
+    gen_entry
+    (fun e -> C.entry_of_line (C.entry_to_line e) = Ok e)
+
+let prop_entry_rejects_torn =
+  QCheck2.Test.make ~name:"JSONL decoder rejects torn lines" ~count:300
+    QCheck2.Gen.(pair gen_entry (float_range 0.0 1.0))
+    (fun (e, frac) ->
+      let line = C.entry_to_line e in
+      let cut = int_of_float (frac *. float_of_int (String.length line)) in
+      let cut = Stdlib.min cut (String.length line - 1) in
+      match C.entry_of_line (String.sub line 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let gen_config =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* ks = list_size (int_range 1 6) (int_range 1 99) in
+    let* per_k = int_range 0 50 in
+    let* with_lprr = bool in
+    let* lprr_max_k = option (int_range 1 99) in
+    let* measure_time = bool in
+    return { C.seed; ks; per_k; with_lprr; lprr_max_k; measure_time })
+
+let prop_manifest_roundtrip =
+  QCheck2.Test.make ~name:"manifest decode inverts encode" ~count:300
+    QCheck2.Gen.(
+      let* m_config = gen_config in
+      let* m_total = int_range 0 1_000_000 in
+      let* m_completed = int_range 0 1_000_000 in
+      return { C.m_config; m_total; m_completed })
+    (fun m -> C.manifest_of_string (C.manifest_to_string m) = Ok m)
+
+let prop_manifest_rejects_torn =
+  QCheck2.Test.make ~name:"manifest decoder rejects torn input" ~count:100
+    QCheck2.Gen.(pair gen_config (float_range 0.0 1.0))
+    (fun (config, frac) ->
+      let s =
+        C.manifest_to_string
+          { C.m_config = config; m_total = 10; m_completed = 3 }
+      in
+      let cut = int_of_float (frac *. float_of_int (String.length s)) in
+      let cut = Stdlib.min cut (String.length s - 1) in
+      match C.manifest_of_string (String.sub s 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+(* --- Golden outputs ------------------------------------------------ *)
+
+(* Set DLS_UPDATE_GOLDEN=<abs dir> to rewrite the expected files instead
+   of comparing (e.g. DLS_UPDATE_GOLDEN=$PWD/test/golden dune runtest). *)
+let golden_check name actual =
+  match Sys.getenv_opt "DLS_UPDATE_GOLDEN" with
+  | Some dir ->
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc actual)
+  | None ->
+    Alcotest.(check string) name (read_file (Filename.concat "golden" name))
+      actual
+
+let fig5_golden_table =
+  lazy (E.Fig5.table (E.Fig5.run ~seed:31 ~ks:[ 4; 6 ] ~per_k:2 ()))
+
+let test_golden_table1_pp () =
+  golden_check "table1_grid.expected"
+    (Format.asprintf "%a" E.Report.pp_table (E.Table1.grid_table ()))
+
+let test_golden_table1_csv () =
+  let path = Filename.temp_file "dls_golden" ".csv" in
+  E.Report.write_csv ~path (E.Table1.grid_table ());
+  let written = read_file path in
+  Sys.remove path;
+  golden_check "table1_grid_csv.expected" written
+
+let test_golden_fig5_pp () =
+  golden_check "fig5_small.expected"
+    (Format.asprintf "%a" E.Report.pp_table (Lazy.force fig5_golden_table))
+
+let test_golden_fig5_csv () =
+  let path = Filename.temp_file "dls_golden" ".csv" in
+  E.Report.write_csv ~path (Lazy.force fig5_golden_table);
+  let written = read_file path in
+  Sys.remove path;
+  golden_check "fig5_small_csv.expected" written
+
 let () =
   Alcotest.run "dls_experiments"
     [ ( "report",
@@ -269,4 +565,25 @@ let () =
           Alcotest.test_case "deliverable fraction" `Quick test_deliverable_fraction ] );
       ( "sweep",
         [ Alcotest.test_case "streaming" `Quick test_sweep_streaming;
-          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic ] ) ]
+          Alcotest.test_case "deterministic" `Quick test_sweep_deterministic ] );
+      ( "campaign",
+        [ Alcotest.test_case "deterministic across domains" `Quick
+            test_campaign_deterministic_across_domains;
+          Alcotest.test_case "deterministic across shards" `Quick
+            test_campaign_deterministic_across_shards;
+          Alcotest.test_case "single shard slice" `Quick
+            test_campaign_single_shard_runs_its_slice;
+          Alcotest.test_case "crash and resume" `Quick test_campaign_crash_resume;
+          Alcotest.test_case "resume rejects config mismatch" `Quick
+            test_campaign_resume_rejects_mismatch;
+          Alcotest.test_case "corrupt mid-log rejected" `Quick
+            test_campaign_corrupt_middle_rejected ] );
+      ( "campaign-codec-prop",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_entry_roundtrip; prop_entry_rejects_torn;
+            prop_manifest_roundtrip; prop_manifest_rejects_torn ] );
+      ( "golden",
+        [ Alcotest.test_case "table1 pp" `Quick test_golden_table1_pp;
+          Alcotest.test_case "table1 csv" `Quick test_golden_table1_csv;
+          Alcotest.test_case "fig5 pp" `Quick test_golden_fig5_pp;
+          Alcotest.test_case "fig5 csv" `Quick test_golden_fig5_csv ] ) ]

@@ -94,6 +94,30 @@ let test_prng_pick () =
   Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
       ignore (Prng.pick rng [||]))
 
+let test_prng_derive_deterministic () =
+  let a = Prng.derive ~seed:9 ~index:1234 in
+  let b = Prng.derive ~seed:9 ~index:1234 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_derive_independent () =
+  (* Different indices (and different seeds) give different streams, and
+     deriving is order-free: stream 7 is the same whether or not other
+     indices were derived first. *)
+  let s0 = Prng.bits64 (Prng.derive ~seed:1 ~index:0) in
+  let s1 = Prng.bits64 (Prng.derive ~seed:1 ~index:1) in
+  let other_seed = Prng.bits64 (Prng.derive ~seed:2 ~index:0) in
+  Alcotest.(check bool) "indices differ" true (s0 <> s1);
+  Alcotest.(check bool) "seeds differ" true (s0 <> other_seed);
+  let direct = Prng.bits64 (Prng.derive ~seed:1 ~index:7) in
+  List.iter (fun i -> ignore (Prng.derive ~seed:1 ~index:i)) [ 0; 3; 5 ];
+  Alcotest.(check int64) "order-free" direct
+    (Prng.bits64 (Prng.derive ~seed:1 ~index:7));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.derive: negative index") (fun () ->
+      ignore (Prng.derive ~seed:1 ~index:(-1)))
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -208,6 +232,160 @@ let prop_parallel_equals_map =
     QCheck2.Gen.(array_size (int_range 0 200) int)
     (fun a -> Par.map (fun x -> x lxor 42) a = Array.map (fun x -> x lxor 42) a)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel.map_chunked                                                *)
+(* ------------------------------------------------------------------ *)
+
+let chunked_collect ?domains ?chunk f inputs =
+  let offsets = ref [] and out = ref [] in
+  Par.map_chunked ?domains ?chunk f inputs ~on_chunk:(fun ~offset results ->
+      offsets := offset :: !offsets;
+      out := results :: !out);
+  (List.rev !offsets, Array.concat (List.rev !out))
+
+let test_chunked_matches_map () =
+  let inputs = Array.init 53 (fun i -> i * 3) in
+  let f x = (x * x) - 1 in
+  let expected = Array.map f inputs in
+  List.iter
+    (fun chunk ->
+      let offsets, out = chunked_collect ~domains:3 ~chunk f inputs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "chunk=%d concatenates to Array.map" chunk)
+        expected out;
+      (* Offsets are the exact chunk starts, strictly increasing. *)
+      let rec starts at acc =
+        if at >= Array.length inputs then List.rev acc
+        else starts (at + chunk) (at :: acc)
+      in
+      Alcotest.(check (list int)) "offsets partition the input"
+        (starts 0 []) offsets)
+    [ 1; 7; 53; 1000 ]
+
+let test_chunked_empty_input () =
+  let fired = ref false in
+  Par.map_chunked (fun x -> x) [||] ~on_chunk:(fun ~offset:_ _ -> fired := true);
+  Alcotest.(check bool) "no callback on empty input" false !fired
+
+let test_chunked_exception_propagates () =
+  (* A worker raising mid-stream re-raises the first failure; chunks
+     already completed were reported; the pool leaves no orphan domain
+     behind, so parallel work afterwards still functions. *)
+  let seen = ref 0 in
+  Alcotest.check_raises "worker failure surfaces" (Failure "mid-stream") (fun () ->
+      Par.map_chunked ~domains:3 ~chunk:10
+        (fun x -> if x = 25 then failwith "mid-stream" else x)
+        (Array.init 40 Fun.id)
+        ~on_chunk:(fun ~offset:_ results -> seen := !seen + Array.length results));
+  Alcotest.(check int) "completed chunks were reported" 20 !seen;
+  let again = Par.map ~domains:3 (fun x -> x + 1) (Array.init 64 Fun.id) in
+  Alcotest.(check (array int)) "pool still usable afterwards"
+    (Array.init 64 (fun i -> i + 1)) again
+
+let test_chunked_callback_exception () =
+  (* on_chunk itself raising must also surface after the pool joins. *)
+  Alcotest.check_raises "callback failure surfaces" (Failure "sink") (fun () ->
+      Par.map_chunked ~domains:2 ~chunk:4 Fun.id (Array.init 9 Fun.id)
+        ~on_chunk:(fun ~offset _ -> if offset = 4 then failwith "sink"))
+
+let prop_chunked_equals_map =
+  QCheck2.Test.make ~name:"Parallel.map_chunked concatenates to Array.map"
+    ~count:50
+    QCheck2.Gen.(
+      pair (array_size (int_range 0 120) int) (int_range 1 17))
+    (fun (a, chunk) ->
+      let _, out = chunked_collect ~domains:4 ~chunk (fun x -> x * 2 + 1) a in
+      out = Array.map (fun x -> (x * 2) + 1) a)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Dls_util.Json
+
+let json_testable =
+  Alcotest.testable
+    (fun fmt j -> Format.pp_print_string fmt (Json.to_string j))
+    ( = )
+
+let test_json_basics () =
+  let check input expected =
+    match Json.of_string input with
+    | Ok v -> Alcotest.check json_testable input expected v
+    | Error msg -> Alcotest.failf "%s: %s" input msg
+  in
+  check "null" Json.Null;
+  check " true " (Json.Bool true);
+  check "-12.5e2" (Json.Num (-1250.0));
+  check "\"a\\nb\\u0041\"" (Json.Str "a\nbA");
+  check "[1,[],{}]" (Json.Arr [ Json.Num 1.0; Json.Arr []; Json.Obj [] ]);
+  check "{\"x\":1,\"y\":[true,null]}"
+    (Json.Obj
+       [ ("x", Json.Num 1.0); ("y", Json.Arr [ Json.Bool true; Json.Null ]) ])
+
+let test_json_rejects_malformed () =
+  let rejected input =
+    match Json.of_string input with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" input
+    | Error _ -> ()
+  in
+  List.iter rejected
+    [ ""; "{"; "{\"a\":1"; "[1,2"; "\"unterminated"; "tru"; "1 2"; "{\"a\" 1}";
+      "{\"a\":1}garbage"; "nan"; "[1,]"; "\"bad\\q\"" ];
+  Alcotest.check_raises "non-finite unprintable"
+    (Invalid_argument "Json.to_string: non-finite number") (fun () ->
+      ignore (Json.to_string (Json.Num Float.nan)))
+
+let test_json_number_roundtrip () =
+  List.iter
+    (fun v ->
+      let s = Json.to_string (Json.Num v) in
+      match Json.of_string s with
+      | Ok (Json.Num v') ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s roundtrips" s)
+          true
+          (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'))
+      | _ -> Alcotest.failf "%s did not parse back to a number" s)
+    [ 0.0; -0.0; 1.0; 0.1; 1.0 /. 3.0; 1e-300; -2.5e300; 4503599627370496.0 ]
+
+let gen_json =
+  (* Obj-rooted values, like every campaign log line. *)
+  QCheck2.Gen.(
+    let scalar =
+      oneof
+        [ return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun v -> Json.Num v) (float_range (-1e9) 1e9);
+          map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12)) ]
+    in
+    let value =
+      oneof
+        [ scalar;
+          map (fun l -> Json.Arr l) (list_size (int_range 0 4) scalar) ]
+    in
+    map
+      (fun fields -> Json.Obj fields)
+      (list_size (int_range 0 5)
+         (pair (string_size ~gen:printable (int_range 1 8)) value)))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"Json decode inverts encode" ~count:300 gen_json
+    (fun j -> Json.of_string (Json.to_string j) = Ok j)
+
+let prop_json_rejects_prefix =
+  (* Strict parsing: no proper prefix of an object line is accepted, so
+     a torn log line can never decode as a shorter valid entry. *)
+  QCheck2.Test.make ~name:"Json rejects torn prefixes" ~count:300
+    QCheck2.Gen.(pair gen_json (float_range 0.0 1.0))
+    (fun (j, frac) ->
+      let line = Json.to_string j in
+      let cut = int_of_float (frac *. float_of_int (String.length line)) in
+      let cut = Stdlib.min cut (String.length line - 1) in
+      match Json.of_string (String.sub line 0 cut) with
+      | Error _ -> true
+      | Ok _ -> false)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -223,7 +401,11 @@ let () =
           Alcotest.test_case "bool bias" `Quick test_prng_bool_bias;
           Alcotest.test_case "uniform mean" `Quick test_prng_mean_uniform;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutation;
-          Alcotest.test_case "pick" `Quick test_prng_pick ] );
+          Alcotest.test_case "pick" `Quick test_prng_pick;
+          Alcotest.test_case "derive deterministic" `Quick
+            test_prng_derive_deterministic;
+          Alcotest.test_case "derive independent" `Quick
+            test_prng_derive_independent ] );
       ( "stats",
         [ Alcotest.test_case "mean stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "median percentile" `Quick test_stats_median_percentile;
@@ -240,5 +422,18 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_propagates_exception;
           Alcotest.test_case "list wrapper" `Quick test_parallel_map_list ] );
+      ( "parallel-chunked",
+        [ Alcotest.test_case "matches map" `Quick test_chunked_matches_map;
+          Alcotest.test_case "empty input" `Quick test_chunked_empty_input;
+          Alcotest.test_case "worker exception" `Quick
+            test_chunked_exception_propagates;
+          Alcotest.test_case "callback exception" `Quick
+            test_chunked_callback_exception ] );
+      ( "json",
+        [ Alcotest.test_case "basics" `Quick test_json_basics;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+          Alcotest.test_case "number roundtrip" `Quick test_json_number_roundtrip ] );
       qsuite "stats-prop"
-        [ prop_median_between_min_max; prop_stddev_nonneg; prop_parallel_equals_map ] ]
+        [ prop_median_between_min_max; prop_stddev_nonneg; prop_parallel_equals_map ];
+      qsuite "chunked-json-prop"
+        [ prop_chunked_equals_map; prop_json_roundtrip; prop_json_rejects_prefix ] ]

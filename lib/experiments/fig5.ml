@@ -1,4 +1,4 @@
-module Prng = Dls_util.Prng
+module Gen = Dls_platform.Generator
 module Stats = Dls_util.Stats
 
 type row = {
@@ -15,29 +15,30 @@ type row = {
 let eps = 1e-9
 
 let run ?(seed = 1) ?(ks = [ 5; 15; 25; 35; 45; 55 ]) ?(per_k = 4) () =
-  let rng = Prng.create ~seed in
+  (* One resumable-runner campaign; rows group its records by K. *)
+  let records =
+    Campaign.collect
+      { Campaign.default_config with Campaign.seed; ks; per_k }
+  in
   List.map
     (fun k ->
-      (* Sample sequentially (reproducible PRNG draws), evaluate the
-         independent platforms across domains. *)
-      let problems = Array.init per_k (fun _ -> Measure.sample_problem rng ~k) in
-      let evaluations = Dls_util.Parallel.map Measure.evaluate problems in
       let maxmin_lprg = ref [] and sum_lprg = ref [] in
       let maxmin_g = ref [] and sum_g = ref [] in
       let used = ref 0 in
-      Array.iter
-        (function
-          | Error msg -> Logs.warn (fun m -> m "fig5: skipping platform: %s" msg)
-          | Ok v ->
-            if v.Measure.lp_maxmin > eps && v.Measure.lp_sum > eps then begin
-              incr used;
-              maxmin_lprg :=
-                (v.Measure.lprg_maxmin /. v.Measure.lp_maxmin) :: !maxmin_lprg;
-              sum_lprg := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !sum_lprg;
-              maxmin_g := (v.Measure.g_maxmin /. v.Measure.lp_maxmin) :: !maxmin_g;
-              sum_g := (v.Measure.g_sum /. v.Measure.lp_sum) :: !sum_g
-            end)
-        evaluations;
+      List.iter
+        (fun (r : Campaign.record) ->
+          let v = r.Campaign.values in
+          if r.Campaign.params.Gen.k = k
+             && v.Measure.lp_maxmin > eps && v.Measure.lp_sum > eps
+          then begin
+            incr used;
+            maxmin_lprg :=
+              (v.Measure.lprg_maxmin /. v.Measure.lp_maxmin) :: !maxmin_lprg;
+            sum_lprg := (v.Measure.lprg_sum /. v.Measure.lp_sum) :: !sum_lprg;
+            maxmin_g := (v.Measure.g_maxmin /. v.Measure.lp_maxmin) :: !maxmin_g;
+            sum_g := (v.Measure.g_sum /. v.Measure.lp_sum) :: !sum_g
+          end)
+        records;
       let mean l = Stats.mean (Array.of_list l) in
       let sd l = Stats.stddev (Array.of_list l) in
       { k; platforms = !used;
