@@ -125,6 +125,66 @@ let campaign_throughput ?(ks = [ 10; 15 ]) ?(per_k = 6) () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1d: resilience series (fault-sim throughput, repair latency)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fault-injected simulation speed (events/sec through the simulator's
+   re-equilibration path) and the cost of each Repair ladder rung on the
+   end-of-run degraded platform. *)
+let resilience_series ?(seed = 55) ?(ks = [ 10; 20; 30 ]) ?(per_k = 3) () =
+  Format.printf "=== Resilience series (fault simulation + repair ladder) ===@.@.";
+  Format.printf "%-4s %-8s %-10s %-12s %-12s %-12s %-12s@." "K" "events"
+    "events/s" "sim-s" "rescale-ms" "refine-ms" "resolve-ms";
+  let rng = Prng.create ~seed in
+  List.iter
+    (fun k ->
+      let events = ref 0 and sim_s = ref 0.0 in
+      let stage_ms = [| 0.0; 0.0; 0.0 |] and stage_n = [| 0; 0; 0 |] in
+      for _ = 1 to per_k do
+        let pr = E.Measure.sample_problem rng ~k in
+        let p = Problem.platform pr in
+        let a = Greedy.solve pr in
+        let periods = 20 in
+        let plan =
+          Dls_flowsim.Faults.random ~seed:(Prng.int rng ~lo:0 ~hi:1_000_000)
+            ~horizon:(float_of_int periods) ~link_rate:0.3 ~cluster_rate:0.15 p
+        in
+        let stats, dt =
+          E.Measure.time (fun () ->
+              Dls_flowsim.Simulator.run ~periods ~warmup:2 ~faults:plan pr a)
+        in
+        events := !events + stats.Dls_flowsim.Simulator.fault_events;
+        sim_s := !sim_s +. dt;
+        let degraded =
+          Dls_flowsim.Faults.degraded_at p plan ~time:(float_of_int periods)
+        in
+        let payoffs =
+          Array.init (Problem.num_clusters pr) (fun c -> Problem.payoff pr c)
+        in
+        let dpr = Problem.make degraded ~payoffs in
+        List.iteri
+          (fun i stage ->
+            let r, dt = E.Measure.time (fun () -> Repair.run_stage stage dpr a) in
+            match r with
+            | Ok _ ->
+              stage_ms.(i) <- stage_ms.(i) +. (dt *. 1e3);
+              stage_n.(i) <- stage_n.(i) + 1
+            | Error _ -> ())
+          [ Repair.Rescale; Repair.Refine; Repair.Resolve ]
+      done;
+      let mean_ms i =
+        if stage_n.(i) = 0 then Float.nan
+        else stage_ms.(i) /. float_of_int stage_n.(i)
+      in
+      Format.printf "%-4d %-8d %-10.1f %-12.4f %-12.4f %-12.4f %-12.4f@." k
+        !events
+        (float_of_int !events /. Float.max 1e-9 !sim_s)
+        (!sim_s /. float_of_int per_k)
+        (mean_ms 0) (mean_ms 1) (mean_ms 2))
+    ks;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one group per table/figure       *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,6 +291,32 @@ let substrate_tests =
       Test.make ~name:"feasibility-check-k10"
         (Staged.stage (fun () -> ignore (Allocation.check p alloc))) ]
 
+let resilience_tests =
+  (* Kernels of the resilience experiment: the simulator's fault path
+     (re-equilibration at every event) and the two cheap repair rungs. *)
+  let pr = problem_of ~seed:109 ~k:10 in
+  let p = Problem.platform pr in
+  let a = Greedy.solve pr in
+  let plan =
+    Dls_flowsim.Faults.random ~seed:110 ~horizon:20.0 ~link_rate:0.3
+      ~cluster_rate:0.15 p
+  in
+  let payoffs =
+    Array.init (Problem.num_clusters pr) (fun c -> Problem.payoff pr c)
+  in
+  let dpr =
+    Problem.make (Dls_flowsim.Faults.degraded_at p plan ~time:20.0) ~payoffs
+  in
+  Test.make_grouped ~name:"resilience"
+    [ Test.make ~name:"flowsim-faulted-20periods-k10"
+        (Staged.stage (fun () ->
+             ignore (Dls_flowsim.Simulator.run ~periods:20 ~faults:plan pr a)));
+      Test.make ~name:"repair-rescale-k10"
+        (Staged.stage (fun () -> ignore (Repair.rescale dpr a)));
+      Test.make ~name:"repair-refine-k10"
+        (Staged.stage (fun () ->
+             ignore (Repair.run_stage Repair.Refine dpr a))) ]
+
 let run_benchmarks () =
   Format.printf "@.=== Bechamel micro-benchmarks ===@.@.";
   let cfg = Benchmark.cfg ~limit:120 ~quota:(Time.second 1.5) ~kde:None () in
@@ -239,7 +325,7 @@ let run_benchmarks () =
   in
   let groups =
     [ table1_tests; fig5_tests; fig6_tests; fig7_tests; substrate_tests;
-      engine_tests; extension_tests ]
+      engine_tests; extension_tests; resilience_tests ]
   in
   List.iter
     (fun group ->
@@ -284,10 +370,14 @@ let () =
   else if Array.exists (String.equal "--campaign") Sys.argv then
     (* Just the campaign-runner scaling series. *)
     campaign_throughput ()
+  else if Array.exists (String.equal "--resilience") Sys.argv then
+    (* Just the fault-simulation + repair-ladder series. *)
+    resilience_series ()
   else begin
     reproduction ();
     lprr_warm_vs_cold ();
     campaign_throughput ();
+    resilience_series ();
     run_benchmarks ();
     Format.printf "@.done.@."
   end

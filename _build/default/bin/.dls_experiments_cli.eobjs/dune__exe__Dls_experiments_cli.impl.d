@@ -1,1 +1,1 @@
-bin/dls_experiments_cli.ml: Arg Cmd Cmdliner Dls_experiments Format Logs Logs_fmt Option Term
+bin/dls_experiments_cli.ml: Arg Cmd Cmdliner Dls_experiments Dls_flowsim Format List Logs Logs_fmt Option Stdlib Term

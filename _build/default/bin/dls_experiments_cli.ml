@@ -232,6 +232,89 @@ let campaign_cmd =
           $ shards_arg $ shard_arg $ resume_arg $ out_jsonl_arg
           $ checkpoint_every_arg $ domains_arg $ chunk_arg $ quiet_arg)
 
+let resilience_cmd =
+  let rates_arg =
+    let doc = "Fault event rates (per entity per period) to sweep." in
+    Arg.(value & opt (list float) [ 0.02; 0.05; 0.1 ]
+         & info [ "rates" ] ~docv:"R,R,..." ~doc)
+  in
+  let k_arg =
+    let doc = "Clusters per platform." in
+    Arg.(value & opt int 12 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let per_rate_arg =
+    let doc = "Random platforms per fault rate." in
+    Arg.(value & opt int 4 & info [ "per-rate" ] ~docv:"N" ~doc)
+  in
+  let periods_arg =
+    let doc = "Simulated periods per run." in
+    Arg.(value & opt int 20 & info [ "periods" ] ~docv:"P" ~doc)
+  in
+  let kill_arg =
+    Arg.(value & flag
+         & info [ "kill" ]
+             ~doc:"Drop transfers wedged by a fault instead of stalling them.")
+  in
+  let out_jsonl_arg =
+    let doc =
+      "Append every record to $(docv) as JSONL and maintain a checkpoint \
+       manifest at $(docv).manifest."
+    in
+    Arg.(value & opt (some string) None & info [ "out-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Replay an existing --out-jsonl log and evaluate only the rest." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: available cores, capped at 8)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let no_timings_arg =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Record repair wall-clock as 0, making the log \
+                   byte-reproducible.")
+  in
+  let run seed k rates per_rate periods kill no_timings resume out_jsonl domains
+      out =
+    setup_logs ();
+    let config =
+      { E.Resilience.seed; k; rates; per_rate; periods;
+        policy = (if kill then Dls_flowsim.Faults.Kill else Dls_flowsim.Faults.Stall);
+        measure_time = not no_timings }
+    in
+    let records = ref [] in
+    match
+      E.Resilience.run ?domains ~resume ?out:out_jsonl
+        ~on_entry:(function
+          | E.Resilience.Record r -> records := r :: !records
+          | E.Resilience.Skipped _ -> ())
+        config
+    with
+    | Error msg ->
+      Format.eprintf "resilience failed: %s@." msg;
+      exit 1
+    | Ok _ ->
+      let records =
+        List.sort
+          (fun a b ->
+            Stdlib.compare a.E.Resilience.index b.E.Resilience.index)
+          !records
+      in
+      emit ?out (E.Resilience.table config records)
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Sweep fault rates: simulate each heuristic's schedule under \
+          seed-derived platform faults, repair it against the degraded \
+          platform, and report throughput retained (inherits the campaign \
+          runner's checkpoint/resume).")
+    Term.(const run $ seed_arg 21 $ k_arg $ rates_arg $ per_rate_arg
+          $ periods_arg $ kill_arg $ no_timings_arg $ resume_arg $ out_jsonl_arg
+          $ domains_arg $ out_arg)
+
 let adaptivity_cmd =
   let run seed out =
     setup_logs ();
@@ -277,4 +360,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info [ table1_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
                                    aggregate_cmd; ablation_cmd; adaptivity_cmd;
-                                   sweep_cmd; campaign_cmd; all_cmd ]))
+                                   sweep_cmd; campaign_cmd; resilience_cmd;
+                                   all_cmd ]))

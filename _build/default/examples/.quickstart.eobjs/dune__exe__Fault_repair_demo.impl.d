@@ -1,0 +1,1 @@
+examples/fault_repair_demo.ml: Allocation Array Dls_core Dls_flowsim Dls_graph Dls_platform Format List Lp_relax Lprg Problem Repair

@@ -1,0 +1,1 @@
+examples/fault_repair_demo.mli:

@@ -1,0 +1,1 @@
+lib/core/repair.ml: Allocation Array Dls_platform Float Greedy Heuristics List Lp_relax Problem Residual Sys

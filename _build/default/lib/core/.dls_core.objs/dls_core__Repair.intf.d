@@ -1,0 +1,1 @@
+lib/core/repair.mli: Allocation Dls_util Heuristics Lp_relax Problem

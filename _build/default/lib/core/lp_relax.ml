@@ -430,7 +430,7 @@ module Incremental = struct
     | Some inc -> M.inc_counters inc
     | None ->
       { Rs.solves = 0; warm_starts = 0; cold_starts = 0; pivots = 0;
-        reinversions = 0; wall_clock = 0.0 }
+        reinversions = 0; bland_activations = 0; wall_clock = 0.0 }
 end
 
 let solve ?(engine = `Sparse) ?objective ?fixed ?max_iterations problem =

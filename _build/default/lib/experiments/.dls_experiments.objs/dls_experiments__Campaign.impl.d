@@ -1,1 +1,1 @@
-lib/experiments/campaign.ml: Array Dls_core Dls_lp Dls_platform Dls_util Fun In_channel List Logs Measure Option Printf Problem Report Result Stdlib String Sys Unix
+lib/experiments/campaign.ml: Array Dls_core Dls_lp Dls_platform Dls_util Engine In_channel List Measure Option Printf Problem Report Result Stdlib Sys

@@ -1,1 +1,1 @@
-lib/experiments/campaign.mli: Dls_platform Measure Report
+lib/experiments/campaign.mli: Dls_platform Engine Measure Report

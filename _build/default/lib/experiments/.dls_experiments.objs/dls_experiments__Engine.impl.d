@@ -1,0 +1,1 @@
+lib/experiments/engine.ml: Array Dls_util Fun In_channel List Logs Option Printf Result Stdlib String Sys Unix

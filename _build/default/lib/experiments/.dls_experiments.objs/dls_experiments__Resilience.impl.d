@@ -1,0 +1,1 @@
+lib/experiments/resilience.ml: Allocation Array Dls_core Dls_flowsim Dls_platform Dls_util Engine Heuristics In_channel List Measure Option Printf Problem Repair Report Result Stdlib Sys

@@ -1,0 +1,1 @@
+lib/experiments/resilience.mli: Dls_core Dls_flowsim Engine Report

@@ -111,6 +111,7 @@ let counters_to_json (c : Dls_lp.Revised_simplex.counters) =
       ("cold_starts", J.Num (float_of_int c.cold_starts));
       ("pivots", J.Num (float_of_int c.pivots));
       ("reinversions", J.Num (float_of_int c.reinversions));
+      ("bland_activations", J.Num (float_of_int c.bland_activations));
       ("wall_clock", J.Num c.wall_clock) ]
 
 let opt_num = function Some v -> J.Num v | None -> J.Null
@@ -212,11 +213,17 @@ let counters_of_json json =
     let* cold_starts = int_field "cold_starts" json in
     let* pivots = int_field "pivots" json in
     let* reinversions = int_field "reinversions" json in
+    (* Absent in logs written before the anti-cycling counter existed. *)
+    let* bland_activations =
+      match J.member "bland_activations" json with
+      | None -> Ok 0
+      | Some v -> J.to_int v
+    in
     let* wall_clock = num_field "wall_clock" json in
     Ok
       (Some
          { Dls_lp.Revised_simplex.solves; warm_starts; cold_starts; pivots;
-           reinversions; wall_clock })
+           reinversions; bland_activations; wall_clock })
 
 let values_of_json json =
   let* lp_sum = num_field "lp_sum" json in
@@ -324,50 +331,19 @@ let manifest_path out = out ^ ".manifest"
 let write_manifest ~out m =
   (* Atomic replace: a crash mid-write can only lose the update, never
      produce a torn manifest. *)
-  let path = manifest_path out in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (manifest_to_string m);
-      output_char oc '\n');
-  Sys.rename tmp path
+  Engine.write_atomic ~path:(manifest_path out) (manifest_to_string m ^ "\n")
 
 (* ------------------------------------------------------------------ *)
 (* Log replay                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let load_log ~path =
-  let content = In_channel.with_open_bin path In_channel.input_all in
-  let len = String.length content in
-  let rec go pos line_no acc =
-    if pos >= len then Ok (List.rev acc, pos)
-    else
-      match String.index_from_opt content pos '\n' with
-      | None ->
-        (* Final line never got its newline: interrupted write. *)
-        Ok (List.rev acc, pos)
-      | Some nl -> (
-        let line = String.sub content pos (nl - pos) in
-        match entry_of_line line with
-        | Ok e -> go (nl + 1) (line_no + 1) (e :: acc)
-        | Error msg ->
-          if nl = len - 1 then
-            (* Unparseable final line: also an interrupted write. *)
-            Ok (List.rev acc, pos)
-          else
-            Error
-              (Printf.sprintf "%s: corrupt entry at line %d: %s" path line_no
-                 msg))
-  in
-  go 0 1 []
+let load_log ~path = Engine.load_log ~of_line:entry_of_line ~path
 
 (* ------------------------------------------------------------------ *)
 (* Running                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type summary = {
+type summary = Engine.summary = {
   s_total : int;
   s_completed : int;
   s_skipped : int;
@@ -383,27 +359,39 @@ let times_of_values (v : Measure.values) =
   [ Some v.Measure.time_lp; Some v.Measure.time_g; Some v.Measure.time_lpr;
     Some v.Measure.time_lprg; v.Measure.time_lprr ]
 
-let validate config ~shards ~shard =
+let validate config =
   if config.ks = [] then Error "campaign: ks must be non-empty"
   else if config.per_k < 0 then Error "campaign: per_k must be >= 0"
-  else if shards < 1 then Error "campaign: shards must be >= 1"
-  else
-    match shard with
-    | Some s when s < 0 || s >= shards ->
-      Error (Printf.sprintf "campaign: shard %d outside [0, %d)" s shards)
-    | _ -> Ok ()
+  else Ok ()
 
-let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
-    ?(resume = false) ?out ?(on_entry = fun _ -> ()) config =
-  let* () = validate config ~shards ~shard in
+let spec config =
   let n = total config in
-  (* `Pending / `Record / `Skipped per index; replay flips entries out
-     of `Pending so only the frontier is evaluated. *)
-  let status = Array.make (Stdlib.max n 1) `Pending in
-  let* replayed =
-    match out with
-    | Some path when resume && Sys.file_exists path ->
-      let* () =
+  { Engine.log_label = "campaign";
+    total = n;
+    index_of = entry_index;
+    to_line = entry_to_line;
+    of_line = entry_of_line;
+    evaluate = evaluate_index config;
+    skip_reason =
+      (function Record _ -> None | Skipped { reason; _ } -> Some reason);
+    entry_times =
+      (function
+      | Skipped _ -> []
+      | Record r ->
+        List.concat
+          (List.map2
+             (fun label t ->
+               match t with Some t -> [ (label, t) ] | None -> [])
+             heuristic_labels
+             (times_of_values r.values)));
+    time_labels = heuristic_labels;
+    log_time_stats = config.measure_time;
+    write_manifest =
+      (fun ~out ~completed ->
+        write_manifest ~out
+          { m_config = config; m_total = n; m_completed = completed });
+    check_manifest =
+      (fun ~path ->
         let mpath = manifest_path path in
         if not (Sys.file_exists mpath) then Ok ()
         else
@@ -416,169 +404,13 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
               (mpath
                ^ ": checkpoint belongs to a different campaign config; \
                   refusing to resume")
-          else Ok ()
-      in
-      let* entries, valid_len = load_log ~path in
-      let size = (Unix.stat path).Unix.st_size in
-      if valid_len < size then begin
-        Logs.warn (fun m ->
-            m "campaign: dropping %d torn trailing bytes of %s"
-              (size - valid_len) path);
-        Unix.truncate path valid_len
-      end;
-      let* entries =
-        List.fold_left
-          (fun acc e ->
-            let* acc = acc in
-            let i = entry_index e in
-            if i < 0 || i >= n then
-              Error
-                (Printf.sprintf
-                   "%s: entry index %d outside campaign of %d entries; log \
-                    belongs to a different config"
-                   path i n)
-            else if status.(i) <> `Pending then Ok acc (* duplicate *)
-            else begin
-              status.(i) <-
-                (match e with Record _ -> `Record | Skipped _ -> `Skipped);
-              Ok (e :: acc)
-            end)
-          (Ok []) entries
-      in
-      Ok (List.rev entries)
-    | Some path ->
-      (* Fresh start: clear stale artifacts of a previous campaign. *)
-      if Sys.file_exists path then Sys.remove path;
-      let mpath = manifest_path path in
-      if Sys.file_exists mpath then Sys.remove mpath;
-      Ok []
-    | None -> Ok []
-  in
-  let replayed_n = List.length replayed in
-  List.iter on_entry replayed;
-  let shards_to_run =
-    match shard with Some s -> [ s ] | None -> List.init shards Fun.id
-  in
-  let pending_of s =
-    let acc = ref [] in
-    for i = n - 1 downto 0 do
-      if i mod shards = s && status.(i) = `Pending then acc := i :: !acc
-    done;
-    Array.of_list !acc
-  in
-  let pending_total =
-    List.fold_left (fun acc s -> acc + Array.length (pending_of s)) 0
-      shards_to_run
-  in
-  let oc =
-    Option.map
-      (fun path ->
-        open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
-      out
-  in
-  let logged_total = ref replayed_n in
-  let checkpoint () =
-    match out with
-    | Some path ->
-      write_manifest ~out:path
-        { m_config = config; m_total = n; m_completed = !logged_total }
-    | None -> ()
-  in
-  let t0 = Unix.gettimeofday () in
-  let evaluated = ref 0 in
-  let since_checkpoint = ref 0 in
-  let last_progress = ref t0 in
-  let time_samples = List.map (fun label -> (label, ref [])) heuristic_labels in
-  let handle_entry e =
-    (match oc with
-     | Some oc ->
-       output_string oc (entry_to_line e);
-       output_char oc '\n'
-     | None -> ());
-    (match e with
-     | Record r ->
-       status.(r.index) <- `Record;
-       List.iter2
-         (fun (_, samples) t ->
-           match t with Some t -> samples := t :: !samples | None -> ())
-         time_samples
-         (times_of_values r.values)
-     | Skipped { index; reason } ->
-       status.(index) <- `Skipped;
-       Logs.warn (fun m -> m "campaign: platform %d skipped: %s" index reason));
-    incr evaluated;
-    incr since_checkpoint;
-    incr logged_total;
-    on_entry e
-  in
-  let progress () =
-    let now = Unix.gettimeofday () in
-    if now -. !last_progress >= 2.0 && !evaluated > 0 then begin
-      last_progress := now;
-      let rate = float_of_int !evaluated /. (now -. t0) in
-      let remaining = pending_total - !evaluated in
-      Logs.info (fun m ->
-          m "campaign: %d/%d evaluated (%.2f records/s, ETA %.0fs)" !evaluated
-            pending_total rate
-            (float_of_int remaining /. Stdlib.max 1e-9 rate))
-    end
-  in
-  Fun.protect
-    ~finally:(fun () -> Option.iter close_out oc)
-    (fun () ->
-      checkpoint ();
-      List.iter
-        (fun s ->
-          Parallel.map_chunked ?domains ?chunk (evaluate_index config)
-            (pending_of s)
-            ~on_chunk:(fun ~offset:_ results ->
-              Array.iter handle_entry results;
-              Option.iter flush oc;
-              if !since_checkpoint >= checkpoint_every then begin
-                since_checkpoint := 0;
-                checkpoint ()
-              end;
-              progress ()))
-        shards_to_run;
-      checkpoint ());
-  let wall = Unix.gettimeofday () -. t0 in
-  let completed = ref 0 and skipped = ref 0 in
-  Array.iteri
-    (fun i st ->
-      if i < n then
-        match st with
-        | `Record -> incr completed
-        | `Skipped -> incr skipped
-        | `Pending -> ())
-    status;
-  (* Per-heuristic wall-clock digest for long campaigns. *)
-  let times =
-    List.map
-      (fun (label, samples) ->
-        (label, Array.of_list (List.rev !samples)))
-      time_samples
-  in
-  if config.measure_time && !evaluated > 0 then
-    List.iter
-      (fun (label, samples) ->
-        if Array.length samples > 0 then
-          Logs.info (fun m ->
-              m "campaign: %s wall-clock mean %.4fs median %.4fs p95 %.4fs \
-                 over %d records"
-                label
-                (Dls_util.Stats.mean samples)
-                (Dls_util.Stats.median samples)
-                (Dls_util.Stats.percentile samples ~p:95.0)
-                (Array.length samples)))
-      times;
-  Ok
-    { s_total = n;
-      s_completed = !completed;
-      s_skipped = !skipped;
-      s_evaluated = !evaluated;
-      s_replayed = replayed_n;
-      s_wall = wall;
-      s_times = times }
+          else Ok ()) }
+
+let run ?domains ?chunk ?checkpoint_every ?shards ?shard ?resume ?out ?on_entry
+    config =
+  let* () = validate config in
+  Engine.run ?domains ?chunk ?checkpoint_every ?shards ?shard ?resume ?out
+    ?on_entry (spec config)
 
 let summary_table s =
   { Report.title = "Campaign summary";

@@ -99,7 +99,7 @@ val load_log :
 
 (** {2 Running} *)
 
-type summary = {
+type summary = Engine.summary = {
   s_total : int;
   s_completed : int;  (** successful records, replayed + new *)
   s_skipped : int;  (** skipped entries, replayed + new *)

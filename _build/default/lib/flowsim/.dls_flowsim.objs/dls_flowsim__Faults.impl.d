@@ -1,0 +1,1 @@
+lib/flowsim/faults.ml: Array Buffer Dls_platform Dls_util Float Format List Printf

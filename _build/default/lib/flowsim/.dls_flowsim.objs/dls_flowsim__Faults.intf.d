@@ -1,0 +1,1 @@
+lib/flowsim/faults.mli: Dls_platform Format

@@ -1,1 +1,1 @@
-lib/flowsim/simulator.ml: Array Dls_core Dls_platform Float Latency List Sharing Stdlib
+lib/flowsim/simulator.ml: Array Dls_core Dls_platform Faults Float Latency List Sharing Stdlib

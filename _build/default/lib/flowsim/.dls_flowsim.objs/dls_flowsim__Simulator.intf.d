@@ -1,1 +1,1 @@
-lib/flowsim/simulator.mli: Dls_core Latency
+lib/flowsim/simulator.mli: Dls_core Faults Latency

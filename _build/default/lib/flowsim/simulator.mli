@@ -28,13 +28,23 @@ type stats = {
   late_transfers : int;
   (** transfers that completed after the period in which they started *)
   stalled_transfers : int;
-  (** transfers that could never move (zero rate); an infeasible input *)
+  (** transfers that could never move (zero rate): an infeasible input,
+      or — under a fault plan with the [Stall] policy — transfers still
+      wedged on a failed route or dead endpoint when the run ends *)
+  killed_transfers : int;
+  (** transfers dropped by the [Kill] fault policy (0 without faults) *)
+  fault_events : int;
+  (** fault-plan events that fired inside the simulated horizon *)
+  downtime : float;
+  (** total simulated time during which at least one fault was active *)
 }
 
 val run :
   ?periods:int ->
   ?warmup:int ->
   ?latency:Latency.t ->
+  ?faults:Faults.plan ->
+  ?fault_policy:Faults.policy ->
   Dls_core.Problem.t ->
   Dls_core.Allocation.t ->
   stats
@@ -47,6 +57,23 @@ val run :
     asymptotically (latency is a constant offset per chunk) but warm-up
     takes longer and fairness between long and short routes degrades,
     which the stats expose.
+
+    With [faults], the plan's events are applied at their times
+    mid-execution and rates re-equilibrated: a transfer's capacity
+    follows the degraded per-connection bandwidth of its route (zero
+    across a down link, so the transfer stalls), connection counts are
+    scaled down when a reduced [max_connect] no longer covers the
+    allocation's demand on a link, crashed clusters lose their local
+    link (in-flight transfers to them stall or are killed per
+    [fault_policy], default [Stall]) and the compute phase integrates
+    each cluster's piecewise-constant throttled speed.  An empty plan is
+    bit-identical to running without [faults].
+
+    All-stalled schedules short-circuit: when every transfer of the
+    periodic pattern starts with zero capacity or a zero-capacity
+    endpoint (and no fault event could revive it), the run skips the
+    period loop and returns immediately with [stalled_transfers]
+    covering all [periods]' transfers — same stats, none of the work.
     @raise Invalid_argument if [periods <= warmup] or either is
     negative. *)
 

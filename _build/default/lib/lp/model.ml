@@ -145,6 +145,9 @@ module Float = struct
       | Revised_simplex.Optimal -> Solver.Optimal
       | Revised_simplex.Unbounded -> Solver.Unbounded
       | Revised_simplex.Iteration_limit -> Solver.Iteration_limit
+      (* The dense engine has no cycling diagnosis; both are a pivot
+         budget exhaustion from the model's point of view. *)
+      | Revised_simplex.Cycling -> Solver.Iteration_limit
     in
     { status;
       objective = sol.Revised_simplex.objective;

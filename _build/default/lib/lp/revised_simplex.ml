@@ -6,7 +6,7 @@ type problem = {
   rows : constr list;
 }
 
-type status = Optimal | Unbounded | Iteration_limit
+type status = Optimal | Unbounded | Iteration_limit | Cycling
 
 type solution = {
   status : status;
@@ -22,12 +22,13 @@ type counters = {
   cold_starts : int;
   pivots : int;
   reinversions : int;
+  bland_activations : int;
   wall_clock : float;
 }
 
 let zero_counters =
   { solves = 0; warm_starts = 0; cold_starts = 0; pivots = 0;
-    reinversions = 0; wall_clock = 0.0 }
+    reinversions = 0; bland_activations = 0; wall_clock = 0.0 }
 
 let src = Logs.Src.create "dls.lp.revised" ~doc:"Sparse revised simplex"
 
@@ -347,7 +348,11 @@ let objective_value st =
   !z
 
 (* Primal simplex iterations from the current (primal-feasible) basis:
-   Dantzig pricing with a stall-triggered switch to Bland's rule. *)
+   Dantzig pricing with a stall-triggered switch to Bland's rule.  The
+   pivot budget is a hard termination guarantee even on degenerate LPs:
+   exhausting it while Bland's rule is active and the objective has not
+   moved since the switch is reported as [Cycling] (a degenerate spin),
+   every other exhaustion as [Iteration_limit]. *)
 let optimize ?max_iterations st =
   let total_cols = st.n + st.m in
   let budget =
@@ -361,10 +366,15 @@ let optimize ?max_iterations st =
   let stall = ref 0 in
   let stall_limit = 4 * (st.m + total_cols) in
   let bland = ref false in
+  let z_at_bland = ref neg_infinity in
   let last_z = ref neg_infinity in
   let result = ref None in
   while !result = None do
-    if !iterations >= budget then result := Some Iteration_limit
+    if !iterations >= budget then
+      result :=
+        Some
+          (if !bland && objective_value st <= !z_at_bland +. 1e-12 then Cycling
+           else Iteration_limit)
     else begin
       if st.pivot_etas >= refactor_interval then ignore (refactor st : bool);
       (* Pricing: y = (B^-1)' c_B, then reduced costs per nonbasic column. *)
@@ -448,7 +458,17 @@ let optimize ?max_iterations st =
           end
           else begin
             incr stall;
-            if !stall > stall_limit then bland := true
+            if !stall > stall_limit && not !bland then begin
+              bland := true;
+              z_at_bland := z;
+              st.ctr <-
+                { st.ctr with
+                  bland_activations = st.ctr.bland_activations + 1 };
+              Log.debug (fun m ->
+                  m "solve #%d: degenerate stall after %d pivots, \
+                     switching to Bland's rule"
+                    st.ctr.solves !iterations)
+            end
           end
         end
       end

@@ -41,7 +41,17 @@ type problem = {
   rows : constr list;
 }
 
-type status = Optimal | Unbounded | Iteration_limit
+type status =
+  | Optimal
+  | Unbounded
+  | Iteration_limit
+      (** pivot budget exhausted while the objective was still moving *)
+  | Cycling
+      (** pivot budget exhausted in a degenerate spin: the stall
+          detector had already switched to Bland's anti-cycling rule and
+          the objective has not improved since — the LP is (numerically)
+          stuck on a degenerate vertex.  The budget guarantees
+          termination either way; this status tells the two apart. *)
 
 type solution = {
   status : status;
@@ -73,6 +83,10 @@ type counters = {
   reinversions : int;
   (** basis refactorizations, cumulative (periodic refreshes during a
       solve plus the one opening every warm start) *)
+  bland_activations : int;
+  (** stall-triggered switches to Bland's anti-cycling pivot rule,
+      cumulative — each one is a solve that degenerated far enough for
+      Dantzig pricing to stop making progress *)
   wall_clock : float;  (** seconds spent inside {!solve_state} *)
 }
 

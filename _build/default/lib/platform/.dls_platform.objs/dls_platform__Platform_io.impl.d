@@ -1,1 +1,1 @@
-lib/platform/platform_io.ml: Array Buffer Dls_graph Fun In_channel List Option Platform Printf String
+lib/platform/platform_io.ml: Array Buffer Dls_graph Format Fun In_channel List Option Platform Printf String

@@ -1,1 +1,1 @@
-lib/platform/platform_io.mli: Platform
+lib/platform/platform_io.mli: Format Platform

@@ -28,19 +28,25 @@ let to_string p =
   done;
   Buffer.contents buf
 
+type parse_error = { line : int; message : string }
+
+let pp_parse_error fmt e =
+  if e.line > 0 then Format.fprintf fmt "line %d: %s" e.line e.message
+  else Format.pp_print_string fmt e.message
+
 type parse_state = {
   mutable routers : int option;
-  mutable clusters : Platform.cluster list;  (* reversed *)
-  mutable backbones : (int * int * Platform.backbone) list;  (* reversed *)
-  mutable routes : (int * int * int list) list;  (* reversed *)
+  (* each directive keeps the line it came from, so semantic validation
+     (after the whole file is read) can still point at the culprit *)
+  mutable clusters : (int * Platform.cluster) list;  (* reversed *)
+  mutable backbones : (int * (int * int * Platform.backbone)) list;  (* reversed *)
+  mutable routes : (int * (int * int * int list)) list;  (* reversed *)
 }
 
-let of_string text =
-  let state =
-    { routers = None; clusters = []; backbones = []; routes = [] }
-  in
-  let exception Parse_error of int * string in
-  let fail line msg = raise (Parse_error (line, msg)) in
+let parse text =
+  let state = { routers = None; clusters = []; backbones = []; routes = [] } in
+  let exception Fail of parse_error in
+  let fail line message = raise (Fail { line; message }) in
   try
     let lines = String.split_on_char '\n' text in
     List.iteri
@@ -64,7 +70,7 @@ let of_string text =
             with
             | Some speed, Some local_bw, Some router ->
               state.clusters <-
-                { Platform.speed; local_bw; router } :: state.clusters
+                (lineno, { Platform.speed; local_bw; router }) :: state.clusters
             | _ -> fail lineno "bad cluster line"
           end
           | [ "backbone"; u; v; bw; maxcon ] -> begin
@@ -74,7 +80,7 @@ let of_string text =
             with
             | Some u, Some v, Some bw, Some max_connect ->
               state.backbones <-
-                (u, v, { Platform.bw; max_connect }) :: state.backbones
+                (lineno, (u, v, { Platform.bw; max_connect })) :: state.backbones
             | _ -> fail lineno "bad backbone line"
           end
           | "route" :: k :: l :: links -> begin
@@ -82,7 +88,8 @@ let of_string text =
             if List.exists (( = ) None) ints then fail lineno "bad route line"
             else begin
               match List.map Option.get ints with
-              | k :: l :: links -> state.routes <- (k, l, links) :: state.routes
+              | k :: l :: links ->
+                state.routes <- (lineno, (k, l, links)) :: state.routes
               | _ -> fail lineno "bad route line"
             end
           end
@@ -95,21 +102,85 @@ let of_string text =
       | Some n -> n
       | None -> fail 0 "missing 'routers' line"
     in
+    let clusters = List.rev state.clusters in
     let backbones = List.rev state.backbones in
+    let routes = List.rev state.routes in
+    let num_clusters = List.length clusters in
+    let num_backbones = List.length backbones in
+    (* Semantic validation with line attribution — the same invariants
+       [Platform.make_with_routes] enforces, checked here first so the
+       error points at the offending directive instead of a bare
+       [Invalid_argument]. *)
+    List.iter
+      (fun (lineno, c) ->
+        if c.Platform.router < 0 || c.Platform.router >= routers then
+          fail lineno
+            (Printf.sprintf "cluster router %d outside [0, %d)"
+               c.Platform.router routers);
+        if not (c.Platform.speed >= 0.0) then fail lineno "negative cluster speed";
+        if not (c.Platform.local_bw >= 0.0) then
+          fail lineno "negative cluster local bandwidth")
+      clusters;
+    List.iter
+      (fun (lineno, (u, v, b)) ->
+        if u < 0 || u >= routers || v < 0 || v >= routers then
+          fail lineno
+            (Printf.sprintf "backbone endpoints (%d, %d) outside [0, %d)" u v
+               routers);
+        if not (b.Platform.bw > 0.0) then
+          fail lineno "backbone bandwidth must be positive";
+        if b.Platform.max_connect < 0 then
+          fail lineno "negative backbone max_connect")
+      backbones;
+    let backbone_arr = Array.of_list (List.map snd backbones) in
+    let cluster_arr = Array.of_list (List.map snd clusters) in
+    List.iter
+      (fun (lineno, (k, l, links)) ->
+        if k < 0 || k >= num_clusters || l < 0 || l >= num_clusters then
+          fail lineno
+            (Printf.sprintf "route endpoints (%d, %d) outside [0, %d)" k l
+               num_clusters);
+        List.iter
+          (fun e ->
+            if e < 0 || e >= num_backbones then
+              fail lineno
+                (Printf.sprintf "route link id %d outside [0, %d)" e
+                   num_backbones))
+          links;
+        (* The link sequence must walk from k's router to l's router. *)
+        let at = ref cluster_arr.(k).Platform.router in
+        List.iter
+          (fun e ->
+            let u, v, _ = backbone_arr.(e) in
+            if u = !at then at := v
+            else if v = !at then at := u
+            else
+              fail lineno
+                (Printf.sprintf "route link %d does not touch router %d" e !at))
+          links;
+        if !at <> cluster_arr.(l).Platform.router then
+          fail lineno
+            (Printf.sprintf "route ends at router %d, not cluster %d's router %d"
+               !at l cluster_arr.(l).Platform.router))
+      routes;
     let topology =
-      G.create ~n:routers ~edges:(List.map (fun (u, v, _) -> (u, v)) backbones)
+      G.create ~n:routers
+        ~edges:(List.map (fun (_, (u, v, _)) -> (u, v)) backbones)
     in
     let platform =
-      Platform.make_with_routes
-        ~clusters:(Array.of_list (List.rev state.clusters))
-        ~topology
-        ~backbones:(Array.of_list (List.map (fun (_, _, b) -> b) backbones))
-        ~routes:(List.rev state.routes)
+      Platform.make_with_routes ~clusters:cluster_arr ~topology
+        ~backbones:(Array.map (fun (_, _, b) -> b) backbone_arr)
+        ~routes:(List.map snd routes)
     in
     Ok platform
   with
-  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
-  | Invalid_argument msg -> Error msg
+  | Fail e -> Error e
+  | Invalid_argument message -> Error { line = 0; message }
+
+let of_string text =
+  match parse text with
+  | Ok p -> Ok p
+  | Error e -> Error (Format.asprintf "%a" pp_parse_error e)
 
 let save ~path p =
   let oc = open_out path in

@@ -18,8 +18,25 @@ route <k> <l> <link-id> ...              # full routing table
 
 val to_string : Platform.t -> string
 
+type parse_error = {
+  line : int;  (** 1-based line of the offending directive; 0 when the
+                   error has no single source line (e.g. a missing
+                   [routers] declaration) *)
+  message : string;
+}
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+(** ["line %d: %s"], or just the message when [line = 0]. *)
+
+val parse : string -> (Platform.t, parse_error) result
+(** Structured parsing.  Both lexical errors (malformed directives) and
+    semantic ones (router index out of range, non-positive backbone
+    bandwidth, a route whose links do not form a path between its
+    endpoints, ...) are attributed to the directive that caused them, so
+    tools can point at the offending line instead of failing bare. *)
+
 val of_string : string -> (Platform.t, string) result
-(** Parse error messages include the offending line number. *)
+(** [parse] with the error rendered by {!pp_parse_error}. *)
 
 val save : path:string -> Platform.t -> unit
 (** @raise Sys_error on an unwritable path. *)

@@ -1,1 +1,1 @@
-test/test_platform.ml: Alcotest Array Dls_graph Dls_platform Dls_util Filename Float Fun List Printf QCheck2 QCheck_alcotest String Sys
+test/test_platform.ml: Alcotest Array Dls_graph Dls_platform Dls_util Filename Float Format Fun List Printf QCheck2 QCheck_alcotest String Sys

@@ -443,6 +443,43 @@ let test_revised_many_pivots_refactor () =
   in
   check_float "matches dense" dense.Sf.objective sol.Rs.objective
 
+let test_revised_pivot_limit () =
+  (* A tiny pivot budget on an LP that needs several iterations: the
+     solver must stop with a termination status instead of spinning —
+     Iteration_limit when the objective was still moving, Cycling when
+     the stall detector had already switched to Bland's rule. *)
+  let n = 40 in
+  let rows =
+    List.init n (fun i ->
+        { Rs.coeffs = ((i, 1.0) :: if i > 0 then [ (i - 1, 0.5) ] else []);
+          rhs = 10.0 })
+  in
+  let p = { Rs.num_vars = n; maximize = List.init n (fun i -> (i, 1.0)); rows } in
+  let sol = Rs.solve ~max_iterations:3 p in
+  Alcotest.(check bool) "budget respected" true (sol.Rs.iterations <= 3);
+  Alcotest.(check bool) "terminates non-optimal" true
+    (match sol.Rs.status with
+     | Rs.Iteration_limit | Rs.Cycling -> true
+     | Rs.Optimal | Rs.Unbounded -> false);
+  (* The same LP with the default budget still reaches the optimum. *)
+  Alcotest.(check bool) "full budget optimal" true
+    ((Rs.solve p).Rs.status = Rs.Optimal)
+
+let test_revised_bland_counter () =
+  (* A clean non-degenerate solve never needs the anti-cycling rule. *)
+  let st =
+    Rs.create
+      { Rs.num_vars = 2;
+        maximize = [ (0, 3.0); (1, 5.0) ];
+        rows =
+          [ { Rs.coeffs = [ (0, 1.0) ]; rhs = 4.0 };
+            { Rs.coeffs = [ (1, 2.0) ]; rhs = 12.0 };
+            { Rs.coeffs = [ (0, 3.0); (1, 2.0) ]; rhs = 18.0 } ] }
+  in
+  ignore (Rs.solve_state st);
+  Alcotest.(check int) "no bland switches" 0
+    (Rs.counters st).Rs.bland_activations
+
 (* Random packed-form LPs (all <=, rhs >= 0): both engines must agree. *)
 let packed_lp_gen =
   let open QCheck2.Gen in
@@ -714,7 +751,11 @@ let () =
           Alcotest.test_case "negative rhs rejected" `Quick
             test_revised_rejects_negative_rhs;
           Alcotest.test_case "refactorization path" `Quick
-            test_revised_many_pivots_refactor ] );
+            test_revised_many_pivots_refactor;
+          Alcotest.test_case "pivot limit terminates" `Quick
+            test_revised_pivot_limit;
+          Alcotest.test_case "bland counter stays zero" `Quick
+            test_revised_bland_counter ] );
       ( "warm-start",
         [ Alcotest.test_case "relax non-binding row" `Quick
             test_warm_relax_nonbinding;

@@ -1,0 +1,102 @@
+(** Degradation-aware schedule repair.
+
+    When a platform event (backbone failure, bandwidth degradation,
+    connection-cap reduction, cluster throttle or crash) invalidates a
+    running steady-state allocation, the schedule must be repaired
+    against the {e residual} platform — the degraded capacities, e.g.
+    from {!Dls_flowsim.Faults.degraded_platform}.  This module climbs a
+    retry ladder of increasing cost until it finds a feasible operating
+    point:
+
+    + {b Rescale} — local surgery on the broken allocation: entries
+      through dead routes or crashed clusters are zeroed, connection
+      counts are re-pinned under each link's surviving [max_connect]
+      (floored proportional scaling, so per-link sums stay under the
+      cap), bandwidth rows are re-capped against the degraded
+      per-connection bandwidth, and finally every [alpha] is multiplied
+      by the single largest factor that fits the CPU and local-link
+      rows — the λ-scaling trick the adaptivity experiment uses.  The
+      result is feasible by construction; milliseconds, but it can only
+      shrink work, never re-route it.
+    + {b Refine} — continue the greedy heuristic from the rescaled
+      allocation and its residual capacities ({!Residual.of_allocation}
+      + {!Greedy.refine}), reclaiming capacity the rescale freed — the
+      LPRG composition applied to repair.
+    + {b Resolve} — discard the old allocation and re-run a full
+      heuristic ({!Heuristics.run}, default LPRG, falling back to G if
+      the LP fails) on the degraded problem.
+
+    The first stage whose output is feasible {e and} achieves a positive
+    objective wins; if every stage yields objective 0 (e.g. the faults
+    disconnected everything) the best feasible output is returned so the
+    caller still holds a valid — if empty — operating point.  Every
+    stage tried is reported in {!outcome.attempts} with its wall-clock
+    cost and whether it met its (advisory, post-hoc) time budget. *)
+
+type stage = Rescale | Refine | Resolve
+
+val stage_name : stage -> string
+(** ["rescale"], ["refine"], ["resolve"]. *)
+
+type attempt = {
+  stage : stage;
+  seconds : float;  (** CPU seconds spent in the stage *)
+  within_budget : bool;
+  (** whether [seconds] met the stage's budget; budgets are advisory —
+      a stage is never aborted mid-flight, the flag records the overrun
+      for the caller (and the bench series) to see *)
+  feasible : bool;  (** output passed Eqs. 7a–7g on the degraded problem *)
+  objective : float;  (** objective value of the stage's output (0 if infeasible) *)
+}
+
+type budgets = {
+  rescale_s : float;
+  refine_s : float;
+  resolve_s : float;
+}
+
+val default_budgets : budgets
+(** 1 ms / 100 ms / 2 s — rescale is arithmetic on the matrices, refine
+    one greedy pass, resolve a full LP-based solve. *)
+
+type outcome = {
+  allocation : Allocation.t;  (** feasible on the degraded problem *)
+  stage : stage;  (** the stage that produced {!field-allocation} *)
+  attempts : attempt list;  (** stages tried, in ladder order *)
+}
+
+val rescale : Problem.t -> Allocation.t -> Allocation.t
+(** Stage 1 alone: [rescale degraded alloc] shrinks [alloc] onto the
+    degraded problem's capacities.  Total (never raises) and feasible by
+    construction whenever [alloc] was feasible on the healthy platform
+    — the QCheck suite checks feasibility of the output regardless. *)
+
+val run_stage :
+  ?objective:Lp_relax.objective ->
+  ?heuristic:Heuristics.t ->
+  ?rng:Dls_util.Prng.t ->
+  stage ->
+  Problem.t ->
+  Allocation.t ->
+  (Allocation.t, string) result
+(** One ladder rung in isolation ([degraded problem], [broken
+    allocation]) — exposed for the bench series and the tests; [repair]
+    composes these. *)
+
+val repair :
+  ?objective:Lp_relax.objective ->
+  ?heuristic:Heuristics.t ->
+  ?rng:Dls_util.Prng.t ->
+  ?budgets:budgets ->
+  Problem.t ->
+  Allocation.t ->
+  (outcome, string) result
+(** [repair degraded alloc] climbs the ladder.  [degraded] is the
+    problem on the residual platform (same payoffs, degraded
+    capacities); [alloc] is the allocation that the platform event
+    broke.  [objective] selects the LP objective for Resolve (default
+    [Maxmin], matching {!Heuristics.run}); [heuristic] the Resolve
+    heuristic (default LPRG); [rng] seeds LPRR if chosen.  [Error] only
+    when no stage produced a feasible allocation, which cannot happen
+    for a well-formed degraded problem (Rescale is total) — it guards
+    against violated preconditions such as NaN capacities. *)

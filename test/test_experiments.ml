@@ -408,10 +408,11 @@ let gen_counters =
     let* cold_starts = int_range 0 1_000_000 in
     let* pivots = int_range 0 1_000_000 in
     let* reinversions = int_range 0 1_000_000 in
+    let* bland_activations = int_range 0 1_000_000 in
     let* wall_clock = float_range 0.0 1e6 in
     return
       { Dls_lp.Revised_simplex.solves; warm_starts; cold_starts; pivots;
-        reinversions; wall_clock })
+        reinversions; bland_activations; wall_clock })
 
 let gen_values =
   QCheck2.Gen.(

@@ -252,6 +252,56 @@ let test_io_parse_errors () =
   check "dls-platform 1\ncluster a b c\n" "bad cluster";
   check "dls-platform 1\ncluster 1 1 0\n" "routers"
 
+let test_io_parse_error_positions () =
+  (* Semantic errors — previously bare [Invalid_argument]s escaping from
+     Platform.make_with_routes — must now name the offending line. *)
+  let check_line text line fragment =
+    match Pio.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error e ->
+      Alcotest.(check int) (fragment ^ ": line") line e.Pio.line;
+      let msg = Format.asprintf "%a" Pio.pp_parse_error e in
+      let has_sub =
+        let n = String.length msg and m = String.length fragment in
+        let rec go i = i + m <= n && (String.sub msg i m = fragment || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool) (text ^ " -> " ^ msg) true has_sub
+  in
+  (* Cluster pointing at a router that does not exist: line 3. *)
+  check_line "dls-platform 1\nrouters 1\ncluster 1 1 5\n" 3 "router 5";
+  (* Backbone with an out-of-range endpoint: line 4. *)
+  check_line
+    "dls-platform 1\nrouters 2\ncluster 1 1 0\ncluster 1 1 9\n"
+    4 "router 9";
+  check_line
+    "dls-platform 1\nrouters 2\ncluster 1 1 0\ncluster 1 1 1\nbackbone 0 7 1 1\n"
+    5 "endpoints";
+  check_line
+    "dls-platform 1\nrouters 2\ncluster 1 1 0\ncluster 1 1 1\nbackbone 0 1 0 1\n"
+    5 "positive";
+  (* A route whose links do not reach the destination router: line 6. *)
+  check_line
+    "dls-platform 1\nrouters 3\ncluster 1 1 0\ncluster 1 1 2\nbackbone 0 1 1 1\nroute 0 1 0\n"
+    6 "route";
+  (* Lexical errors still carry their line. *)
+  check_line "dls-platform 1\nrouters 1\ncluster a b c\n" 3 "bad cluster";
+  (* Errors with no single source line report line 0, and the renderer
+     drops the "line" prefix. *)
+  (match Pio.parse "dls-platform 1\ncluster 1 1 0\n" with
+   | Ok _ -> Alcotest.fail "expected missing-routers error"
+   | Error e ->
+     Alcotest.(check int) "no line" 0 e.Pio.line;
+     let msg = Format.asprintf "%a" Pio.pp_parse_error e in
+     Alcotest.(check bool) "no line prefix" false
+       (String.length msg >= 4 && String.sub msg 0 4 = "line"));
+  (* of_string renders errors through the same pretty-printer. *)
+  match Pio.of_string "dls-platform 1\nrouters 1\ncluster 1 1 5\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error msg ->
+    Alcotest.(check bool) "string form has the line" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "line 3:")
+
 let test_io_comments_and_blanks () =
   let text =
     "# a comment\n\ndls-platform 1\nrouters 1\n# another\ncluster 5 6 0\n"
@@ -470,6 +520,8 @@ let () =
         [ Alcotest.test_case "roundtrip line3" `Quick test_io_roundtrip_line3;
           Alcotest.test_case "route overrides" `Quick test_io_preserves_route_overrides;
           Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "parse error positions" `Quick
+            test_io_parse_error_positions;
           Alcotest.test_case "comments and blanks" `Quick test_io_comments_and_blanks;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "shipped assets parse" `Quick
