@@ -356,6 +356,18 @@ let quick () =
   lprr_warm_vs_cold ~ks:[ 8 ] ~per_k:1 ();
   Format.printf "done.@."
 
+(* --trace FILE / --metrics FILE: same observability sinks as the CLI —
+   a Chrome trace_event file and/or a JSONL metrics dump, written at
+   exit.  Left off, both subsystems stay in their free disabled state,
+   so the timing series are unperturbed. *)
+let flag_value name =
+  let r = ref None in
+  Array.iteri
+    (fun i a -> if String.equal a name && i + 1 < Array.length Sys.argv then
+        r := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !r
+
 let () =
   (* --debug surfaces the solver's per-solve instrumentation lines
      (warm/cold tag, pivots, reinversions, wall-clock). *)
@@ -363,6 +375,11 @@ let () =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  (match (flag_value "--trace", flag_value "--metrics") with
+  | (None, None) -> ()
+  | (trace, metrics) ->
+    Dls_obs.Obs.configure ?trace ?metrics ();
+    at_exit Dls_obs.Obs.finalize);
   if Array.exists (String.equal "--quick") Sys.argv then quick ()
   else if Array.exists (String.equal "--warm") Sys.argv then
     (* Just the warm-vs-cold LPRR acceptance series. *)

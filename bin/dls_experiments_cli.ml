@@ -14,6 +14,31 @@ let out_arg =
   let doc = "Also write the result as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record hierarchical spans and write a Chrome trace_event JSON file to \
+     $(docv) at exit (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry (solver, heuristic, simulator and campaign \
+     counters/histograms) and write a JSONL dump to $(docv) at exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Observability is configured once before the run and flushed once at
+   process exit — [at_exit] rather than an unwind handler so the files
+   are also written on the [exit 1] error paths, where a partial trace
+   is exactly the one worth looking at. *)
+let with_obs ?trace ?metrics f =
+  Dls_obs.Obs.configure ?trace ?metrics ();
+  (match (trace, metrics) with
+  | None, None -> ()
+  | _ -> at_exit Dls_obs.Obs.finalize);
+  f ()
+
 let seed_arg default =
   let doc = "PRNG seed; equal seeds reproduce runs exactly." in
   Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -202,13 +227,14 @@ let campaign_cmd =
          & info [ "quiet" ] ~doc:"Suppress progress lines (warnings only).")
   in
   let run seed ks per_k with_lprr lprr_max_k no_timings shards shard resume
-      out_jsonl checkpoint_every domains chunk quiet =
+      out_jsonl checkpoint_every domains chunk quiet trace metrics =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if quiet then Logs.Warning else Logs.Info));
     let config =
       { E.Campaign.seed; ks; per_k; with_lprr; lprr_max_k;
         measure_time = not no_timings }
     in
+    with_obs ?trace ?metrics @@ fun () ->
     match
       E.Campaign.run ?domains ?chunk ~checkpoint_every ~shards ?shard ~resume
         ?out:out_jsonl config
@@ -230,7 +256,8 @@ let campaign_cmd =
     Term.(const run $ seed_arg 12 $ ks_arg [ 5; 15; 25; 35; 45; 55 ]
           $ per_k_arg 5 $ with_lprr_arg $ lprr_max_k_arg $ no_timings_arg
           $ shards_arg $ shard_arg $ resume_arg $ out_jsonl_arg
-          $ checkpoint_every_arg $ domains_arg $ chunk_arg $ quiet_arg)
+          $ checkpoint_every_arg $ domains_arg $ chunk_arg $ quiet_arg
+          $ trace_arg $ metrics_arg)
 
 let resilience_cmd =
   let rates_arg =
@@ -277,13 +304,14 @@ let resilience_cmd =
                    byte-reproducible.")
   in
   let run seed k rates per_rate periods kill no_timings resume out_jsonl domains
-      out =
+      out trace metrics =
     setup_logs ();
     let config =
       { E.Resilience.seed; k; rates; per_rate; periods;
         policy = (if kill then Dls_flowsim.Faults.Kill else Dls_flowsim.Faults.Stall);
         measure_time = not no_timings }
     in
+    with_obs ?trace ?metrics @@ fun () ->
     let records = ref [] in
     match
       E.Resilience.run ?domains ~resume ?out:out_jsonl
@@ -313,7 +341,7 @@ let resilience_cmd =
           runner's checkpoint/resume).")
     Term.(const run $ seed_arg 21 $ k_arg $ rates_arg $ per_rate_arg
           $ periods_arg $ kill_arg $ no_timings_arg $ resume_arg $ out_jsonl_arg
-          $ domains_arg $ out_arg)
+          $ domains_arg $ out_arg $ trace_arg $ metrics_arg)
 
 let adaptivity_cmd =
   let run seed out =

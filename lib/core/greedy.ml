@@ -1,4 +1,9 @@
 module P = Dls_platform.Platform
+module M = Dls_obs.Metrics
+module Trace = Dls_obs.Trace
+
+let m_iterations = M.counter "greedy.iterations"
+let m_budget_exhausted = M.counter "greedy.budget_exhausted"
 
 let eps = 1e-9
 
@@ -32,6 +37,8 @@ let local_cap platform residual ~k =
   !best
 
 let refine problem residual start =
+  let sp = Trace.start ~cat:"heuristic" "greedy.refine" in
+  let iterations = ref 0 in
   let platform = Problem.platform problem in
   let kk = P.num_clusters platform in
   let alloc = Allocation.copy start in
@@ -48,6 +55,8 @@ let refine problem residual start =
   let drop k = remaining := List.filter (fun a -> a <> k) !remaining in
   while !remaining <> [] && !budget > 0 do
     decr budget;
+    Stdlib.incr iterations;
+    M.incr m_iterations;
     (* Step 3: application with the smallest pi_k * alpha_k; ties to the
        higher payoff, then the smaller index. *)
     let k =
@@ -101,6 +110,7 @@ let refine problem residual start =
   done;
   (* Budget exhausted (degenerate caps): drain remaining local speed in
      one pass so the result is still a sensible allocation. *)
+  if !remaining <> [] then M.incr m_budget_exhausted;
   List.iter
     (fun k ->
       let s = Residual.speed residual k in
@@ -109,6 +119,8 @@ let refine problem residual start =
         alloc.Allocation.alpha.(k).(k) <- alloc.Allocation.alpha.(k).(k) +. s
       end)
     !remaining;
+  if Trace.live sp then
+    Trace.finish sp ~args:[ ("iterations", string_of_int !iterations) ];
   alloc
 
 let solve problem =

@@ -1,4 +1,5 @@
 let solve ?objective problem =
+  Dls_obs.Trace.with_span ~cat:"heuristic" "lprg.solve" @@ fun () ->
   match Lp_relax.solve ?objective problem with
   | Lp_relax.Failed msg -> Error msg
   | Lp_relax.Solution sol ->

@@ -1,6 +1,13 @@
 module P = Dls_platform.Platform
 module Prng = Dls_util.Prng
 module Rs = Dls_lp.Revised_simplex
+module M = Dls_obs.Metrics
+module Trace = Dls_obs.Trace
+
+let m_rounds = M.counter "lprr.rounds"
+let m_upward = M.counter "lprr.upward_rounds"
+let m_clamped = M.counter "lprr.clamped_pins"
+let m_lp_solves = M.counter "lprr.lp_solves"
 
 type stats = {
   allocation : Allocation.t;
@@ -92,6 +99,7 @@ let rounding_loop ~equal_probability ~rng ~pairs ~slots ~solve_pinned
     | Lp_relax.Failed msg -> failure := Some msg
     | Lp_relax.Solution sol ->
       incr lp_solves;
+      M.incr m_lp_solves;
       objectives := sol.Lp_relax.objective_value :: !objectives;
       let candidates =
         List.filter (fun (k, l) -> sol.Lp_relax.beta.(k).(l) > floor_eps) !unfixed
@@ -103,6 +111,8 @@ let rounding_loop ~equal_probability ~rng ~pairs ~slots ~solve_pinned
          unfixed := [];
          finished := true
        | _ :: _ ->
+         let sp = Trace.start ~cat:"heuristic" "lprr.round" in
+         M.incr m_rounds;
          let (k, l) = Prng.pick rng (Array.of_list candidates) in
          let b = sol.Lp_relax.beta.(k).(l) in
          let fl = int_of_float (Float.floor (b +. floor_eps)) in
@@ -111,13 +121,23 @@ let rounding_loop ~equal_probability ~rng ~pairs ~slots ~solve_pinned
            if equal_probability then Prng.bool rng ~p:0.5
            else Prng.bool rng ~p:frac
          in
-         let v = if up then fl + 1 else fl in
+         let wanted = if up then fl + 1 else fl in
          (* Feasibility clamp: never pin more slots than the route has. *)
-         let v = Stdlib.min v (Slots.route_slack slots (k, l)) in
+         let v = Stdlib.min wanted (Slots.route_slack slots (k, l)) in
          let v = Stdlib.max v 0 in
-         if up && v = fl + 1 then incr upward;
+         if v < wanted then M.incr m_clamped;
+         if up && v = fl + 1 then begin
+           incr upward;
+           M.incr m_upward
+         end;
          pin (k, l) v;
-         unfixed := List.filter (fun pair -> pair <> (k, l)) !unfixed)
+         unfixed := List.filter (fun pair -> pair <> (k, l)) !unfixed;
+         if Trace.live sp then
+           Trace.finish sp
+             ~args:
+               [ ("pair", Printf.sprintf "%d->%d" k l);
+                 ("rounded", if up then "up" else "down");
+                 ("value", string_of_int v) ])
   done;
   match !failure with
   | Some msg -> Error msg
@@ -127,6 +147,7 @@ let rounding_loop ~equal_probability ~rng ~pairs ~slots ~solve_pinned
      | Lp_relax.Failed msg -> Error msg
      | Lp_relax.Solution sol ->
        incr lp_solves;
+       M.incr m_lp_solves;
        objectives := sol.Lp_relax.objective_value :: !objectives;
        Ok (sol, !lp_solves, !upward, List.rev !trace, List.rev !objectives))
 
@@ -145,6 +166,11 @@ let finish problem (sol, lp_solves, upward, trace, objectives) ~counters =
     lp_objectives = objectives; counters }
 
 let run ~equal_probability ~warm ?objective ~rng problem =
+  let sp = Trace.start ~cat:"heuristic" "lprr.solve" in
+  Fun.protect ~finally:(fun () ->
+      if Trace.live sp then
+        Trace.finish sp ~args:[ ("start", if warm then "warm" else "cold") ])
+  @@ fun () ->
   let pairs = Lp_relax.remote_pairs problem in
   let slots = Slots.create problem in
   if warm then begin

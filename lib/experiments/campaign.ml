@@ -57,6 +57,7 @@ let zero_times (v : Measure.values) =
     lprr_counters = Option.map zero_counters v.Measure.lprr_counters }
 
 let evaluate_index config index =
+  let sp = Dls_obs.Trace.start ~cat:"campaign" "campaign.task" in
   let k = k_of_index config index in
   (* The whole point: this index's draws come from its own O(1)-derived
      stream, so neither evaluation order nor partitioning can change
@@ -69,14 +70,24 @@ let evaluate_index config index =
     config.with_lprr
     && (match config.lprr_max_k with None -> true | Some m -> k <= m)
   in
-  match Measure.evaluate ~with_lprr ~rng:(Prng.split rng) problem with
-  | Error reason -> Skipped { index; reason }
-  | Ok values ->
-    let values = if config.measure_time then values else zero_times values in
-    Record
-      { index; params;
-        active_apps = List.length (Problem.active problem);
-        values }
+  let entry =
+    match Measure.evaluate ~with_lprr ~rng:(Prng.split rng) problem with
+    | Error reason -> Skipped { index; reason }
+    | Ok values ->
+      let values = if config.measure_time then values else zero_times values in
+      Record
+        { index; params;
+          active_apps = List.length (Problem.active problem);
+          values }
+  in
+  if Dls_obs.Trace.live sp then
+    Dls_obs.Trace.finish sp
+      ~args:
+        [ ("index", string_of_int index);
+          ("k", string_of_int k);
+          ("outcome",
+           match entry with Record _ -> "record" | Skipped _ -> "skipped") ];
+  entry
 
 (* ------------------------------------------------------------------ *)
 (* JSONL codec                                                         *)

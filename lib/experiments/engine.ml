@@ -1,4 +1,6 @@
 module Parallel = Dls_util.Parallel
+module M = Dls_obs.Metrics
+module Trace = Dls_obs.Trace
 
 type 'e spec = {
   log_label : string;
@@ -152,6 +154,16 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
   let since_checkpoint = ref 0 in
   let last_progress = ref t0 in
   let time_samples = List.map (fun label -> (label, ref [])) spec.time_labels in
+  (* Registry mirrors of the per-label samples: log-bucketed histograms
+     whose mergeable snapshots let per-shard runs combine exactly
+     (registration is idempotent, so re-runs reuse the same cells). *)
+  let time_hists =
+    List.map
+      (fun label -> (label, M.histogram (spec.log_label ^ ".time." ^ label)))
+      spec.time_labels
+  in
+  let m_entries = M.counter (spec.log_label ^ ".entries") in
+  let m_skipped = M.counter (spec.log_label ^ ".skipped") in
   let handle_entry e =
     (match oc with
     | Some oc ->
@@ -161,14 +173,19 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
     (match spec.skip_reason e with
     | None ->
       status.(spec.index_of e) <- `Record;
+      M.incr m_entries;
       List.iter
         (fun (label, t) ->
-          match List.assoc_opt label time_samples with
+          (match List.assoc_opt label time_samples with
           | Some samples -> samples := t :: !samples
+          | None -> ());
+          match List.assoc_opt label time_hists with
+          | Some h -> M.observe h t
           | None -> ())
         (spec.entry_times e)
     | Some reason ->
       status.(spec.index_of e) <- `Skipped;
+      M.incr m_skipped;
       Logs.warn (fun m ->
           m "%s: index %d skipped: %s" spec.log_label (spec.index_of e) reason));
     incr evaluated;
@@ -194,6 +211,8 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
       checkpoint ();
       List.iter
         (fun s ->
+          let sp = Trace.start ~cat:"campaign" (spec.log_label ^ ".shard") in
+          let before = !evaluated in
           Parallel.map_chunked ?domains ?chunk spec.evaluate (pending_of s)
             ~on_chunk:(fun ~offset:_ results ->
               Array.iter handle_entry results;
@@ -202,7 +221,12 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
                 since_checkpoint := 0;
                 checkpoint ()
               end;
-              progress ()))
+              progress ());
+          if Trace.live sp then
+            Trace.finish sp
+              ~args:
+                [ ("shard", string_of_int s);
+                  ("entries", string_of_int (!evaluated - before)) ])
         shards_to_run;
       checkpoint ());
   let wall = Unix.gettimeofday () -. t0 in

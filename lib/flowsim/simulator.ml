@@ -1,5 +1,11 @@
 module P = Dls_platform.Platform
 module A = Dls_core.Allocation
+module M = Dls_obs.Metrics
+module Trace = Dls_obs.Trace
+
+let m_runs = M.counter "sim.runs"
+let m_rounds = M.counter "sim.rounds"
+let m_faults_applied = M.counter "sim.fault_events_applied"
 
 type stats = {
   predicted : float array;
@@ -42,6 +48,8 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     ?(fault_policy = Faults.Stall) problem alloc =
   if warmup < 0 || periods <= warmup then
     invalid_arg "Simulator.run: need 0 <= warmup < periods";
+  let sp = Trace.start ~cat:"sim" "sim.run" in
+  M.incr m_runs;
   let p = Dls_core.Problem.platform problem in
   let kk = P.num_clusters p in
   let horizon = float_of_int periods in
@@ -140,6 +148,8 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     let applied = Faults.advance fstate ~now:(now +. eps) in
     if applied <> [] then begin
       faulted := true;
+      M.add m_faults_applied (List.length applied);
+      Trace.instant ~cat:"sim" "sim.fault";
       refresh_capacities ();
       List.iter (fun fl -> fl.cap <- current_cap fl.route fl.beta) !active;
       cull_if_killing ()
@@ -182,6 +192,7 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     apply_events 0.0;
     while (not !finished) && !t < horizon -. eps && !guard > 0 do
       decr guard;
+      M.incr m_rounds;
       (* Fault events due now are applied before anything else moves. *)
       (match Faults.next_time fstate with
       | Some tf when tf <= !t +. eps -> apply_events !t
@@ -388,6 +399,11 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
   let downtime =
     if Faults.is_empty plan then 0.0 else Faults.downtime p plan ~horizon
   in
+  if Trace.live sp then
+    Trace.finish sp
+      ~args:
+        [ ("periods", string_of_int periods);
+          ("fault_events", string_of_int fault_events) ];
   { predicted; achieved; late_transfers = !late; stalled_transfers = !stalled;
     killed_transfers = !killed; fault_events; downtime }
 

@@ -34,6 +34,21 @@ let src = Logs.Src.create "dls.lp.revised" ~doc:"Sparse revised simplex"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Registry metrics: cross-state totals, alongside the per-state [ctr]
+   record that the campaign codec and warm-start tests rely on.  The
+   registry is off by default, so these cost one atomic load per event
+   in normal runs. *)
+module M = Dls_obs.Metrics
+
+let m_solves = M.counter "lp.solves"
+let m_warm_starts = M.counter "lp.warm_starts"
+let m_cold_starts = M.counter "lp.cold_starts"
+let m_pivots = M.counter "lp.pivots"
+let m_reinversions = M.counter "lp.reinversions"
+let m_bland_activations = M.counter "lp.bland_activations"
+let m_solve_seconds = M.histogram "lp.solve_seconds"
+let m_solve_pivots = M.histogram "lp.solve_pivots"
+
 (* Eta matrix of one pivot: identity with column [row] replaced by the
    (sparse) transformed entering column; [pivot] is that column's entry
    in position [row]. *)
@@ -133,6 +148,7 @@ let pack_eta row w m =
    assignments may permute, so [basis] is rewritten accordingly. *)
 let refactor st =
   st.ctr <- { st.ctr with reinversions = st.ctr.reinversions + 1 };
+  M.incr m_reinversions;
   let columns = Array.copy st.basis in
   let ncols = Array.length columns in
   st.etas <- [];
@@ -464,6 +480,7 @@ let optimize ?max_iterations st =
               st.ctr <-
                 { st.ctr with
                   bland_activations = st.ctr.bland_activations + 1 };
+              M.incr m_bland_activations;
               Log.debug (fun m ->
                   m "solve #%d: degenerate stall after %d pivots, \
                      switching to Bland's rule"
@@ -480,6 +497,7 @@ let optimize ?max_iterations st =
 let solve_state ?max_iterations st =
   let t0 = Unix.gettimeofday () in
   let before = st.ctr in
+  let sp = Dls_obs.Trace.start ~cat:"lp" "lp.solve" in
   (* Warm attempt: reinvert the carried basis against the (possibly
      updated) matrix and right-hand sides; fall back to the all-slack
      cold start when the basis is singular or no longer primal
@@ -495,6 +513,8 @@ let solve_state ?max_iterations st =
       solves = st.ctr.solves + 1;
       warm_starts = (st.ctr.warm_starts + if warm then 1 else 0);
       cold_starts = (st.ctr.cold_starts + if warm then 0 else 1) };
+  M.incr m_solves;
+  M.incr (if warm then m_warm_starts else m_cold_starts);
   let status, iterations = optimize ?max_iterations st in
   st.solved <- true;
   let values = Array.make st.n 0.0 in
@@ -519,6 +539,14 @@ let solve_state ?max_iterations st =
     { st.ctr with
       pivots = st.ctr.pivots + iterations;
       wall_clock = st.ctr.wall_clock +. dt };
+  M.add m_pivots iterations;
+  M.observe m_solve_seconds dt;
+  M.observe m_solve_pivots (float_of_int iterations);
+  if Dls_obs.Trace.live sp then
+    Dls_obs.Trace.finish sp
+      ~args:
+        [ ("start", if warm then "warm" else "cold");
+          ("pivots", string_of_int iterations) ];
   Log.debug (fun m ->
       m "solve #%d (%s): %d pivots, %d reinversions, %.3f ms"
         st.ctr.solves

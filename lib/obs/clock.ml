@@ -1,0 +1,30 @@
+(* Wall time in microseconds, clamped to be non-decreasing.
+
+   The container has no monotonic-clock binding we are allowed to add
+   (mtime is not baked into the image), so the span timer is
+   gettimeofday plus a monotonicity clamp: a backwards NTP step can
+   stretch one span, never produce a negative duration.  The clamp is
+   per-process state shared across domains; an occasional lost race on
+   [last] only weakens the clamp for one reading, it cannot move time
+   backwards past a value some domain already observed being returned
+   from this very cell. *)
+
+let last = Atomic.make neg_infinity
+
+let rec clamp t =
+  let prev = Atomic.get last in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last prev t then t
+  else clamp t
+
+let now_us () = clamp (Unix.gettimeofday () *. 1e6)
+
+(* Test hook: substitute a deterministic clock so exporters can be
+   golden-tested.  Not for production use. *)
+let override : (unit -> float) option ref = ref None
+
+let now () = match !override with None -> now_us () | Some f -> f ()
+
+let set_override f = override := Some f
+
+let clear_override () = override := None

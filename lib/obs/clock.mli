@@ -1,0 +1,15 @@
+(** Non-decreasing wall clock in microseconds.
+
+    [gettimeofday] with a monotonicity clamp shared across domains: a
+    backwards clock step can stretch one timed region but never yield a
+    negative span duration.  (A true monotonic clock needs a C binding
+    or the [mtime] package; neither is available in this build.) *)
+
+val now : unit -> float
+(** Current time in microseconds, never less than a previously returned
+    value.  Honours {!set_override}. *)
+
+val set_override : (unit -> float) -> unit
+(** Substitute a deterministic clock (golden tests of the exporters). *)
+
+val clear_override : unit -> unit

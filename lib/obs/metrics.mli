@@ -1,0 +1,141 @@
+(** Process-wide metrics registry: counters, gauges and log-bucketed
+    histograms with mergeable snapshots.
+
+    Design constraints (see DESIGN.md):
+    - {b Disabled path is free.}  Registration ({!counter} &c.) is done
+      once at module init; the per-event operations ({!incr}, {!add},
+      {!set}, {!observe}) check one atomic flag and return without
+      allocating when the registry is off (the default).
+    - {b Domain-safe.}  Cells are [Atomic.t]s; any domain may record
+      events concurrently.  Histogram [sum] uses a CAS loop, so only
+      bucket counts / count / min / max are exactly order-independent —
+      float addition is not associative and the merge/property tests
+      treat [sum] accordingly.
+    - {b Mergeable.}  {!snapshot} is pure data; {!merge} combines
+      snapshots from different shards/runs exactly (counter add,
+      histogram bucket-wise add, gauge last-writer-wins by sequence
+      number), so per-shard campaign results combine into a whole-run
+      view without re-measuring. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+(** {1 Global switch} *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** {1 Registration}
+
+    Idempotent by name: registering the same name twice returns the same
+    cell.  @raise Invalid_argument if the name is already registered as
+    a different metric kind. *)
+
+val counter : string -> counter
+
+val gauge : string -> gauge
+
+val histogram : string -> histogram
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Positive finite values land in a geometric bucket (growth factor
+    [2{^1/4}]); non-positive or non-finite values are tallied in a
+    separate underflow cell.  Finite values also update sum/min/max. *)
+
+(** {1 Bucket geometry} *)
+
+val base : float
+(** Bucket growth factor, [2{^1/4}]; quantile estimates are within this
+    relative factor of the true order statistic. *)
+
+val bound : int -> float
+(** [bound i] is the lower edge of bucket [i]: [base ** i].  Bucket [i]
+    covers [[bound i, bound (i + 1))]. *)
+
+val bucket_of : float -> int
+(** Bucket index of a positive finite value, consistent with {!bound}:
+    [bound (bucket_of v) <= v < bound (bucket_of v + 1)] (up to the
+    clamp at the extreme indices). *)
+
+val lo_bucket : int
+
+val hi_bucket : int
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  hs_buckets : (int * int) list;
+      (** [(bucket index, count)], strictly ascending indices, counts > 0. *)
+  hs_underflow : int;  (** Non-positive / non-finite observations. *)
+  hs_count : int;  (** All observations, underflow included. *)
+  hs_sum : float;  (** Sum of finite observations. *)
+  hs_min : float;  (** [infinity] when no finite observation yet. *)
+  hs_max : float;  (** [neg_infinity] likewise. *)
+}
+
+type value =
+  | Counter of int
+  | Gauge of { value : float; seq : int }
+  | Histogram of hist_snapshot
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** Read every registered metric.  Concurrent recording during the read
+    may tear across cells of one histogram, never within one cell; take
+    snapshots at quiescent points (between shards, after a run). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val empty_hist : hist_snapshot
+
+val hist_of_values : float list -> hist_snapshot
+(** Pure fold of {!observe} semantics — the reference model used by the
+    property tests. *)
+
+val merge_hist : hist_snapshot -> hist_snapshot -> hist_snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Exact combination: counters add, histograms add bucket-wise, gauges
+    keep the later write ([seq]).  Associative and commutative except
+    for float rounding in histogram [hs_sum].
+    @raise Invalid_argument when one name maps to two metric kinds. *)
+
+val hist_quantile : hist_snapshot -> q:float -> float
+(** Upper edge of the bucket holding the rank-[ceil q*n] observation,
+    clamped into [[hs_min, hs_max]]; within a factor {!base} of the true
+    quantile for positive observations.  [nan] on an empty histogram.
+    @raise Invalid_argument on NaN [q]. *)
+
+(** {1 Exporters} *)
+
+val value_to_json : string * value -> Dls_util.Json.t
+(** One metric as one JSON object (one JSONL line).
+    @raise Invalid_argument on a non-finite gauge value. *)
+
+val value_of_json : Dls_util.Json.t -> (string * value, string) result
+
+val snapshot_to_jsonl : snapshot -> string
+(** One metric per line, in snapshot (name) order. *)
+
+val snapshot_of_jsonl : string -> (snapshot, string) result
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** Fixed-width human table: one row per metric with count, mean and
+    p50/p95/max for histograms. *)

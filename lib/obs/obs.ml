@@ -1,0 +1,30 @@
+(* Startup/shutdown glue for the CLI and bench entry points: pick the
+   sinks once at startup (absent flags leave both subsystems in their
+   free disabled state), flush files once at exit. *)
+
+let trace_path : string option ref = ref None
+
+let metrics_path : string option ref = ref None
+
+let configure ?trace ?metrics () =
+  (match trace with
+  | Some path ->
+    trace_path := Some path;
+    Trace.enable ()
+  | None -> ());
+  match metrics with
+  | Some path ->
+    metrics_path := Some path;
+    Metrics.enable ()
+  | None -> ()
+
+let finalize () =
+  (match !trace_path with
+  | Some path -> Trace.write path
+  | None -> ());
+  match !metrics_path with
+  | Some path ->
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc
+          (Metrics.snapshot_to_jsonl (Metrics.snapshot ())))
+  | None -> ()

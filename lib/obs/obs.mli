@@ -1,0 +1,15 @@
+(** Entry-point wiring for the observability sinks.
+
+    [configure] is called once at startup from the CLI (--trace /
+    --metrics flags) or the bench driver; omitted arguments leave the
+    corresponding subsystem disabled, which is the allocation-free
+    default.  [finalize] flushes the configured files once at exit. *)
+
+val configure : ?trace:string -> ?metrics:string -> unit -> unit
+(** [configure ?trace ?metrics ()] enables span recording when [trace]
+    is given and the metrics registry when [metrics] is given,
+    remembering the output paths for {!finalize}. *)
+
+val finalize : unit -> unit
+(** Write the Chrome trace and/or JSONL metrics dump to the paths given
+    to {!configure}.  No-op for sinks that were never configured. *)

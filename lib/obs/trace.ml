@@ -1,0 +1,179 @@
+module J = Dls_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Event buffer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;  (* 'X' complete span, 'i' instant *)
+  ev_ts : float;  (* µs since [t0] *)
+  ev_dur : float;  (* µs; 0 for instants *)
+  ev_tid : int;  (* recording domain *)
+  ev_depth : int;  (* nesting depth within that domain *)
+  ev_args : (string * string) list;
+}
+
+(* Same switch discipline as Metrics: one atomic load guards the hot
+   path; the buffer mutex is only ever touched on the enabled path. *)
+let on = Atomic.make false
+
+let lock = Mutex.create ()
+
+let events_rev : event list ref = ref []
+
+let t0 = ref 0.0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled () = Atomic.get on
+
+let enable () =
+  with_lock (fun () -> if !t0 = 0.0 then t0 := Clock.now ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let reset () =
+  with_lock (fun () ->
+      events_rev := [];
+      t0 := Clock.now ())
+
+let events () = with_lock (fun () -> List.rev !events_rev)
+
+let push ev = with_lock (fun () -> events_rev := ev :: !events_rev)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  s_name : string;
+  s_cat : string;
+  s_t0 : float;
+  s_tid : int;
+  s_depth : int;
+  s_live : bool;
+}
+
+(* The one span value handed out while tracing is off: [start] returns
+   this shared constant, so a disabled start/finish pair allocates
+   nothing at all. *)
+let null_span =
+  { s_name = ""; s_cat = ""; s_t0 = 0.0; s_tid = 0; s_depth = 0; s_live = false }
+
+let live sp = sp.s_live
+
+(* Nesting depth is per-domain state: spans on different domains
+   interleave freely, but within a domain start/finish bracket properly,
+   which is all Chrome's flame view needs. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let start ?(cat = "") name =
+  if not (Atomic.get on) then null_span
+  else begin
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    Stdlib.incr d;
+    { s_name = name;
+      s_cat = cat;
+      s_t0 = Clock.now ();
+      s_tid = (Domain.self () :> int);
+      s_depth = depth;
+      s_live = true }
+  end
+
+let finish ?(args = []) sp =
+  if sp.s_live then begin
+    let d = Domain.DLS.get depth_key in
+    d := Stdlib.max 0 (!d - 1);
+    let t1 = Clock.now () in
+    push
+      { ev_name = sp.s_name;
+        ev_cat = sp.s_cat;
+        ev_ph = 'X';
+        ev_ts = sp.s_t0 -. !t0;
+        ev_dur = t1 -. sp.s_t0;
+        ev_tid = sp.s_tid;
+        ev_depth = sp.s_depth;
+        ev_args = args }
+  end
+
+let with_span ?cat ?(args = []) name f =
+  let sp = start ?cat name in
+  Fun.protect ~finally:(fun () -> finish ~args sp) f
+
+let instant ?(cat = "") ?(args = []) name =
+  if Atomic.get on then begin
+    let depth = !(Domain.DLS.get depth_key) in
+    push
+      { ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'i';
+        ev_ts = Clock.now () -. !t0;
+        ev_dur = 0.0;
+        ev_tid = (Domain.self () :> int);
+        ev_depth = depth;
+        ev_args = args }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event exporter                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The JSON Object Format of the trace_event spec: a {"traceEvents":
+   [...]} wrapper, "X" complete events carrying ts+dur and "i" instants
+   with thread scope.  pid is fixed (single process); tid is the OCaml
+   domain id, which Perfetto renders as one track per domain.
+
+   [normalize] replaces timestamps with the event's position in
+   completion order (ts = index, dur = 1) and renumbers domain ids by
+   first appearance (raw ids are process-global spawn counters, so they
+   depend on what ran earlier) so golden tests compare stable bytes;
+   span names, categories, nesting and args are untouched. *)
+let event_json ~normalize ~tid_of i ev =
+  let ts = if normalize then float_of_int i else ev.ev_ts in
+  let dur = if normalize then 1.0 else ev.ev_dur in
+  let args =
+    ("depth", J.Num (float_of_int ev.ev_depth))
+    :: List.map (fun (k, v) -> (k, J.Str v)) ev.ev_args
+  in
+  let common =
+    [ ("name", J.Str ev.ev_name);
+      ("cat", J.Str (if ev.ev_cat = "" then "default" else ev.ev_cat));
+      ("ph", J.Str (String.make 1 ev.ev_ph));
+      ("ts", J.Num ts);
+      ("pid", J.Num 0.0);
+      ("tid", J.Num (float_of_int (tid_of ev.ev_tid)));
+      ("args", J.Obj args) ]
+  in
+  match ev.ev_ph with
+  | 'X' -> J.Obj (common @ [ ("dur", J.Num dur) ])
+  | _ -> J.Obj (common @ [ ("s", J.Str "t") ])
+
+let to_chrome_json ?(normalize = false) () =
+  let evs = events () in
+  let tid_of =
+    if not normalize then Fun.id
+    else begin
+      let table = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          if not (Hashtbl.mem table ev.ev_tid) then
+            Hashtbl.replace table ev.ev_tid (Hashtbl.length table))
+        evs;
+      fun tid -> Hashtbl.find table tid
+    end
+  in
+  J.to_string
+    (J.Obj
+       [ ("traceEvents", J.Arr (List.mapi (event_json ~normalize ~tid_of) evs));
+         ("displayTimeUnit", J.Str "ms") ])
+
+let write path =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (to_chrome_json ());
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,72 @@
+(** Hierarchical spans with a Chrome [trace_event] exporter.
+
+    Timed regions nest per domain (parent/child from start/finish
+    bracketing), carry string key/value attributes, and export as the
+    JSON Object Format accepted by [chrome://tracing] and Perfetto.
+
+    Disabled (the default), {!start} returns a shared constant and
+    {!finish} is a branch on it — no allocation, no lock, no clock
+    read.  The buffer mutex is only taken while tracing is on. *)
+
+type span
+
+val null_span : span
+(** The inert span: {!finish} on it does nothing.  {!start} returns this
+    exact value whenever tracing is off. *)
+
+val live : span -> bool
+(** [false] exactly for {!null_span}.  Guard attribute construction with
+    this so the disabled path allocates nothing. *)
+
+(** {1 Switch} *)
+
+val enable : unit -> unit
+(** Turn recording on; the first call anchors the trace clock origin. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded events and re-anchor the clock origin (tests). *)
+
+(** {1 Recording} *)
+
+val start : ?cat:string -> string -> span
+(** Open a span named [name] in category [cat] on the current domain. *)
+
+val finish : ?args:(string * string) list -> span -> unit
+(** Close a span, recording one complete ("X") event with the given
+    attributes.  No-op on {!null_span}. *)
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f] in a span; the span closes even if
+    [f] raises.  Convenience form — [args] are built eagerly, so prefer
+    {!start}/{!live}/{!finish} on hot paths. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a zero-duration instant event (e.g. a fault injection). *)
+
+(** {1 Export} *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;  (** ['X'] complete span, ['i'] instant. *)
+  ev_ts : float;  (** µs since the trace origin. *)
+  ev_dur : float;  (** µs; [0.] for instants. *)
+  ev_tid : int;  (** Recording domain id. *)
+  ev_depth : int;  (** Nesting depth within that domain. *)
+  ev_args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Recorded events in completion order. *)
+
+val to_chrome_json : ?normalize:bool -> unit -> string
+(** The buffer as one [trace_event] JSON document.  [normalize] replaces
+    timestamps with completion-order indices (golden tests); names,
+    categories, nesting and args are untouched. *)
+
+val write : string -> unit
+(** {!to_chrome_json} (real timestamps) to a file. *)

@@ -392,6 +392,32 @@ let prop_dense_dual_signs =
 (* ------------------------------------------------------------------ *)
 
 module Rs = Dls_lp.Revised_simplex
+module Obs = Dls_obs.Metrics
+
+(* Run [f] with the metrics registry on and freshly zeroed, then return
+   the named solver counters from the final snapshot.  The registry is
+   global, so each reader scopes its own window — PR-1's per-state
+   counter assertions live here now, reading the cross-state registry
+   totals instead of the state record. *)
+let with_registry f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let registry_counter name =
+  match List.assoc_opt name (Obs.snapshot ()) with
+  | Some (Obs.Counter n) -> n
+  | Some _ -> Alcotest.failf "metric %s is not a counter" name
+  | None -> Alcotest.failf "metric %s not registered" name
+
+let registry_hist name =
+  match List.assoc_opt name (Obs.snapshot ()) with
+  | Some (Obs.Histogram h) -> h
+  | _ -> Alcotest.failf "metric %s is not a histogram" name
 
 let test_revised_textbook () =
   let sol =
@@ -476,9 +502,10 @@ let test_revised_bland_counter () =
             { Rs.coeffs = [ (1, 2.0) ]; rhs = 12.0 };
             { Rs.coeffs = [ (0, 3.0); (1, 2.0) ]; rhs = 18.0 } ] }
   in
-  ignore (Rs.solve_state st);
-  Alcotest.(check int) "no bland switches" 0
-    (Rs.counters st).Rs.bland_activations
+  with_registry (fun () ->
+      ignore (Rs.solve_state st);
+      Alcotest.(check int) "no bland switches" 0
+        (registry_counter "lp.bland_activations"))
 
 (* Random packed-form LPs (all <=, rhs >= 0): both engines must agree. *)
 let packed_lp_gen =
@@ -595,6 +622,7 @@ let test_warm_relax_nonbinding () =
   (* Relaxing a row that is slack at the optimum keeps the carried
      basis primal-feasible: the re-solve must be a warm start and reach
      the same optimum. *)
+  with_registry @@ fun () ->
   let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
   let s1 = Rs.solve_state st in
   check_float "first solve" 36.0 s1.Rs.objective;
@@ -602,26 +630,32 @@ let test_warm_relax_nonbinding () =
   Rs.set_rhs st ~row:0 5.0;
   let s2 = Rs.solve_state st in
   check_float "re-solve" 36.0 s2.Rs.objective;
-  let c = Rs.counters st in
-  Alcotest.(check int) "solves" 2 c.Rs.solves;
-  Alcotest.(check int) "cold starts" 1 c.Rs.cold_starts;
-  Alcotest.(check int) "warm starts" 1 c.Rs.warm_starts;
-  Alcotest.(check bool) "wall clock advances" true (c.Rs.wall_clock > 0.0)
+  Alcotest.(check int) "solves" 2 (registry_counter "lp.solves");
+  Alcotest.(check int) "cold starts" 1 (registry_counter "lp.cold_starts");
+  Alcotest.(check int) "warm starts" 1 (registry_counter "lp.warm_starts");
+  let seconds = registry_hist "lp.solve_seconds" in
+  Alcotest.(check int) "both solves timed" 2 seconds.Obs.hs_count;
+  Alcotest.(check bool) "wall clock advances" true (seconds.Obs.hs_sum > 0.0)
 
 let test_warm_tighten_rhs () =
   (* Tightening may invalidate the carried basis (automatic cold
      fallback) — either way the optimum must match a from-scratch
      solve of the updated program. *)
+  with_registry @@ fun () ->
   let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
   ignore (Rs.solve_state st);
   Rs.set_rhs st ~row:1 6.0;
   let s2 = Rs.solve_state st in
+  (* Two state solves so far; the from-scratch control below adds a
+     third, so read the registry window here. *)
+  Alcotest.(check int) "solves" 2 (registry_counter "lp.solves");
+  Alcotest.(check int) "every solve tagged" 2
+    (registry_counter "lp.warm_starts" + registry_counter "lp.cold_starts");
   let cold = Rs.solve (textbook_problem 4.0 6.0 18.0) in
   check_float "warm matches cold" cold.Rs.objective s2.Rs.objective;
   check_float "objective" 27.0 s2.Rs.objective;
-  let c = Rs.counters st in
-  Alcotest.(check int) "solves" 2 c.Rs.solves;
-  Alcotest.(check int) "every solve tagged" 2 (c.Rs.warm_starts + c.Rs.cold_starts)
+  Alcotest.(check int) "control solve also counted" 3
+    (registry_counter "lp.solves")
 
 let test_warm_zero_coeff () =
   let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
@@ -641,6 +675,34 @@ let test_warm_zero_coeff () =
   check_float "matches rebuilt LP" cold.Rs.objective s2.Rs.objective;
   check_float "objective" 42.0 s2.Rs.objective
 
+let test_registry_reset_between_warm_resolves () =
+  (* Backfilled edge case: a registry reset between the cold solve and
+     the warm re-solve leaves a clean per-solve window — the second
+     window sees exactly one solve, tagged warm — and must not disturb
+     the state's own cumulative counters, which the campaign codec
+     records. *)
+  with_registry @@ fun () ->
+  let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
+  ignore (Rs.solve_state st);
+  Alcotest.(check int) "window 1: one cold solve" 1
+    (registry_counter "lp.cold_starts");
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes solves" 0 (registry_counter "lp.solves");
+  Alcotest.(check int) "reset empties the timing histogram" 0
+    (registry_hist "lp.solve_seconds").Obs.hs_count;
+  Rs.set_rhs st ~row:0 5.0;
+  ignore (Rs.solve_state st);
+  Alcotest.(check int) "window 2: one solve" 1 (registry_counter "lp.solves");
+  Alcotest.(check int) "window 2: warm" 1 (registry_counter "lp.warm_starts");
+  Alcotest.(check int) "window 2: no cold" 0
+    (registry_counter "lp.cold_starts");
+  Alcotest.(check int) "window 2: one timed solve" 1
+    (registry_hist "lp.solve_seconds").Obs.hs_count;
+  let c = Rs.counters st in
+  Alcotest.(check int) "state record unaffected: solves" 2 c.Rs.solves;
+  Alcotest.(check int) "state record unaffected: warm" 1 c.Rs.warm_starts;
+  Alcotest.(check int) "state record unaffected: cold" 1 c.Rs.cold_starts
+
 let test_state_update_validation () =
   let st = Rs.create (textbook_problem 4.0 12.0 18.0) in
   Alcotest.check_raises "negative rhs"
@@ -654,6 +716,7 @@ let test_state_update_validation () =
     (fun () -> Rs.zero_coeff st ~row:0 ~var:2)
 
 let test_model_incremental_handle () =
+  with_registry @@ fun () ->
   let m = Mf.create () in
   let x = Mf.add_var ~name:"x" m in
   let y = Mf.add_var ~name:"y" m in
@@ -674,9 +737,7 @@ let test_model_incremental_handle () =
   Mf.inc_zero_coeff h ~row:2 x;
   let r3 = Mf.inc_solve h in
   check_float "zeroed objective" 27.0 r3.Mf.objective;
-  let c = Mf.inc_counters h in
-  Alcotest.(check int) "solves counted" 3
-    c.Dls_lp.Revised_simplex.solves
+  Alcotest.(check int) "solves counted" 3 (registry_counter "lp.solves")
 
 let prop_warm_matches_cold_after_tightening =
   (* The tentpole's correctness property in miniature: solve, scale
@@ -761,6 +822,8 @@ let () =
             test_warm_relax_nonbinding;
           Alcotest.test_case "tighten rhs" `Quick test_warm_tighten_rhs;
           Alcotest.test_case "zero coefficient" `Quick test_warm_zero_coeff;
+          Alcotest.test_case "registry reset between warm re-solves" `Quick
+            test_registry_reset_between_warm_resolves;
           Alcotest.test_case "update validation" `Quick
             test_state_update_validation;
           Alcotest.test_case "model incremental handle" `Quick

@@ -1,0 +1,531 @@
+(* Tests for lib/obs: histogram merge algebra and quantile error bounds
+   (QCheck), the snapshot JSON codec, span recording and the Chrome
+   trace_event exporter (golden), and the load-bearing invariant that
+   enabling observability never perturbs a numeric result — campaign
+   JSONL bytes, simulator stats, domain counts and shard merges. *)
+
+module M = Dls_obs.Metrics
+module Trace = Dls_obs.Trace
+module J = Dls_util.Json
+module Prng = Dls_util.Prng
+module G = Dls_graph.Graph
+module P = Dls_platform.Platform
+module Gen = Dls_platform.Generator
+module Faults = Dls_flowsim.Faults
+module Sim = Dls_flowsim.Simulator
+module E = Dls_experiments
+module C = E.Campaign
+open Dls_core
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Same convention as test_experiments.ml: set DLS_UPDATE_GOLDEN=<abs
+   dir> to rewrite the expected files instead of comparing. *)
+let golden_check name actual =
+  match Sys.getenv_opt "DLS_UPDATE_GOLDEN" with
+  | Some dir ->
+    Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc actual)
+  | None ->
+    Alcotest.(check string) name (read_file (Filename.concat "golden" name))
+      actual
+
+(* Every test leaves the global registry and trace buffer the way it
+   found them: off and empty.  [quiesce] is also run first thing so a
+   crashed earlier test cannot leak state into this one. *)
+let quiesce () =
+  M.disable ();
+  M.reset ();
+  Trace.disable ();
+  Trace.reset ()
+
+let with_obs_on f =
+  quiesce ();
+  M.enable ();
+  Trace.enable ();
+  Fun.protect ~finally:quiesce f
+
+(* ------------------------------------------------------------------ *)
+(* Bucket geometry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_invariant () =
+  let rng = Prng.create ~seed:5 in
+  let tricky =
+    [ 1.0; M.base; M.base ** 2.0; 1.0 /. M.base; 0.9999999999; 1.0000000001;
+      1e-9; 1e-6; 0.5; 2.0; 3.14159; 1e6; 1e9 ]
+  in
+  let sampled =
+    List.init 500 (fun _ -> Prng.float rng ~lo:1e-9 ~hi:1e9)
+  in
+  List.iter
+    (fun v ->
+      let b = M.bucket_of v in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound %d <= %.17g" b v)
+        true
+        (M.bound b <= v);
+      Alcotest.(check bool)
+        (Printf.sprintf "%.17g < bound %d" v (b + 1))
+        true
+        (v < M.bound (b + 1)))
+    (tricky @ sampled)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: merge algebra, quantile bounds, codec round-trip            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_observation =
+  QCheck2.Gen.(
+    oneof
+      [ float_range 1e-9 1e9;  (* bucketed *)
+        float_range (-5.0) 0.0;  (* underflow *)
+        return 0.0 ])
+
+let gen_values = QCheck2.Gen.(list_size (int_range 0 40) gen_observation)
+
+(* Everything except [hs_sum], which float addition reorders. *)
+let hist_shape (h : M.hist_snapshot) =
+  (h.M.hs_buckets, h.M.hs_underflow, h.M.hs_count, h.M.hs_min, h.M.hs_max)
+
+let sums_close a b =
+  Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"histogram merge is commutative" ~count:300
+    QCheck2.Gen.(pair gen_values gen_values)
+    (fun (xs, ys) ->
+      let a = M.hist_of_values xs and b = M.hist_of_values ys in
+      M.merge_hist a b = M.merge_hist b a)
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"histogram merge is associative" ~count:300
+    QCheck2.Gen.(triple gen_values gen_values gen_values)
+    (fun (xs, ys, zs) ->
+      let a = M.hist_of_values xs
+      and b = M.hist_of_values ys
+      and c = M.hist_of_values zs in
+      let l = M.merge_hist (M.merge_hist a b) c in
+      let r = M.merge_hist a (M.merge_hist b c) in
+      hist_shape l = hist_shape r && sums_close l.M.hs_sum r.M.hs_sum)
+
+let prop_merge_models_concat =
+  QCheck2.Test.make ~name:"merge of two folds = fold of the concatenation"
+    ~count:300
+    QCheck2.Gen.(pair gen_values gen_values)
+    (fun (xs, ys) ->
+      let merged = M.merge_hist (M.hist_of_values xs) (M.hist_of_values ys) in
+      let whole = M.hist_of_values (xs @ ys) in
+      hist_shape merged = hist_shape whole
+      && sums_close merged.M.hs_sum whole.M.hs_sum)
+
+let prop_quantile_bucket_bound =
+  QCheck2.Test.make
+    ~name:"quantile estimate within one bucket factor of the true order \
+           statistic"
+    ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 60) (float_range 1e-9 1e9))
+        (float_range 0.0 1.0))
+    (fun (values, q) ->
+      let hs = M.hist_of_values values in
+      let sorted = List.sort Float.compare values in
+      let n = List.length values in
+      let rank =
+        Stdlib.max 1
+          (Stdlib.min n (int_of_float (Float.ceil (q *. float_of_int n))))
+      in
+      let truth = List.nth sorted (rank - 1) in
+      let estimate = M.hist_quantile hs ~q in
+      truth <= estimate && estimate <= truth *. M.base *. (1.0 +. 1e-12))
+
+let gen_name = QCheck2.Gen.(map (Printf.sprintf "m%d") (int_range 0 9))
+
+let gen_metric_value =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun n -> M.Counter n) (int_range 0 1_000_000);
+        map2
+          (fun value seq -> M.Gauge { value; seq })
+          (float_range (-1e6) 1e6) (int_range (-1) 1000);
+        map (fun vs -> M.Histogram (M.hist_of_values vs)) gen_values ])
+
+(* Distinct sorted names, as [M.snapshot] produces. *)
+let gen_snapshot =
+  QCheck2.Gen.(
+    map
+      (fun pairs ->
+        List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) pairs)
+      (list_size (int_range 0 8) (pair gen_name gen_metric_value)))
+
+let prop_codec_round_trip =
+  QCheck2.Test.make ~name:"snapshot JSONL codec round-trips exactly" ~count:300
+    gen_snapshot
+    (fun snap ->
+      match M.snapshot_of_jsonl (M.snapshot_to_jsonl snap) with
+      | Ok decoded -> decoded = snap
+      | Error _ -> false)
+
+let same_kind a b =
+  match (a, b) with
+  | M.Counter _, M.Counter _ | M.Gauge _, M.Gauge _ | M.Histogram _, M.Histogram _
+    -> true
+  | _ -> false
+
+(* Avoid the (intentional) Invalid_argument on one name mapping to two
+   metric kinds — the live registry can never produce that. *)
+let kind_compatible a b =
+  List.for_all
+    (fun (n, v) ->
+      match List.assoc_opt n b with None -> true | Some w -> same_kind v w)
+    a
+
+let prop_merge_round_trips_codec =
+  QCheck2.Test.make
+    ~name:"merged counter/gauge snapshots round-trip through the codec"
+    ~count:300
+    QCheck2.Gen.(pair gen_snapshot gen_snapshot)
+    (fun (a, b) ->
+      QCheck2.assume (kind_compatible a b);
+      let merged = M.merge a b in
+      match M.snapshot_of_jsonl (M.snapshot_to_jsonl merged) with
+      | Ok decoded ->
+        (* Exact equality: sums here come from one fixed merge order. *)
+        decoded = merged
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let find name snap =
+  match List.assoc_opt name snap with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s missing from snapshot" name
+
+let test_disabled_path_records_nothing () =
+  quiesce ();
+  let c = M.counter "test.off.counter" in
+  let g = M.gauge "test.off.gauge" in
+  let h = M.histogram "test.off.hist" in
+  M.incr c;
+  M.add c 41;
+  M.set g 3.5;
+  M.observe h 1.0;
+  (match find "test.off.counter" (M.snapshot ()) with
+  | M.Counter 0 -> ()
+  | _ -> Alcotest.fail "disabled counter moved");
+  (match find "test.off.hist" (M.snapshot ()) with
+  | M.Histogram hs -> Alcotest.(check int) "no observations" 0 hs.M.hs_count
+  | _ -> Alcotest.fail "wrong kind");
+  Alcotest.(check bool) "disabled span is null" false
+    (Trace.live (Trace.start "test.off.span"));
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()))
+
+let test_enabled_records_and_resets () =
+  with_obs_on @@ fun () ->
+  let c = M.counter "test.on.counter" in
+  let g = M.gauge "test.on.gauge" in
+  let h = M.histogram "test.on.hist" in
+  M.incr c;
+  M.add c 9;
+  M.set g 2.0;
+  M.set g 7.5;
+  List.iter (M.observe h) [ 0.5; 1.5; 0.0 ];
+  let snap = M.snapshot () in
+  (match find "test.on.counter" snap with
+  | M.Counter n -> Alcotest.(check int) "counter" 10 n
+  | _ -> Alcotest.fail "wrong kind");
+  (match find "test.on.gauge" snap with
+  | M.Gauge { value; _ } -> Alcotest.(check (float 0.0)) "last write" 7.5 value
+  | _ -> Alcotest.fail "wrong kind");
+  (match find "test.on.hist" snap with
+  | M.Histogram hs ->
+    Alcotest.(check int) "count" 3 hs.M.hs_count;
+    Alcotest.(check int) "underflow" 1 hs.M.hs_underflow;
+    Alcotest.(check (float 1e-12)) "sum" 2.0 hs.M.hs_sum;
+    Alcotest.(check (float 0.0)) "min" 0.0 hs.M.hs_min;
+    Alcotest.(check (float 0.0)) "max" 1.5 hs.M.hs_max
+  | _ -> Alcotest.fail "wrong kind");
+  M.reset ();
+  match find "test.on.counter" (M.snapshot ()) with
+  | M.Counter 0 -> ()
+  | _ -> Alcotest.fail "reset did not zero the counter"
+
+let test_registration_idempotent_and_kind_checked () =
+  quiesce ();
+  let c1 = M.counter "test.reg.c" in
+  let c2 = M.counter "test.reg.c" in
+  Alcotest.(check bool) "same cell" true (c1 == c2);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"test.reg.c\" already registered as a counter")
+    (fun () -> ignore (M.histogram "test.reg.c"))
+
+let test_gauge_merge_last_writer_wins () =
+  let a = [ ("g", M.Gauge { value = 1.0; seq = 4 }) ] in
+  let b = [ ("g", M.Gauge { value = 9.0; seq = 2 }) ] in
+  (match M.merge a b with
+  | [ ("g", M.Gauge { value; seq }) ] ->
+    Alcotest.(check (float 0.0)) "later write kept" 1.0 value;
+    Alcotest.(check int) "seq kept" 4 seq
+  | _ -> Alcotest.fail "unexpected merge shape");
+  Alcotest.(check bool) "commutative" true (M.merge a b = M.merge b a)
+
+let test_quantile_empty_and_underflow () =
+  Alcotest.(check bool) "empty -> nan" true
+    (Float.is_nan (M.hist_quantile M.empty_hist ~q:0.5));
+  let hs = M.hist_of_values [ 0.0; 0.0; 5.0 ] in
+  (* Ranks 1-2 are underflow observations; report the smallest finite
+     observation. *)
+  Alcotest.(check (float 0.0)) "underflow rank" 0.0
+    (M.hist_quantile hs ~q:0.3);
+  let p100 = M.hist_quantile hs ~q:1.0 in
+  Alcotest.(check bool) "p100 within a bucket of max" true
+    (5.0 <= p100 && p100 <= 5.0 *. M.base)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting_and_instants () =
+  with_obs_on @@ fun () ->
+  let outer = Trace.start ~cat:"t" "outer" in
+  let inner = Trace.start ~cat:"t" "inner" in
+  Trace.instant ~cat:"t" "tick";
+  Trace.finish inner ~args:[ ("x", "1") ];
+  Trace.finish outer;
+  match Trace.events () with
+  | [ tick; inner_ev; outer_ev ] ->
+    Alcotest.(check char) "instant" 'i' tick.Trace.ev_ph;
+    Alcotest.(check int) "instant depth" 2 tick.Trace.ev_depth;
+    Alcotest.(check string) "inner first (completion order)" "inner"
+      inner_ev.Trace.ev_name;
+    Alcotest.(check int) "inner depth" 1 inner_ev.Trace.ev_depth;
+    Alcotest.(check (list (pair string string))) "args" [ ("x", "1") ]
+      inner_ev.Trace.ev_args;
+    Alcotest.(check int) "outer depth" 0 outer_ev.Trace.ev_depth;
+    Alcotest.(check bool) "durations non-negative" true
+      (inner_ev.Trace.ev_dur >= 0.0 && outer_ev.Trace.ev_dur >= 0.0)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_with_span_closes_on_raise () =
+  with_obs_on @@ fun () ->
+  (try Trace.with_span "doomed" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  match Trace.events () with
+  | [ ev ] -> Alcotest.(check string) "span recorded" "doomed" ev.Trace.ev_name
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: observability never perturbs results                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors test_experiments.ml: measure_time = false zeroes every
+   wall-clock field, so log lines are byte-reproducible. *)
+let small_config =
+  { C.default_config with
+    C.seed = 71; ks = [ 4; 6 ]; per_k = 3; measure_time = false }
+
+let run_to_file ?domains ?shards ?shard config =
+  let path = Filename.temp_file "dls_obs_campaign" ".jsonl" in
+  (match C.run ?domains ?shards ?shard ~out:path config with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "campaign run failed: %s" msg);
+  let bytes = read_file path in
+  Sys.remove path;
+  let manifest = path ^ ".manifest" in
+  if Sys.file_exists manifest then Sys.remove manifest;
+  bytes
+
+let test_campaign_bytes_tracing_off_vs_on () =
+  quiesce ();
+  let baseline = run_to_file ~domains:1 small_config in
+  let traced =
+    with_obs_on (fun () -> run_to_file ~domains:1 small_config)
+  in
+  Alcotest.(check string) "byte-identical JSONL with tracing on" baseline
+    traced
+
+let line3_platform () =
+  let topology = G.path_graph 3 in
+  let clusters =
+    Array.init 3 (fun k -> { P.speed = 10.0; local_bw = 10.0; router = k })
+  in
+  let backbones = Array.make 2 { P.bw = 5.0; max_connect = 4 } in
+  P.make ~clusters ~topology ~backbones
+
+let sim_fixture () =
+  (* A remote allocation under a mid-run outage: exercises spawning,
+     fault application and recovery — every instrumented simulator
+     path. *)
+  let p = line3_platform () in
+  let pr = Problem.make p ~payoffs:[| 1.0; 0.0; 0.0 |] in
+  let a = Allocation.zero 3 in
+  a.Allocation.alpha.(0).(0) <- 2.0;
+  a.Allocation.alpha.(0).(1) <- 4.0;
+  a.Allocation.beta.(0).(1) <- 1;
+  a.Allocation.alpha.(0).(2) <- 4.0;
+  a.Allocation.beta.(0).(2) <- 1;
+  let plan =
+    Faults.make p
+      [ { Faults.time = 4.25; kind = Faults.Link_down 0 };
+        { Faults.time = 6.25; kind = Faults.Link_up 0 } ]
+  in
+  (pr, a, plan)
+
+let stats_equal name (a : Sim.stats) (b : Sim.stats) =
+  let check_farr what x y =
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check (float 0.0)) (Printf.sprintf "%s %s.(%d)" name what i) v
+          y.(i))
+      x
+  in
+  check_farr "predicted" a.Sim.predicted b.Sim.predicted;
+  check_farr "achieved" a.Sim.achieved b.Sim.achieved;
+  Alcotest.(check int) (name ^ " late") a.Sim.late_transfers b.Sim.late_transfers;
+  Alcotest.(check int) (name ^ " stalled") a.Sim.stalled_transfers
+    b.Sim.stalled_transfers;
+  Alcotest.(check int) (name ^ " killed") a.Sim.killed_transfers
+    b.Sim.killed_transfers;
+  Alcotest.(check int) (name ^ " events") a.Sim.fault_events b.Sim.fault_events;
+  Alcotest.(check (float 0.0)) (name ^ " downtime") a.Sim.downtime b.Sim.downtime
+
+let test_simulator_stats_tracing_off_vs_on () =
+  quiesce ();
+  let pr, a, plan = sim_fixture () in
+  let plain = Sim.run ~periods:20 ~warmup:2 ~faults:plan pr a in
+  let traced =
+    with_obs_on (fun () -> Sim.run ~periods:20 ~warmup:2 ~faults:plan pr a)
+  in
+  stats_equal "off vs on" plain traced;
+  (* And the instrumentation did actually fire while it was on. *)
+  quiesce ()
+
+let test_simulator_counters_fire () =
+  with_obs_on @@ fun () ->
+  let pr, a, plan = sim_fixture () in
+  ignore (Sim.run ~periods:20 ~warmup:2 ~faults:plan pr a : Sim.stats);
+  let snap = M.snapshot () in
+  (match find "sim.runs" snap with
+  | M.Counter n -> Alcotest.(check int) "one run" 1 n
+  | _ -> Alcotest.fail "wrong kind");
+  (match find "sim.fault_events_applied" snap with
+  | M.Counter n -> Alcotest.(check int) "both events applied" 2 n
+  | _ -> Alcotest.fail "wrong kind");
+  match find "sim.rounds" snap with
+  | M.Counter n -> Alcotest.(check bool) "rounds counted" true (n > 0)
+  | _ -> Alcotest.fail "wrong kind"
+
+(* The wall-clock-valued histogram is the one nondeterministic metric;
+   everything else — counters and the zeroed campaign time histograms —
+   must be exactly reproducible across domain counts and shardings. *)
+let deterministic_part snap =
+  List.filter (fun (name, _) -> name <> "lp.solve_seconds") snap
+
+let test_registry_deterministic_across_domains () =
+  quiesce ();
+  M.enable ();
+  Fun.protect ~finally:quiesce @@ fun () ->
+  let one = run_to_file ~domains:1 small_config in
+  let snap_one = deterministic_part (M.snapshot ()) in
+  M.reset ();
+  let eight = run_to_file ~domains:8 small_config in
+  let snap_eight = deterministic_part (M.snapshot ()) in
+  Alcotest.(check string) "JSONL bytes equal across domain counts" one eight;
+  Alcotest.(check bool) "registry equal across domain counts" true
+    (snap_one = snap_eight)
+
+let test_shard_snapshots_merge_exactly () =
+  quiesce ();
+  M.enable ();
+  Fun.protect ~finally:quiesce @@ fun () ->
+  let _ = run_to_file ~domains:2 ~shards:2 ~shard:0 small_config in
+  let snap0 = M.snapshot () in
+  M.reset ();
+  let _ = run_to_file ~domains:2 ~shards:2 ~shard:1 small_config in
+  let snap1 = M.snapshot () in
+  M.reset ();
+  let _ = run_to_file ~domains:2 ~shards:2 small_config in
+  let whole = deterministic_part (M.snapshot ()) in
+  let merged = deterministic_part (M.merge snap0 snap1) in
+  Alcotest.(check bool) "merge of per-shard snapshots = whole-run snapshot"
+    true (merged = whole)
+
+(* ------------------------------------------------------------------ *)
+(* Goldens                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_chrome_trace () =
+  quiesce ();
+  Trace.enable ();
+  Fun.protect ~finally:quiesce @@ fun () ->
+  let config = { small_config with C.per_k = 1 } in
+  (match C.run ~domains:1 config with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "campaign run failed: %s" msg);
+  let trace = Trace.to_chrome_json ~normalize:true () in
+  (* Sanity: the exporter's output is strict JSON by our own codec. *)
+  (match J.of_string trace with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg);
+  golden_check "obs_trace.expected" (trace ^ "\n")
+
+let test_golden_pp_summary () =
+  let snap =
+    [ ("campaign.entries", M.Counter 6);
+      ("campaign.time.LP",
+       M.Histogram (M.hist_of_values [ 0.001; 0.002; 0.004; 0.008; 0.0; 0.0 ]));
+      ("engine.load", M.Gauge { value = 0.75; seq = 3 });
+      ("lp.pivots", M.Counter 294);
+      ("sim.empty", M.Histogram M.empty_hist) ]
+  in
+  golden_check "obs_summary.expected"
+    (Format.asprintf "%a" M.pp_summary snap)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dls_obs"
+    [ ( "buckets",
+        [ Alcotest.test_case "bound/bucket_of invariant" `Quick
+            test_bucket_invariant ] );
+      ( "merge",
+        [ qc prop_merge_commutative;
+          qc prop_merge_associative;
+          qc prop_merge_models_concat;
+          qc prop_quantile_bucket_bound;
+          qc prop_codec_round_trip;
+          qc prop_merge_round_trips_codec;
+          Alcotest.test_case "gauge last-writer-wins" `Quick
+            test_gauge_merge_last_writer_wins;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_quantile_empty_and_underflow ] );
+      ( "registry",
+        [ Alcotest.test_case "disabled path records nothing" `Quick
+            test_disabled_path_records_nothing;
+          Alcotest.test_case "enabled records and resets" `Quick
+            test_enabled_records_and_resets;
+          Alcotest.test_case "registration idempotent, kind-checked" `Quick
+            test_registration_idempotent_and_kind_checked ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting and instants" `Quick
+            test_span_nesting_and_instants;
+          Alcotest.test_case "with_span closes on raise" `Quick
+            test_with_span_closes_on_raise ] );
+      ( "determinism",
+        [ Alcotest.test_case "campaign bytes, tracing off vs on" `Quick
+            test_campaign_bytes_tracing_off_vs_on;
+          Alcotest.test_case "simulator stats, tracing off vs on" `Quick
+            test_simulator_stats_tracing_off_vs_on;
+          Alcotest.test_case "simulator counters fire" `Quick
+            test_simulator_counters_fire;
+          Alcotest.test_case "registry equal, 1 vs 8 domains" `Quick
+            test_registry_deterministic_across_domains;
+          Alcotest.test_case "shard snapshots merge exactly" `Quick
+            test_shard_snapshots_merge_exactly ] );
+      ( "golden",
+        [ Alcotest.test_case "chrome trace exporter" `Quick
+            test_golden_chrome_trace;
+          Alcotest.test_case "pp summary table" `Quick test_golden_pp_summary ]
+      ) ]
