@@ -185,6 +185,39 @@ let resilience_series ?(seed = 55) ?(ks = [ 10; 20; 30 ]) ?(per_k = 3) () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1e: dynamic-workload series (events/sec, re-plan latency p99)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The event-driven simulator end to end: how many arrival/completion/
+   fault events per second the loop sustains, and the tail latency of
+   one re-plan through the repair ladder — the figure that decides
+   whether online re-planning keeps up with a live trace. *)
+let dynsim_series ?(seed = 61) ?(ks = [ 4; 8 ]) ?(jobs = 30) () =
+  Format.printf "=== Dynamic-workload series (event loop + re-plan ladder) ===@.@.";
+  Format.printf "%-4s %-8s %-10s %-10s %-14s %-14s@." "K" "events" "wall-s"
+    "events/s" "replan-p50-ms" "replan-p99-ms";
+  List.iter
+    (fun k ->
+      let rng = Prng.create ~seed:(seed + k) in
+      let params = E.Measure.sample_params rng ~k in
+      let platform = Dls_platform.Generator.generate rng params in
+      let wl =
+        Dls_dynsim.Workload.synthetic ~seed:(seed + k) ~jobs ~rate:0.5
+          ~clusters:k ()
+      in
+      let r, wall =
+        E.Measure.time (fun () -> Dls_dynsim.Dynamic.run platform wl)
+      in
+      let ms = Array.map (fun s -> s *. 1e3) r.Dls_dynsim.Dynamic.replan_seconds in
+      Format.printf "%-4d %-8d %-10.4f %-10.1f %-14.4f %-14.4f@." k
+        r.Dls_dynsim.Dynamic.events wall
+        (float_of_int r.Dls_dynsim.Dynamic.events /. Float.max 1e-9 wall)
+        (Dls_util.Stats.percentile ms ~p:50.0)
+        (Dls_util.Stats.percentile ms ~p:99.0))
+    ks;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one group per table/figure       *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,6 +350,28 @@ let resilience_tests =
         (Staged.stage (fun () ->
              ignore (Repair.run_stage Repair.Refine dpr a))) ]
 
+let dynsim_tests =
+  (* Kernels of the event-driven simulator: heap churn at queue depth
+     1k and one full small replay (arrivals, re-plans, completions). *)
+  let module Heap = Dls_dynsim.Event_heap in
+  let p = problem_of ~seed:113 ~k:6 in
+  let platform = Problem.platform p in
+  let wl =
+    Dls_dynsim.Workload.synthetic ~seed:114 ~jobs:10 ~rate:0.5 ~clusters:6 ()
+  in
+  Test.make_grouped ~name:"dynsim"
+    [ Test.make ~name:"event-heap-push-pop-1k"
+        (Staged.stage (fun () ->
+             let h = Heap.create () in
+             for i = 0 to 999 do
+               Heap.push h ~time:(float_of_int ((i * 7919) mod 1000)) i
+             done;
+             while not (Heap.is_empty h) do
+               ignore (Heap.pop h)
+             done));
+      Test.make ~name:"dynamic-replay-10jobs-k6"
+        (Staged.stage (fun () -> ignore (Dls_dynsim.Dynamic.run platform wl))) ]
+
 let run_benchmarks () =
   Format.printf "@.=== Bechamel micro-benchmarks ===@.@.";
   let cfg = Benchmark.cfg ~limit:120 ~quota:(Time.second 1.5) ~kde:None () in
@@ -325,7 +380,7 @@ let run_benchmarks () =
   in
   let groups =
     [ table1_tests; fig5_tests; fig6_tests; fig7_tests; substrate_tests;
-      engine_tests; extension_tests; resilience_tests ]
+      engine_tests; extension_tests; resilience_tests; dynsim_tests ]
   in
   List.iter
     (fun group ->
@@ -390,11 +445,15 @@ let () =
   else if Array.exists (String.equal "--resilience") Sys.argv then
     (* Just the fault-simulation + repair-ladder series. *)
     resilience_series ()
+  else if Array.exists (String.equal "--dynsim") Sys.argv then
+    (* Just the event-loop throughput + re-plan latency series. *)
+    dynsim_series ()
   else begin
     reproduction ();
     lprr_warm_vs_cold ();
     campaign_throughput ();
     resilience_series ();
+    dynsim_series ();
     run_benchmarks ();
     Format.printf "@.done.@."
   end

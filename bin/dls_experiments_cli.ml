@@ -343,6 +343,139 @@ let resilience_cmd =
           $ periods_arg $ kill_arg $ no_timings_arg $ resume_arg $ out_jsonl_arg
           $ domains_arg $ out_arg $ trace_arg $ metrics_arg)
 
+let dynamic_cmd =
+  let k_arg =
+    let doc = "Clusters per platform." in
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let platforms_arg =
+    let doc = "Random platforms to evaluate each policy on." in
+    Arg.(value & opt int 3 & info [ "platforms" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Synthetic workload length (ignored with --swf)." in
+    Arg.(value & opt int 40 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Synthetic Poisson arrival rate (ignored with --swf)." in
+    Arg.(value & opt float 0.4 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let heavy_arg =
+    Arg.(value & flag
+         & info [ "heavy" ]
+             ~doc:"Pareto (heavy-tailed) job sizes instead of uniform.")
+  in
+  let swf_arg =
+    let doc =
+      "Replay this SWF (Standard Workload Format) trace instead of \
+       synthesizing a workload."
+    in
+    Arg.(value & opt (some string) None & info [ "swf" ] ~docv:"FILE" ~doc)
+  in
+  let work_scale_arg =
+    let doc = "Multiply every SWF job's work by $(docv) (load knob)." in
+    Arg.(value & opt float 1.0 & info [ "work-scale" ] ~docv:"S" ~doc)
+  in
+  let fault_rate_arg =
+    let doc = "Link fault rate (per entity per time unit); 0 disables faults." in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"R" ~doc)
+  in
+  let policies_arg =
+    let doc = "Admission policies to compare (lp-repair, fcfs, easy)." in
+    Arg.(value & opt (list string) [ "lp-repair"; "fcfs"; "easy" ]
+         & info [ "policies" ] ~docv:"P,P,..." ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Also write the byte-stable event log of index 0 (first platform, \
+       first policy) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let out_jsonl_arg =
+    let doc =
+      "Append every record to $(docv) as JSONL and maintain a checkpoint \
+       manifest at $(docv).manifest."
+    in
+    Arg.(value & opt (some string) None & info [ "out-jsonl" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc = "Replay an existing --out-jsonl log and evaluate only the rest." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains (default: available cores, capped at 8)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let no_timings_arg =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Record re-plan wall-clock as 0, making the log \
+                   byte-reproducible.")
+  in
+  let run seed k platforms jobs rate heavy swf work_scale fault_rate
+      policy_names no_timings resume out_jsonl domains events out trace metrics =
+    setup_logs ();
+    let policies =
+      List.map
+        (fun name ->
+          match Dls_dynsim.Dynamic.policy_of_name name with
+          | Some p -> p
+          | None ->
+            Format.eprintf "unknown policy %S (want lp-repair, fcfs or easy)@."
+              name;
+            exit 1)
+        policy_names
+    in
+    let config =
+      { E.Dynexp.seed; k; platforms; jobs; rate; heavy; swf; work_scale;
+        fault_rate; policies; measure_time = not no_timings }
+    in
+    with_obs ?trace ?metrics @@ fun () ->
+    let records = ref [] in
+    match
+      E.Dynexp.run ?domains ~resume ?out:out_jsonl
+        ~on_entry:(function
+          | E.Dynexp.Record r -> records := r :: !records
+          | E.Dynexp.Skipped _ -> ())
+        config
+    with
+    | Error msg ->
+      Format.eprintf "dynamic failed: %s@." msg;
+      exit 1
+    | Ok _ ->
+      let records =
+        List.sort
+          (fun a b -> Stdlib.compare a.E.Dynexp.index b.E.Dynexp.index)
+          !records
+      in
+      emit ?out (E.Dynexp.table config records);
+      (match events with
+      | None -> ()
+      | Some path -> (
+        match E.Dynexp.replay config ~index:0 with
+        | Error msg ->
+          Format.eprintf "event-log replay failed: %s@." msg;
+          exit 1
+        | Ok (_, r) ->
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc r.Dls_dynsim.Dynamic.event_log);
+          Format.printf "event log written to %s@." path))
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:
+         "Replay a dynamic workload (synthetic or SWF trace) through the \
+          event-driven simulator, re-planning on every arrival, completion \
+          and fault via the repair ladder, and compare admission policies \
+          (LP-repair vs FCFS vs EASY backfilling) on the same traces \
+          (inherits the campaign runner's checkpoint/resume).")
+    Term.(const run $ seed_arg 33 $ k_arg $ platforms_arg $ jobs_arg $ rate_arg
+          $ heavy_arg $ swf_arg $ work_scale_arg $ fault_rate_arg
+          $ policies_arg $ no_timings_arg
+          $ resume_arg $ out_jsonl_arg $ domains_arg $ events_arg $ out_arg
+          $ trace_arg $ metrics_arg)
+
 let adaptivity_cmd =
   let run seed out =
     setup_logs ();
@@ -389,4 +522,4 @@ let () =
   exit (Cmd.eval (Cmd.group info [ table1_cmd; fig5_cmd; fig6_cmd; fig7_cmd;
                                    aggregate_cmd; ablation_cmd; adaptivity_cmd;
                                    sweep_cmd; campaign_cmd; resilience_cmd;
-                                   all_cmd ]))
+                                   dynamic_cmd; all_cmd ]))

@@ -1,0 +1,89 @@
+(** Event-driven online scheduling of a dynamic divisible-load
+    workload.
+
+    The paper plans one steady-state schedule per platform; this module
+    turns that machinery into an online story: applications arrive,
+    share the platform for a while, complete and depart, and platform
+    faults strike mid-run.  Each such event triggers a {e re-plan}
+    through the {!Dls_core.Repair} ladder (rescale → greedy refine →
+    full re-solve, warm-started from the previous allocation), and
+    between events every admitted application's backlog drains at its
+    planned steady-state rate — or, with {!fidelity} [Flow], at the
+    rate the flow-level simulator actually measures for the plan.
+
+    Queueing model: one application per cluster at a time.  Jobs arriving
+    at a busy cluster queue FIFO behind it; a cluster's {e head} job is
+    the one eligible for admission.  Which heads are admitted is the
+    {!policy}'s choice — the LP plans whatever set it is given, so the
+    policies differ only in admission, making the comparison fair.
+
+    Determinism contract: with a fixed platform, workload, fault plan
+    and policy, {!run} is a pure function — the event log is
+    byte-stable across processes, domain counts and kill/resume (the
+    test suite pins this).  Wall-clock re-plan latencies are reported
+    out-of-band and never enter the log. *)
+
+type policy =
+  | Lp_repair  (** admit every cluster head; plan them jointly *)
+  | Fcfs  (** admit only the globally oldest head: serial batch FCFS *)
+  | Easy
+      (** EASY backfilling: admit the oldest head plus any younger head
+          whose estimated solo runtime fits before the oldest head's
+          estimated finish (estimates use the head cluster's local
+          compute speed — crude, as real backfilling estimates are) *)
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+val all_policies : policy list
+
+type fidelity =
+  | Fluid  (** backlogs drain at the LP-planned rates *)
+  | Flow of int
+      (** backlogs drain at the per-application throughput measured by
+          [Dls_flowsim.Simulator.run] over this many periods of the
+          current plan — the flow simulator advanced between events *)
+
+type job_record = {
+  job : Workload.job;
+  started : float;  (** first admission time *)
+  finished : float;
+}
+
+type result = {
+  completed : job_record list;  (** in completion order *)
+  unfinished : int;
+      (** jobs not completed when the run ended: still queued, wedged,
+          or never arrived before an [until] cutoff *)
+  makespan : float;  (** last completion time; 0 with no completions *)
+  completed_work : float;
+  mean_response : float;  (** mean of [finished - arrival]; 0 if none *)
+  throughput : float;  (** [completed_work / makespan]; 0 if none *)
+  events : int;  (** events processed (arrivals, faults, completions) *)
+  replans : int;
+  replan_seconds : float array;
+  (** per-replan ladder cost (sum of stage wall-clocks), in replan
+      order; nondeterministic, reported out-of-band of the event log *)
+  event_log : string;
+  (** one line per event, [t=<%.17g> <kind> ...]; byte-stable *)
+  guard_exhausted : bool;
+  (** the defensive iteration bound tripped: the run was truncated *)
+}
+
+val run :
+  ?policy:policy ->
+  ?heuristic:Dls_core.Heuristics.t ->
+  ?objective:Dls_core.Lp_relax.objective ->
+  ?fidelity:fidelity ->
+  ?faults:Dls_flowsim.Faults.plan ->
+  ?until:float ->
+  Dls_platform.Platform.t ->
+  Workload.t ->
+  result
+(** [run platform workload] replays the workload to completion (or to
+    [until], if given): defaults [policy = Lp_repair],
+    [heuristic = LPRG], [objective = Maxmin], [fidelity = Fluid], no
+    faults.  The run ends when every job has completed or nothing can
+    make progress any more (e.g. jobs wedged on a crashed cluster);
+    wedged jobs count as [unfinished].
+    @raise Invalid_argument on a NaN/negative [until] or a [Flow]
+    fidelity with fewer than 2 periods. *)

@@ -1,0 +1,74 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let length h = h.len
+
+let is_empty h = h.len = 0
+
+(* Lexicographic (time, seq): stable FIFO order among equal times. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let arr = Array.make (Stdlib.max 8 (2 * cap)) entry in
+    Array.blit h.arr 0 arr 0 h.len;
+    h.arr <- arr
+  end
+
+let push h ~time payload =
+  if Float.is_nan time then invalid_arg "Event_heap.push: NaN time";
+  let entry = { time; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.arr.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* sift up *)
+  let i = ref (h.len - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before h.arr.(!i) h.arr.(parent) then begin
+      let tmp = h.arr.(parent) in
+      h.arr.(parent) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.arr.(0) <- h.arr.(h.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.len && before h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end

@@ -1,0 +1,27 @@
+(** Binary min-heap event queue for the dynamic simulator.
+
+    Events are ordered by [(time, seq)] where [seq] is the push order:
+    two events at the same instant pop in the order they were pushed.
+    That tie-break is what makes the event log a pure function of the
+    workload — no dependence on heap internals or float coincidences.
+
+    The heap is the textbook array-backed binary heap: O(log n) push
+    and pop, O(1) peek, amortized O(1) space per element. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event.  @raise Invalid_argument on a NaN time (a NaN
+    would corrupt the heap order silently). *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (FIFO among equal times). *)

@@ -1,0 +1,156 @@
+module Prng = Dls_util.Prng
+module P = Dls_platform.Platform
+
+type job = {
+  id : int;
+  arrival : float;
+  cluster : int;
+  work : float;
+  payoff : float;
+}
+
+type t = job list
+
+let order a b = Stdlib.compare (a.arrival, a.id) (b.arrival, b.id)
+
+let synthetic ~seed ~jobs ~rate ?(heavy = false) ?(mean_work = 200.0) ~clusters
+    () =
+  if jobs < 0 then invalid_arg "Workload.synthetic: negative job count";
+  if not (rate > 0.0 && Float.is_finite rate) then
+    invalid_arg "Workload.synthetic: rate must be positive";
+  if not (mean_work > 0.0 && Float.is_finite mean_work) then
+    invalid_arg "Workload.synthetic: mean_work must be positive";
+  if clusters <= 0 then invalid_arg "Workload.synthetic: need clusters > 0";
+  let arrival = ref 0.0 in
+  List.init jobs (fun i ->
+      (* Job [i]'s draws come from its own derived stream: the workload
+         is reproducible per job in O(1), whatever else was generated. *)
+      let rng = Prng.derive ~seed ~index:i in
+      let u = Prng.float rng ~lo:0.0 ~hi:1.0 in
+      (* exponential inversion; u < 1 so log never sees 0 *)
+      let gap = -.log (1.0 -. u) /. rate in
+      arrival := !arrival +. gap;
+      let cluster = Prng.int rng ~lo:0 ~hi:(clusters - 1) in
+      let work =
+        if heavy then begin
+          (* Pareto, shape 1.5: mean = shape/(shape-1) * scale = 3 *
+             scale.  Truncated so one monster job cannot dominate the
+             replay wall-clock. *)
+          let shape = 1.5 in
+          let scale = mean_work /. 3.0 in
+          let v = Prng.float rng ~lo:0.0 ~hi:1.0 in
+          Float.min
+            (scale /. ((1.0 -. v) ** (1.0 /. shape)))
+            (100.0 *. mean_work)
+        end
+        else mean_work *. Prng.float rng ~lo:0.5 ~hi:1.5
+      in
+      { id = i; arrival = !arrival; cluster; work; payoff = 1.0 })
+
+(* --- SWF ----------------------------------------------------------- *)
+
+let is_comment line =
+  String.length line = 0 || line.[0] = ';' || line.[0] = '#'
+
+let fields line =
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line))
+
+let of_swf ~clusters ?(work_scale = 1.0) text =
+  if clusters <= 0 then Error "of_swf: need clusters > 0"
+  else if not (work_scale > 0.0 && Float.is_finite work_scale) then
+    Error "of_swf: work_scale must be positive"
+  else begin
+    let err = ref None in
+    let jobs = ref [] in
+    let lineno = ref 0 in
+    List.iter
+      (fun raw ->
+        incr lineno;
+        let line = String.trim raw in
+        if !err = None && not (is_comment line) then begin
+          match List.map float_of_string_opt (fields line) with
+          | exception _ -> err := Some (Printf.sprintf "line %d: unreadable" !lineno)
+          | parsed ->
+            if List.exists (( = ) None) parsed then
+              err := Some (Printf.sprintf "line %d: non-numeric field" !lineno)
+            else begin
+              let v = Array.of_list (List.map Option.get parsed) in
+              if Array.length v < 5 then
+                err :=
+                  Some
+                    (Printf.sprintf "line %d: %d fields, need at least 5"
+                       !lineno (Array.length v))
+              else begin
+                let get i = if i < Array.length v then v.(i) else -1.0 in
+                let submit = get 1 and run_time = get 3 in
+                (* cancelled/malformed entries carry -1 or 0 run times *)
+                if run_time > 0.0 && submit >= 0.0 then begin
+                  let procs =
+                    if get 4 > 0.0 then get 4
+                    else if get 7 > 0.0 then get 7
+                    else 1.0
+                  in
+                  let origin =
+                    if get 15 >= 0.0 then get 15
+                    else if get 14 >= 0.0 then get 14
+                    else Float.abs (get 0)
+                  in
+                  let cluster = int_of_float origin mod clusters in
+                  jobs :=
+                    { id = 0; arrival = submit;
+                      cluster = (if cluster < 0 then 0 else cluster);
+                      work = run_time *. procs *. work_scale; payoff = 1.0 }
+                    :: !jobs
+                end
+              end
+            end
+        end)
+      (String.split_on_char '\n' text);
+    match !err with
+    | Some e -> Error e
+    | None ->
+      let sorted = List.sort order (List.rev !jobs) in
+      let t0 =
+        match sorted with [] -> 0.0 | j :: _ -> j.arrival
+      in
+      Ok
+        (List.mapi
+           (fun i j -> { j with id = i; arrival = j.arrival -. t0 })
+           sorted)
+  end
+
+let load_swf ~clusters ?work_scale ~path () =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> of_swf ~clusters ?work_scale text
+
+let to_swf t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "; SWF fragment written by dls (dynamic workload)\n";
+  Buffer.add_string buf
+    "; fields: job submit wait run procs cpu mem req_procs req_time req_mem \
+     status uid gid exe queue partition prev think\n";
+  List.iter
+    (fun j ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%d %.17g -1 %.17g 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 %d -1 -1\n"
+           (j.id + 1) j.arrival j.work j.cluster))
+    t;
+  Buffer.contents buf
+
+let pp_job fmt j =
+  Format.fprintf fmt "job %d: t=%g cluster=%d work=%g payoff=%g" j.id j.arrival
+    j.cluster j.work j.payoff
+
+let total_work t = List.fold_left (fun acc j -> acc +. j.work) 0.0 t
+
+let makespan_lower_bound p t =
+  let total_speed = ref 0.0 in
+  for k = 0 to P.num_clusters p - 1 do
+    total_speed := !total_speed +. P.speed p k
+  done;
+  let last_arrival = List.fold_left (fun acc j -> Float.max acc j.arrival) 0.0 t in
+  if !total_speed > 0.0 then last_arrival +. (total_work t /. !total_speed)
+  else if t = [] then 0.0
+  else infinity

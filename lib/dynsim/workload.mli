@@ -1,0 +1,72 @@
+(** Dynamic workloads: streams of divisible-load applications arriving
+    over time, either synthesized from seed-derived random processes or
+    replayed from an SWF-style batch log.
+
+    Determinism contract: {!synthetic} draws job [i]'s randomness from
+    [Prng.derive ~seed ~index:i], so a workload is a pure function of
+    its parameters — independent of evaluation order, domain count or
+    shard partitioning, exactly like {!Dls_flowsim.Faults.random}. *)
+
+type job = {
+  id : int;  (** unique within the workload, 0-based in arrival order *)
+  arrival : float;  (** submit time, >= 0 *)
+  cluster : int;  (** cluster hosting the application's source data *)
+  work : float;  (** total load units to process, > 0 *)
+  payoff : float;  (** relative worth [pi_k] while the job is active *)
+}
+
+type t = job list
+(** Sorted by [(arrival, id)]; ids are unique and dense. *)
+
+val synthetic :
+  seed:int ->
+  jobs:int ->
+  rate:float ->
+  ?heavy:bool ->
+  ?mean_work:float ->
+  clusters:int ->
+  unit ->
+  t
+(** [synthetic ~seed ~jobs ~rate ~clusters ()] generates [jobs] jobs:
+    Poisson arrivals ([rate] expected arrivals per time unit, gaps by
+    exponential inversion), uniform source cluster, and work sizes
+    either uniform in [[0.5, 1.5] * mean_work] (default
+    [mean_work = 200.]) or — with [heavy] — Pareto with shape 1.5
+    (scale chosen so the mean is [mean_work], truncated at
+    [100 * mean_work] to keep replay times bounded), the classic
+    heavy-tailed job-size model of batch traces.
+    @raise Invalid_argument on negative [jobs], non-positive [rate],
+    [mean_work] or [clusters]. *)
+
+val of_swf : clusters:int -> ?work_scale:float -> string -> (t, string) result
+(** Parse an SWF-style (Standard Workload Format) batch log: lines of
+    whitespace-separated fields, [;]/[#] comment lines ignored.  Of the
+    standard 18 fields the reader uses job number (1), submit time (2),
+    run time (4), allocated/requested processors (5/8), queue (15) and
+    partition (16); a line needs at least the first 5.  Jobs with
+    non-positive run time or negative submit time (cancelled or
+    malformed entries) are skipped.  Mapping into the divisible-load
+    model: [work = run_time * processors * work_scale] (default scale
+    1.0), the source cluster is the partition (or queue, or job number)
+    modulo [clusters], payoff 1.  Submit times are shifted so the
+    earliest job arrives at 0, and jobs are re-numbered densely in
+    arrival order.
+    @raise nothing — malformed numeric fields yield [Error]. *)
+
+val load_swf :
+  clusters:int -> ?work_scale:float -> path:string -> unit -> (t, string) result
+(** {!of_swf} on a file's contents; I/O errors yield [Error]. *)
+
+val to_swf : t -> string
+(** Render as an SWF fragment (18 fields, [-1] for the unused ones,
+    processors pinned to 1 so [of_swf ~work_scale:1.0] inverts it).
+    Floats print as [%.17g], so a round trip is exact. *)
+
+val pp_job : Format.formatter -> job -> unit
+
+val total_work : t -> float
+
+val makespan_lower_bound : Dls_platform.Platform.t -> t -> float
+(** Crude lower bound on any schedule's makespan: last arrival, plus
+    total remaining work divided by the platform's total compute speed.
+    Used for sanity checks and progress reporting, not for science. *)

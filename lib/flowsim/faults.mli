@@ -75,6 +75,7 @@ val random :
     generated first.
     @raise Invalid_argument on a negative rate or horizon. *)
 
+val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit
 
 val trace : plan -> string
@@ -95,8 +96,10 @@ val next_time : state -> float option
 (** Time of the next unapplied event; [None] when exhausted. *)
 
 val advance : state -> now:float -> event list
-(** Apply every unapplied event with [time <= now]; returns them in
-    application order. *)
+(** Apply every unapplied event with [time <= now] (closed at [now]: an
+    event landing exactly on the boundary is applied); returns them in
+    application order.  Each event is applied exactly once — a second
+    [advance] to the same [now] returns []. *)
 
 val link_factor : state -> int -> float
 (** Current per-connection bandwidth multiplier of a backbone link: 0
@@ -128,5 +131,11 @@ val degraded_at : Dls_platform.Platform.t -> plan -> time:float -> Dls_platform.
     [time <= time] to a fresh cursor. *)
 
 val downtime : Dls_platform.Platform.t -> plan -> horizon:float -> float
-(** Total time in [[0, horizon]] during which at least one fault was
-    active ({!any_fault_active}). *)
+(** Total time over the half-open window [[0, horizon)] during which at
+    least one fault was active ({!any_fault_active}).  The half-open
+    convention means an event landing exactly on the horizon is outside
+    the window and contributes nothing: a fault starting at [horizon]
+    adds no downtime, and a recovery at [horizon] does not clip the
+    preceding fault episode, which is charged up to the horizon.
+    Abutting episodes (one ends exactly where the next begins) count
+    the shared boundary instant once — intervals never double-count. *)

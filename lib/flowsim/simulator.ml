@@ -6,6 +6,7 @@ module Trace = Dls_obs.Trace
 let m_runs = M.counter "sim.runs"
 let m_rounds = M.counter "sim.rounds"
 let m_faults_applied = M.counter "sim.fault_events_applied"
+let m_guard_exhausted = M.counter "sim.guard_exhausted"
 
 type stats = {
   predicted : float array;
@@ -15,6 +16,7 @@ type stats = {
   killed_transfers : int;
   fault_events : int;
   downtime : float;
+  guard_exhausted : bool;
 }
 
 (* One period's transfer, instantiated afresh at each period boundary. *)
@@ -27,6 +29,7 @@ type proto = {
   pdelay : float;
   proute : int list option;  (* None: unreachable; Some []: co-located *)
   pbeta : int;
+  pscale : float;  (* nominal rate magnitude, see [flow.rscale] *)
 }
 
 type flow = {
@@ -40,8 +43,19 @@ type flow = {
   weight : float;
   delay : float;  (* one-way path latency added to the arrival *)
   spawned : float;  (* period-start time *)
+  rscale : float;
+  (* nominal magnitude of this flow's rate: min of the nominal route
+     capacity and both endpoints' nominal local links.  Liveness tests
+     compare rates against [eps *. rscale] so the classification is
+     scale-free — a 5e-11-wide pipe making full-rate progress is live,
+     and a 5e+11 pipe reduced to rounding dust is not. *)
 }
 
+(* Relative tolerance unit.  Every comparison in the transfer loop
+   scales [eps] by the magnitude of the quantities involved (horizon
+   for times, nominal rate for liveness, the largest [alpha] for
+   pattern filtering); capacities compare against exact zero, which is
+   the only value the fault model can produce for a dead entity. *)
 let eps = 1e-9
 
 let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
@@ -53,7 +67,20 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
   let p = Dls_core.Problem.platform problem in
   let kk = P.num_clusters p in
   let horizon = float_of_int periods in
+  (* Absolute slack on time comparisons, scaled to the horizon: all
+     simulated times live in [0, horizon], so [eps *. horizon] is the
+     rounding-dust magnitude there.  The [max 1.0] keeps the historical
+     behavior for sub-unit horizons. *)
+  let time_tol = eps *. Float.max 1.0 horizon in
   let predicted = Array.init kk (A.app_throughput alloc) in
+  (* Transfers are part of the pattern when their [alpha] is visible at
+     the allocation's own magnitude — an absolute cutoff would drop the
+     entire pattern of a legitimately tiny-valued workload. *)
+  let alpha_tol =
+    let m = ref 0.0 in
+    Array.iter (Array.iter (fun a -> if a > !m then m := a)) alloc.A.alpha;
+    eps *. !m
+  in
   let plan = match faults with None -> Faults.empty | Some plan -> plan in
   let fstate = Faults.start p plan in
   let fault_events =
@@ -73,7 +100,7 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
   let pattern = ref [] in
   for k = kk - 1 downto 0 do
     for l = kk - 1 downto 0 do
-      if k <> l && alloc.A.alpha.(k).(l) > eps then begin
+      if k <> l && alloc.A.alpha.(k).(l) > alpha_tol then begin
         let route = P.route p k l in
         let beta = alloc.A.beta.(k).(l) in
         let cap =
@@ -93,7 +120,14 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
         in
         pattern :=
           { psrc = k; pdst = l; pamount = alloc.A.alpha.(k).(l); pcap = cap;
-            pweight = weight; pdelay = delay; proute = route; pbeta = beta }
+            pweight = weight; pdelay = delay; proute = route; pbeta = beta;
+            pscale =
+              (let s =
+                 Float.min cap (Float.min (P.local_bw p k) (P.local_bw p l))
+               in
+               (* an unbounded scale degrades to a strict > 0 liveness
+                  test rather than an unreachable threshold *)
+               if Float.is_finite s then s else 0.0) }
           :: !pattern
       end
     done
@@ -129,10 +163,14 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
   let arrivals = ref [] in  (* (time, cluster, app, amount) *)
   let late = ref 0 and stalled = ref 0 and killed = ref 0 in
   let faulted = ref false in
+  (* Exact-zero tests: degraded capacities are products with an exact
+     0.0 factor (down link, crashed cluster, unreachable route), never
+     rounding dust, so a genuinely tiny but live capacity is not
+     misclassified as dead regardless of the platform's scale. *)
   let cannot_move fl =
-    fl.cap <= eps
-    || capacities.(fl.src) <= eps
-    || capacities.(fl.dst) <= eps
+    fl.cap <= 0.0
+    || capacities.(fl.src) <= 0.0
+    || capacities.(fl.dst) <= 0.0
   in
   let cull_if_killing () =
     if fault_policy = Faults.Kill then begin
@@ -142,10 +180,11 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     end
   in
   let apply_events now =
-    (* the [eps] slack consumes events within float-rounding distance of
-       the current time, so the loop cannot creep toward an event time
-       without ever reaching it *)
-    let applied = Faults.advance fstate ~now:(now +. eps) in
+    (* the [time_tol] slack consumes events within float-rounding
+       distance of the current time, so the loop cannot creep toward an
+       event time without ever reaching it — at large horizons the
+       absolute [eps] is below one ulp and the loop would wedge *)
+    let applied = Faults.advance fstate ~now:(now +. time_tol) in
     if applied <> [] then begin
       faulted := true;
       M.add m_faults_applied (List.length applied);
@@ -157,6 +196,7 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
   in
   let t = ref 0.0 in
   let next_spawn = ref 0 in
+  let guard_exhausted = ref false in
   let guard =
     ref
       ((1000 * (periods + 1) * (1 + List.length !pattern))
@@ -173,9 +213,9 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     && Faults.is_empty plan
     && List.for_all
          (fun pr ->
-           pr.pcap <= eps
-           || capacities.(pr.psrc) <= eps
-           || capacities.(pr.pdst) <= eps)
+           pr.pcap <= 0.0
+           || capacities.(pr.psrc) <= 0.0
+           || capacities.(pr.pdst) <= 0.0)
          !pattern
   in
   if all_stalled_from_start then begin
@@ -183,22 +223,23 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
     for per = 0 to periods - 1 do
       let now = float_of_int per in
       for k = 0 to kk - 1 do
-        if alloc.A.alpha.(k).(k) > eps then
+        if alloc.A.alpha.(k).(k) > alpha_tol then
           arrivals := (now, k, k, alloc.A.alpha.(k).(k)) :: !arrivals
       done
     done
   end
   else begin
     apply_events 0.0;
-    while (not !finished) && !t < horizon -. eps && !guard > 0 do
+    while (not !finished) && !t < horizon -. time_tol && !guard > 0 do
       decr guard;
       M.incr m_rounds;
       (* Fault events due now are applied before anything else moves. *)
       (match Faults.next_time fstate with
-      | Some tf when tf <= !t +. eps -> apply_events !t
+      | Some tf when tf <= !t +. time_tol -> apply_events !t
       | _ -> ());
       (* Spawn the period's flows and local chunks at each boundary. *)
-      if !next_spawn < periods && !t >= float_of_int !next_spawn -. eps then begin
+      if !next_spawn < periods && !t >= float_of_int !next_spawn -. time_tol
+      then begin
         let now = float_of_int !next_spawn in
         List.iter
           (fun pr ->
@@ -207,12 +248,12 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
               { src = pr.psrc; dst = pr.pdst; amount = pr.pamount;
                 remaining = pr.pamount; cap; route = pr.proute;
                 beta = pr.pbeta; weight = pr.pweight; delay = pr.pdelay;
-                spawned = now }
+                spawned = now; rscale = pr.pscale }
               :: !active)
           !pattern;
         if !faulted then cull_if_killing ();
         for k = 0 to kk - 1 do
-          if alloc.A.alpha.(k).(k) > eps then
+          if alloc.A.alpha.(k).(k) > alpha_tol then
             arrivals := (now, k, k, alloc.A.alpha.(k).(k)) :: !arrivals
         done;
         incr next_spawn
@@ -231,7 +272,7 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
       let dt_complete = ref infinity in
       List.iteri
         (fun i f ->
-          if rates.(i) > eps then
+          if rates.(i) > eps *. f.rscale then
             dt_complete := Float.min !dt_complete (f.remaining /. rates.(i)))
         flows;
       let next_boundary =
@@ -239,20 +280,20 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
       in
       let next_fault =
         match Faults.next_time fstate with
-        | Some tf when tf < horizon -. eps -> tf
+        | Some tf when tf < horizon -. time_tol -> tf
         | _ -> infinity
       in
       let next_stop = Float.min next_boundary next_fault in
       let dt = Float.min !dt_complete (next_stop -. !t) in
-      if dt = infinity || (dt <= eps && !dt_complete = infinity && flows = [])
+      if dt = infinity || (dt <= time_tol && !dt_complete = infinity && flows = [])
       then begin
         (* Nothing in flight and no boundary ahead: jump to the next
            stop. *)
-        if next_stop > !t +. eps then t := next_stop else finished := true
+        if next_stop > !t +. time_tol then t := next_stop else finished := true
       end
       else if
         !dt_complete = infinity
-        && next_stop >= horizon -. eps
+        && next_stop >= horizon -. time_tol
         && flows <> []
       then begin
         (* Flows exist but none can move and no spawn or fault event
@@ -267,19 +308,29 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
           (fun i f -> f.remaining <- f.remaining -. (rates.(i) *. dt))
           flows;
         t := !t +. dt;
+        (* Purely relative completion threshold: an absolute floor here
+           would declare any transfer smaller than the floor complete at
+           spawn time. *)
         let done_, still =
-          List.partition
-            (fun f -> f.remaining <= eps *. Float.max 1.0 f.amount)
-            flows
+          List.partition (fun f -> f.remaining <= eps *. f.amount) flows
         in
         List.iter
           (fun f ->
             arrivals := (!t +. f.delay, f.dst, f.src, f.amount) :: !arrivals;
-            if !t +. f.delay > f.spawned +. 1.0 +. eps then incr late)
+            if !t +. f.delay > f.spawned +. 1.0 +. time_tol then incr late)
           done_;
         active := still
       end
     done;
+    (* The guard is a defensive bound far above any legitimate round
+       count; exhausting it means the transfer loop failed to make
+       progress and the run is truncated, not finished.  Surface that
+       loudly instead of reporting stats as if the horizon was
+       reached. *)
+    if !guard <= 0 && (not !finished) && !t < horizon -. time_tol then begin
+      guard_exhausted := true;
+      M.incr m_guard_exhausted
+    end;
     (* Under a fault plan, transfers still wedged at the horizon (down
        route or dead endpoint) count as stalled; in-flight transfers
        that merely ran out of time do not. *)
@@ -405,7 +456,8 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
         [ ("periods", string_of_int periods);
           ("fault_events", string_of_int fault_events) ];
   { predicted; achieved; late_transfers = !late; stalled_transfers = !stalled;
-    killed_transfers = !killed; fault_events; downtime }
+    killed_transfers = !killed; fault_events; downtime;
+    guard_exhausted = !guard_exhausted }
 
 let efficiency stats =
   let tot a = Array.fold_left ( +. ) 0.0 a in

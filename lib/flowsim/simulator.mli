@@ -37,6 +37,11 @@ type stats = {
   (** fault-plan events that fired inside the simulated horizon *)
   downtime : float;
   (** total simulated time during which at least one fault was active *)
+  guard_exhausted : bool;
+  (** [true] when the transfer loop hit its defensive iteration bound
+      before reaching the horizon — the run was truncated, its stats are
+      suspect, and the [sim.guard_exhausted] obs counter was bumped.
+      Always [false] on a healthy run. *)
 }
 
 val run :
@@ -68,6 +73,14 @@ val run :
     [fault_policy], default [Stall]) and the compute phase integrates
     each cluster's piecewise-constant throttled speed.  An empty plan is
     bit-identical to running without [faults].
+
+    Numeric comparisons in the transfer loop use tolerances scaled to
+    the magnitudes involved (the horizon for times, each flow's nominal
+    rate for liveness, the allocation's largest [alpha] for pattern
+    membership), so behavior is invariant under uniform rescaling of
+    bandwidths, speeds and workloads across many orders of magnitude;
+    capacities compare against exact zero, the only dead value the
+    fault model produces.
 
     All-stalled schedules short-circuit: when every transfer of the
     periodic pattern starts with zero capacity or a zero-capacity

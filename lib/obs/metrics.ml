@@ -329,6 +329,13 @@ let hist_quantile hs ~q =
 
 let ( let* ) = Result.bind
 
+(* The Json layer is deliberately strict (non-finite numbers have no
+   JSON spelling), so sanitization happens here, at the encoding
+   boundary: any non-finite value — a NaN gauge from a 0/0-derived
+   rate, an untouched histogram's infinite min/max — encodes as [null]
+   rather than crashing the [at_exit] flush after the real work
+   succeeded.  The decoder maps [null] back to the matching sentinel
+   (NaN for gauges, the empty-histogram edges for min/max). *)
 let opt_edge v = if Float.is_finite v then J.Num v else J.Null
 
 let value_to_json (name, v) =
@@ -338,18 +345,16 @@ let value_to_json (name, v) =
       [ ("metric", J.Str name); ("type", J.Str "counter");
         ("value", J.Num (float_of_int n)) ]
   | Gauge { value; seq } ->
-    if not (Float.is_finite value) then
-      invalid_arg
-        (Printf.sprintf "Metrics: gauge %S holds a non-finite value" name);
     J.Obj
-      [ ("metric", J.Str name); ("type", J.Str "gauge"); ("value", J.Num value);
+      [ ("metric", J.Str name); ("type", J.Str "gauge");
+        ("value", opt_edge value);
         ("seq", J.Num (float_of_int seq)) ]
   | Histogram hs ->
     J.Obj
       [ ("metric", J.Str name); ("type", J.Str "histogram");
         ("count", J.Num (float_of_int hs.hs_count));
         ("underflow", J.Num (float_of_int hs.hs_underflow));
-        ("sum", J.Num hs.hs_sum);
+        ("sum", opt_edge hs.hs_sum);
         ("min", opt_edge hs.hs_min);
         ("max", opt_edge hs.hs_max);
         ("buckets",
@@ -363,8 +368,6 @@ let field name json =
   match J.member name json with
   | Some v -> Ok v
   | None -> Error ("missing field \"" ^ name ^ "\"")
-
-let num_field name json = Result.bind (field name json) J.to_num
 
 let int_field name json = Result.bind (field name json) J.to_int
 
@@ -384,13 +387,13 @@ let value_of_json json =
     let* n = int_field "value" json in
     Ok (name, Counter n)
   | "gauge" ->
-    let* value = num_field "value" json in
+    let* value = edge_field "value" ~empty:Float.nan json in
     let* seq = int_field "seq" json in
     Ok (name, Gauge { value; seq })
   | "histogram" ->
     let* hs_count = int_field "count" json in
     let* hs_underflow = int_field "underflow" json in
-    let* hs_sum = num_field "sum" json in
+    let* hs_sum = edge_field "sum" ~empty:0.0 json in
     let* hs_min = edge_field "min" ~empty:infinity json in
     let* hs_max = edge_field "max" ~empty:neg_infinity json in
     let* buckets_json = field "buckets" json in

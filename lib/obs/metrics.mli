@@ -126,10 +126,15 @@ val hist_quantile : hist_snapshot -> q:float -> float
 (** {1 Exporters} *)
 
 val value_to_json : string * value -> Dls_util.Json.t
-(** One metric as one JSON object (one JSONL line).
-    @raise Invalid_argument on a non-finite gauge value. *)
+(** One metric as one JSON object (one JSONL line).  Non-finite floats
+    have no JSON spelling, so they are sanitized here rather than left
+    to crash the exit-time flush: a NaN/infinite gauge value, histogram
+    [sum], or histogram [min]/[max] edge encodes as [null]. *)
 
 val value_of_json : Dls_util.Json.t -> (string * value, string) result
+(** Inverse of {!value_to_json}; a [null] gauge value decodes to NaN, a
+    [null] histogram [sum] to 0, and [null] [min]/[max] to the
+    empty-histogram edges ([+inf]/[-inf]). *)
 
 val snapshot_to_jsonl : snapshot -> string
 (** One metric per line, in snapshot (name) order. *)

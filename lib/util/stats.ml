@@ -2,13 +2,17 @@ let mean a =
   let n = Array.length a in
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
 
+(* Sample standard deviation (Bessel's correction, n - 1): the series we
+   summarise are repetition samples, not whole populations, and dividing
+   by n understates spread exactly where it matters — small repetition
+   counts in bench/report summaries. *)
 let stddev a =
   let n = Array.length a in
   if n < 2 then 0.0
   else begin
     let m = mean a in
     let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
-    sqrt (acc /. float_of_int n)
+    sqrt (acc /. float_of_int (n - 1))
   end
 
 (* Float.compare, not polymorphic compare: specialized (no boxing) and a

@@ -6,7 +6,9 @@ val mean : float array -> float
 (** Arithmetic mean; 0 on an empty array. *)
 
 val stddev : float array -> float
-(** Population standard deviation; 0 on arrays of length < 2. *)
+(** Sample standard deviation (Bessel's correction: the sum of squared
+    deviations is divided by [n - 1], not [n], since the inputs are
+    repetition samples); 0 on arrays of length < 2. *)
 
 val median : float array -> float
 (** Median (average of the two middle elements for even lengths); 0 on

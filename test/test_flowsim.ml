@@ -8,6 +8,7 @@ module Gen = Dls_platform.Generator
 module Prng = Dls_util.Prng
 module Sharing = Dls_flowsim.Sharing
 module Sim = Dls_flowsim.Simulator
+module Faults = Dls_flowsim.Faults
 open Dls_core
 
 let feps = 1e-9
@@ -240,6 +241,139 @@ let test_simulator_rejects_bad_window () =
     (Invalid_argument "Simulator.run: need 0 <= warmup < periods") (fun () ->
       ignore (Sim.run ~periods:2 ~warmup:2 (two_cluster_problem ()) (Allocation.zero 2)))
 
+(* --- Scale invariance (relative-tolerance regression) -------------- *)
+
+(* Same shape as [two_cluster_problem], uniformly rescaled: speeds,
+   bandwidths and workloads all multiplied by [s].  Under the scaled
+   comparisons every rate and amount scales by [s] while times are
+   untouched, so the run must behave identically at 1e-10 and 1e+10 —
+   the absolute [eps = 1e-9] cutoffs this regression pins down used to
+   classify the whole 1e-10 pattern as stalled dust. *)
+let scaled_problem s =
+  let topology = G.path_graph 2 in
+  let clusters =
+    Array.init 2 (fun k -> { P.speed = 10.0 *. s; local_bw = 4.0 *. s; router = k })
+  in
+  let backbones = [| { P.bw = 2.0 *. s; max_connect = 2 } |] in
+  Problem.uniform (P.make ~clusters ~topology ~backbones)
+
+let scaled_alloc s =
+  let a = Allocation.zero 2 in
+  a.Allocation.alpha.(0).(0) <- 6.0 *. s;
+  a.Allocation.alpha.(0).(1) <- 4.0 *. s;
+  a.Allocation.beta.(0).(1) <- 2;
+  a
+
+let test_simulator_scale_invariant () =
+  let base = Sim.run ~periods:30 ~warmup:3 (scaled_problem 1.0) (scaled_alloc 1.0) in
+  Alcotest.(check bool) "baseline guard healthy" false base.Sim.guard_exhausted;
+  List.iter
+    (fun s ->
+      let st = Sim.run ~periods:30 ~warmup:3 (scaled_problem s) (scaled_alloc s) in
+      let label fmt_s = Printf.sprintf "%s at scale %g" fmt_s s in
+      Alcotest.(check int) (label "no stalls") 0 st.Sim.stalled_transfers;
+      Alcotest.(check bool) (label "guard healthy") false st.Sim.guard_exhausted;
+      Alcotest.(check (float 1e-9)) (label "efficiency invariant")
+        (Sim.efficiency base) (Sim.efficiency st);
+      Array.iteri
+        (fun i v ->
+          let expect = base.Sim.achieved.(i) in
+          if Float.abs ((v /. s) -. expect) > 1e-9 *. Float.max 1.0 expect then
+            Alcotest.failf "achieved.(%d) at scale %g: %.17g, want %.17g * %g"
+              i s v expect s)
+        st.Sim.achieved)
+    [ 1e-10; 1e-5; 1e5; 1e10 ]
+
+let test_simulator_scale_invariant_with_faults () =
+  (* A link-down episode mid-run must degrade throughput by the same
+     fraction at any platform scale (fault times live on the unscaled
+     period axis). *)
+  let mk_plan s =
+    Faults.make
+      (Problem.platform (scaled_problem s))
+      [ { Faults.time = 5.0; kind = Faults.Link_down 0 };
+        { Faults.time = 12.0; kind = Faults.Link_up 0 } ]
+  in
+  let run s =
+    Sim.run ~periods:30 ~warmup:3 ~faults:(mk_plan s) (scaled_problem s)
+      (scaled_alloc s)
+  in
+  let base = run 1.0 in
+  Alcotest.(check bool) "faulted baseline sees the episode" true
+    (base.Sim.downtime > 0.0);
+  List.iter
+    (fun s ->
+      let st = run s in
+      Alcotest.(check bool)
+        (Printf.sprintf "guard healthy at scale %g" s)
+        false st.Sim.guard_exhausted;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "downtime invariant at scale %g" s)
+        base.Sim.downtime st.Sim.downtime;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "efficiency invariant at scale %g" s)
+        (Sim.efficiency base) (Sim.efficiency st))
+    [ 1e-10; 1e10 ]
+
+(* --- Faults boundary conventions ----------------------------------- *)
+
+let test_faults_advance_closed_at_now () =
+  let p = Problem.platform (two_cluster_problem ()) in
+  let plan = Faults.make p [ { Faults.time = 2.0; kind = Faults.Link_down 0 } ] in
+  let st = Faults.start p plan in
+  Alcotest.(check int) "strictly before: not applied" 0
+    (List.length (Faults.advance st ~now:1.9999999999));
+  (* Closed at [now]: the event exactly on the boundary is applied. *)
+  Alcotest.(check int) "exactly at now: applied" 1
+    (List.length (Faults.advance st ~now:2.0));
+  Alcotest.(check (float 0.0)) "link is down" 0.0 (Faults.link_factor st 0);
+  (* Exactly once: replaying the same instant returns nothing. *)
+  Alcotest.(check int) "second advance to same now is empty" 0
+    (List.length (Faults.advance st ~now:2.0))
+
+let test_faults_downtime_half_open_horizon () =
+  let p = Problem.platform (two_cluster_problem ()) in
+  let ev t kind = { Faults.time = t; kind } in
+  (* An event landing exactly on the horizon is outside [0, horizon). *)
+  let starts_at_horizon = Faults.make p [ ev 5.0 (Faults.Link_down 0) ] in
+  Alcotest.(check (float 0.0)) "fault starting at horizon adds nothing" 0.0
+    (Faults.downtime p starts_at_horizon ~horizon:5.0);
+  (* A recovery exactly at the horizon does not clip the episode: down
+     over [2, 5) charges 3 time units. *)
+  let recovers_at_horizon =
+    Faults.make p [ ev 2.0 (Faults.Link_down 0); ev 5.0 (Faults.Link_up 0) ]
+  in
+  Alcotest.(check (float 1e-12)) "recovery at horizon does not clip" 3.0
+    (Faults.downtime p recovers_at_horizon ~horizon:5.0);
+  (* Unrecovered fault is charged up to the horizon, from t = 0. *)
+  let from_zero = Faults.make p [ ev 0.0 (Faults.Cluster_crash 1) ] in
+  Alcotest.(check (float 1e-12)) "whole window" 4.0
+    (Faults.downtime p from_zero ~horizon:4.0)
+
+let test_faults_downtime_never_double_counts () =
+  let p = Problem.platform (two_cluster_problem ()) in
+  let ev t kind = { Faults.time = t; kind } in
+  (* Abutting episodes — recovery and next failure at the same instant —
+     cover [1, 3) exactly once. *)
+  let abutting =
+    Faults.make p
+      [ ev 1.0 (Faults.Link_down 0); ev 2.0 (Faults.Link_up 0);
+        ev 2.0 (Faults.Link_down 0); ev 3.0 (Faults.Link_up 0) ]
+  in
+  Alcotest.(check (float 1e-12)) "abutting episodes count once" 2.0
+    (Faults.downtime p abutting ~horizon:10.0);
+  (* Overlapping faults on different entities: downtime is the measure
+     of the union, not the sum. *)
+  let overlapping =
+    Faults.make p
+      [ ev 1.0 (Faults.Link_down 0);
+        ev 2.0 (Faults.Cluster_throttle { cluster = 0; factor = 0.5 });
+        ev 3.0 (Faults.Cluster_throttle { cluster = 0; factor = 1.0 });
+        ev 4.0 (Faults.Link_up 0) ]
+  in
+  Alcotest.(check (float 1e-12)) "union, not sum" 3.0
+    (Faults.downtime p overlapping ~horizon:10.0)
+
 let random_problem seed =
   let rng = Prng.create ~seed in
   let k = Prng.int rng ~lo:2 ~hi:6 in
@@ -256,7 +390,9 @@ let prop_simulator_close_to_prediction =
       let pr = random_problem seed in
       let a = Greedy.solve pr in
       let stats = Sim.run ~periods:30 ~warmup:5 pr a in
-      stats.Sim.stalled_transfers = 0 && Sim.efficiency stats >= 0.85
+      stats.Sim.stalled_transfers = 0
+      && (not stats.Sim.guard_exhausted)
+      && Sim.efficiency stats >= 0.85
       && Sim.efficiency stats <= 1.0 +. 1e-6)
 
 let prop_simulator_never_exceeds_prediction =
@@ -266,9 +402,10 @@ let prop_simulator_never_exceeds_prediction =
       let pr = random_problem (seed + 77) in
       let a = Greedy.solve pr in
       let stats = Sim.run ~periods:20 ~warmup:4 pr a in
-      Array.for_all2
-        (fun ach pre -> ach <= pre +. 1e-6)
-        stats.Sim.achieved stats.Sim.predicted)
+      (not stats.Sim.guard_exhausted)
+      && Array.for_all2
+           (fun ach pre -> ach <= pre +. 1e-6)
+           stats.Sim.achieved stats.Sim.predicted)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -296,6 +433,16 @@ let () =
           Alcotest.test_case "remote transfer" `Quick test_simulator_remote_transfer;
           Alcotest.test_case "stalled transfer" `Quick
             test_simulator_stalled_when_no_connection;
-          Alcotest.test_case "bad window" `Quick test_simulator_rejects_bad_window ] );
+          Alcotest.test_case "bad window" `Quick test_simulator_rejects_bad_window;
+          Alcotest.test_case "scale invariant" `Quick test_simulator_scale_invariant;
+          Alcotest.test_case "scale invariant with faults" `Quick
+            test_simulator_scale_invariant_with_faults ] );
+      ( "faults-boundary",
+        [ Alcotest.test_case "advance closed at now" `Quick
+            test_faults_advance_closed_at_now;
+          Alcotest.test_case "downtime half-open at horizon" `Quick
+            test_faults_downtime_half_open_horizon;
+          Alcotest.test_case "downtime never double-counts" `Quick
+            test_faults_downtime_never_double_counts ] );
       qsuite "simulator-prop"
         [ prop_simulator_close_to_prediction; prop_simulator_never_exceeds_prediction ] ]

@@ -167,6 +167,41 @@ let prop_codec_round_trip =
       | Ok decoded -> decoded = snap
       | Error _ -> false)
 
+let test_non_finite_values_encode_as_null () =
+  (* A NaN/inf gauge (e.g. a 0-duration-derived rate) must not crash the
+     exit-time flush: the encoder emits null and the decoder restores a
+     NaN sentinel.  Structural equality cannot express NaN = NaN, so
+     this is pinned by hand rather than folded into the round-trip
+     property. *)
+  List.iter
+    (fun bad ->
+      let snap = [ ("test.codec.bad_gauge", M.Gauge { value = bad; seq = 3 }) ] in
+      let line = M.snapshot_to_jsonl snap in
+      Alcotest.(check bool) "value encoded as null" true
+        (let has sub s =
+           let n = String.length sub in
+           let rec go i = i + n <= String.length s
+                          && (String.sub s i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "\"value\":null" line);
+      match M.snapshot_of_jsonl line with
+      | Ok [ (name, M.Gauge { value; seq }) ] ->
+        Alcotest.(check string) "name" "test.codec.bad_gauge" name;
+        Alcotest.(check int) "seq survives" 3 seq;
+        Alcotest.(check bool) "null decodes to NaN" true (Float.is_nan value)
+      | Ok _ -> Alcotest.fail "unexpected snapshot shape"
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* A histogram whose sum overflowed to inf also flushes cleanly. *)
+  let hs = { M.empty_hist with M.hs_sum = Float.infinity } in
+  let line = M.snapshot_to_jsonl [ ("test.codec.bad_hist", M.Histogram hs) ] in
+  match M.snapshot_of_jsonl line with
+  | Ok [ (_, M.Histogram hs') ] ->
+    Alcotest.(check (float 0.0)) "null sum decodes to 0" 0.0 hs'.M.hs_sum
+  | Ok _ -> Alcotest.fail "unexpected snapshot shape"
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
 let same_kind a b =
   match (a, b) with
   | M.Counter _, M.Counter _ | M.Gauge _, M.Gauge _ | M.Histogram _, M.Histogram _
@@ -390,7 +425,10 @@ let stats_equal name (a : Sim.stats) (b : Sim.stats) =
   Alcotest.(check int) (name ^ " killed") a.Sim.killed_transfers
     b.Sim.killed_transfers;
   Alcotest.(check int) (name ^ " events") a.Sim.fault_events b.Sim.fault_events;
-  Alcotest.(check (float 0.0)) (name ^ " downtime") a.Sim.downtime b.Sim.downtime
+  Alcotest.(check (float 0.0)) (name ^ " downtime") a.Sim.downtime b.Sim.downtime;
+  Alcotest.(check bool) (name ^ " guard healthy") false a.Sim.guard_exhausted;
+  Alcotest.(check bool) (name ^ " guard") a.Sim.guard_exhausted
+    b.Sim.guard_exhausted
 
 let test_simulator_stats_tracing_off_vs_on () =
   quiesce ();
@@ -499,6 +537,8 @@ let () =
           qc prop_merge_round_trips_codec;
           Alcotest.test_case "gauge last-writer-wins" `Quick
             test_gauge_merge_last_writer_wins;
+          Alcotest.test_case "non-finite values encode as null" `Quick
+            test_non_finite_values_encode_as_null;
           Alcotest.test_case "quantile edge cases" `Quick
             test_quantile_empty_and_underflow ] );
       ( "registry",

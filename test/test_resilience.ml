@@ -127,7 +127,12 @@ let stats_equal name (a : Sim.stats) (b : Sim.stats) =
   Alcotest.(check int) (name ^ " killed") a.Sim.killed_transfers
     b.Sim.killed_transfers;
   Alcotest.(check int) (name ^ " events") a.Sim.fault_events b.Sim.fault_events;
-  Alcotest.(check (float 0.0)) (name ^ " downtime") a.Sim.downtime b.Sim.downtime
+  Alcotest.(check (float 0.0)) (name ^ " downtime") a.Sim.downtime b.Sim.downtime;
+  Alcotest.(check bool) (name ^ " guard") a.Sim.guard_exhausted
+    b.Sim.guard_exhausted;
+  (* The guard is a truncation alarm; none of the suite's runs should
+     ever trip it. *)
+  Alcotest.(check bool) (name ^ " guard healthy") false a.Sim.guard_exhausted
 
 let test_empty_plan_stat_identity () =
   (* ?faults:Faults.empty must be bit-identical to no faults at all —

@@ -125,9 +125,43 @@ let test_prng_derive_independent () =
 let test_stats_mean_stddev () =
   Alcotest.(check (float feps)) "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
   Alcotest.(check (float feps)) "mean empty" 0.0 (Stats.mean [||]);
-  Alcotest.(check (float 1e-9)) "stddev" (sqrt 1.25)
+  (* Sample standard deviation (Bessel's correction): SS = 5, n - 1 = 3. *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (5.0 /. 3.0))
     (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |]);
   Alcotest.(check (float feps)) "stddev singleton" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_stats_stddev_pinned () =
+  (* Hand-computed references: mean 5, SS = 32, sample variance 32/7. *)
+  Alcotest.(check (float 1e-12)) "textbook sample"
+    (sqrt (32.0 /. 7.0))
+    (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]);
+  (* Pair {a, b}: sample stddev is |a - b| / sqrt 2. *)
+  Alcotest.(check (float 1e-12)) "pair" (3.0 /. sqrt 2.0)
+    (Stats.stddev [| 1.0; 4.0 |]);
+  Alcotest.(check (float feps)) "constant series" 0.0
+    (Stats.stddev [| 6.0; 6.0; 6.0; 6.0 |]);
+  (* Translation invariance at an awkward magnitude. *)
+  Alcotest.(check (float 1e-6)) "shift invariant"
+    (Stats.stddev [| 1.0; 2.0; 3.0; 4.0 |])
+    (Stats.stddev [| 1.0e6 +. 1.0; 1.0e6 +. 2.0; 1.0e6 +. 3.0; 1.0e6 +. 4.0 |]);
+  Alcotest.(check bool) "NaN element propagates" true
+    (Float.is_nan (Stats.stddev [| 1.0; Float.nan; 3.0 |]))
+
+let test_stats_percentile_pinned () =
+  (* Linear interpolation between closest ranks on [|1..5|]:
+     rank(p) = p/100 * 4. *)
+  let a = [| 5.0; 3.0; 1.0; 4.0; 2.0 |] in
+  Alcotest.(check (float 1e-12)) "p25 exact rank" 2.0 (Stats.percentile a ~p:25.0);
+  Alcotest.(check (float 1e-12)) "p10 interpolates" 1.4 (Stats.percentile a ~p:10.0);
+  Alcotest.(check (float 1e-12)) "p90 interpolates" 4.6 (Stats.percentile a ~p:90.0);
+  Alcotest.(check (float 1e-12)) "p50 median" 3.0 (Stats.percentile a ~p:50.0);
+  (* NaNs sort first (Float.compare), so they occupy the low ranks and
+     high percentiles stay finite. *)
+  let with_nan = [| 5.0; Float.nan; 1.0; 4.0 |] in
+  Alcotest.(check (float 1e-12)) "p100 ignores the NaN rank" 5.0
+    (Stats.percentile with_nan ~p:100.0);
+  Alcotest.(check bool) "p0 lands on the NaN" true
+    (Float.is_nan (Stats.percentile with_nan ~p:0.0))
 
 let test_stats_median_percentile () =
   Alcotest.(check (float feps)) "odd median" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
@@ -408,6 +442,8 @@ let () =
             test_prng_derive_independent ] );
       ( "stats",
         [ Alcotest.test_case "mean stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "stddev pinned" `Quick test_stats_stddev_pinned;
+          Alcotest.test_case "percentile pinned" `Quick test_stats_percentile_pinned;
           Alcotest.test_case "median percentile" `Quick test_stats_median_percentile;
           Alcotest.test_case "min max geomean" `Quick test_stats_min_max_geomean;
           Alcotest.test_case "percentile clamping" `Quick
