@@ -97,6 +97,66 @@ let lprr_warm_vs_cold ?(seed = 42) ?(ks = [ 15; 20; 25 ]) ?(per_k = 2) () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Part 1b': LP backend scaling (dense eta-file vs sparse Markowitz)   *)
+(* ------------------------------------------------------------------ *)
+
+(* One MAXMIN relaxation per K through both revised-simplex cores.
+   Connectivity shrinks as 20/K past K = 50 so the backbone count (and
+   with it the LP) grows roughly linearly instead of quadratically —
+   the regime the sparse core is built for.  The dense core sits out
+   the largest sizes (its basis is a dense m x m matrix). *)
+let lp_scale_series ?(seed = 91) ?(ks = [ 25; 100; 200; 400 ])
+    ?(dense_max_k = 100) () =
+  Format.printf
+    "=== LP backend scaling (MAXMIN relaxation, one platform per K) ===@.@.";
+  Format.printf "%-5s %-10s %-10s %-8s %-10s %-10s@." "K" "dense-s" "sparse-s"
+    "speedup" "dense-piv" "sparse-piv";
+  List.iter
+    (fun k ->
+      let rng = Prng.create ~seed:(seed + k) in
+      let params =
+        { Dls_platform.Generator.default_params with
+          Dls_platform.Generator.k;
+          connectivity = Float.min 0.4 (20.0 /. float_of_int k) }
+      in
+      let platform = Dls_platform.Generator.generate rng params in
+      let payoffs = Array.make k 1.0 in
+      let problem = Problem.make platform ~payoffs in
+      let solve backend =
+        E.Measure.time (fun () ->
+            Lp_relax.solve ~backend ~objective:Lp_relax.Maxmin problem)
+      in
+      let sparse, ts = solve Dls_lp.Backend.Sparse in
+      let spiv =
+        match sparse with
+        | Lp_relax.Solution s -> string_of_int s.Lp_relax.iterations
+        | Lp_relax.Failed _ -> "fail"
+      in
+      if k <= dense_max_k then begin
+        let dense, td = solve Dls_lp.Backend.Dense in
+        let dpiv =
+          match dense with
+          | Lp_relax.Solution s -> string_of_int s.Lp_relax.iterations
+          | Lp_relax.Failed _ -> "fail"
+        in
+        (match (dense, sparse) with
+         | Lp_relax.Solution d, Lp_relax.Solution s
+           when Float.abs (d.Lp_relax.objective_value -. s.Lp_relax.objective_value)
+                > 1e-6 *. Float.max 1.0 (Float.abs d.Lp_relax.objective_value)
+           ->
+           Format.printf "  !! backends disagree at K=%d: %.9g vs %.9g@." k
+             d.Lp_relax.objective_value s.Lp_relax.objective_value
+         | _ -> ());
+        Format.printf "%-5d %-10.3f %-10.3f %-8.2f %-10s %-10s@." k td ts
+          (td /. Float.max 1e-12 ts) dpiv spiv
+      end
+      else
+        Format.printf "%-5d %-10s %-10.3f %-8s %-10s %-10s@." k "-" ts "-" "-"
+          spiv)
+    ks;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Part 1c: campaign-runner throughput (chunked streaming map scaling) *)
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +349,11 @@ let engine_tests =
     [ Test.make ~name:"sparse-k25"
         (Staged.stage (fun () ->
              ignore (Lp_relax.solve ~engine:`Sparse ~objective:Lp_relax.Maxmin p25)));
+      Test.make ~name:"sparse-lu-k25"
+        (Staged.stage (fun () ->
+             ignore
+               (Lp_relax.solve ~engine:`Sparse ~backend:Dls_lp.Backend.Sparse
+                  ~objective:Lp_relax.Maxmin p25)));
       Test.make ~name:"dense-k25"
         (Staged.stage (fun () ->
              ignore (Lp_relax.solve ~engine:`Dense ~objective:Lp_relax.Maxmin p25))) ]
@@ -409,6 +474,7 @@ let quick () =
   Format.printf "%a@." E.Report.pp_table
     (E.Fig6.table (E.Fig6.run ~ks:[ 6 ] ~per_k:1 ()));
   lprr_warm_vs_cold ~ks:[ 8 ] ~per_k:1 ();
+  lp_scale_series ~ks:[ 25 ] ();
   Format.printf "done.@."
 
 (* --trace FILE / --metrics FILE: same observability sinks as the CLI —
@@ -439,6 +505,9 @@ let () =
   else if Array.exists (String.equal "--warm") Sys.argv then
     (* Just the warm-vs-cold LPRR acceptance series. *)
     lprr_warm_vs_cold ()
+  else if Array.exists (String.equal "--lp-scale") Sys.argv then
+    (* Just the dense-vs-sparse LP backend scaling series. *)
+    lp_scale_series ()
   else if Array.exists (String.equal "--campaign") Sys.argv then
     (* Just the campaign-runner scaling series. *)
     campaign_throughput ()
@@ -451,6 +520,7 @@ let () =
   else begin
     reproduction ();
     lprr_warm_vs_cold ();
+    lp_scale_series ();
     campaign_throughput ();
     resilience_series ();
     dynsim_series ();

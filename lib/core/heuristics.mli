@@ -18,6 +18,7 @@ val of_name : string -> t option
 
 val run :
   ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
   ?rng:Dls_util.Prng.t ->
   t ->
   Problem.t ->
@@ -28,6 +29,9 @@ val run :
     flips (default: a fixed seed, for reproducibility). *)
 
 val lp_bound :
-  ?objective:Lp_relax.objective -> Problem.t -> (float, string) result
+  ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
+  Problem.t ->
+  (float, string) result
 (** The rational-relaxation optimum — the upper bound every figure of
     the paper normalizes against. *)

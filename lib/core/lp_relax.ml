@@ -235,7 +235,7 @@ module Incremental = struct
     pinned : (int * int, int) Hashtbl.t;
   }
 
-  let create ?(objective = Maxmin) problem =
+  let create ?(objective = Maxmin) ?backend problem =
     let p = Problem.platform problem in
     let kk = P.num_clusters p in
     let active = Problem.active problem in
@@ -351,8 +351,8 @@ module Incremental = struct
              M.add_le m row 0.0)
            active;
          M.set_objective m [ (t, 1.0) ]);
-      { kk; inc = Some (M.incremental m); vars; bottleneck; pairs; link_row;
-        pinned }
+      { kk; inc = Some (M.incremental ?backend m); vars; bottleneck; pairs;
+        link_row; pinned }
     end
 
   let pin h (k, l) v =
@@ -433,10 +433,13 @@ module Incremental = struct
         reinversions = 0; bland_activations = 0; wall_clock = 0.0 }
 end
 
-let solve ?(engine = `Sparse) ?objective ?fixed ?max_iterations problem =
+let solve ?(engine = `Sparse) ?backend ?objective ?fixed ?max_iterations
+    problem =
   let solver =
     match engine with
-    | `Sparse -> Dls_lp.Model.Float.solve_auto
+    | `Sparse ->
+      fun ?max_iterations m ->
+        Dls_lp.Model.Float.solve_auto ?backend ?max_iterations m
     | `Dense -> fun ?max_iterations m -> Dls_lp.Model.Float.solve ?max_iterations m
   in
   Float_encoder.solve ~solver ?objective ?fixed ?max_iterations problem

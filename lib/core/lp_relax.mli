@@ -33,15 +33,21 @@ type 'num outcome =
 
 val solve :
   ?engine:[ `Sparse | `Dense ] ->
+  ?backend:Dls_lp.Backend.t ->
   ?objective:objective ->
   ?fixed:((int * int) * int) list ->
   ?max_iterations:int ->
   Problem.t ->
   float outcome
 (** Float path (default objective [Maxmin], like the paper's headline
-    fairness criterion).  [engine] selects the LP kernel: the sparse
-    revised simplex (default) or the dense tableau — both give the same
-    optimum; the option exists for cross-checking and benchmarks. *)
+    fairness criterion).  [engine] selects the LP kernel family: the
+    revised simplex on the packed form (default) or the dense tableau —
+    both give the same optimum; the option exists for cross-checking
+    and benchmarks.  Under [`Sparse], [backend] further picks the
+    revised-simplex core ([Dls_lp.Backend.Dense] eta-file solver vs the
+    [Sparse] Markowitz-LU core), defaulting to the process-wide
+    [Dls_lp.Backend.default] — which the CLI exposes as
+    [--lp-backend]. *)
 
 val solve_exact :
   ?objective:objective ->
@@ -74,8 +80,11 @@ val remote_pairs : Problem.t -> (int * int) list
 module Incremental : sig
   type handle
 
-  val create : ?objective:objective -> Problem.t -> handle
-  (** Encode the relaxation (default [Maxmin]) with no pair pinned. *)
+  val create :
+    ?objective:objective -> ?backend:Dls_lp.Backend.t -> Problem.t -> handle
+  (** Encode the relaxation (default [Maxmin]) with no pair pinned.
+      [backend] selects the revised-simplex core carrying the
+      warm-started state (default [Dls_lp.Backend.default]). *)
 
   val pin : handle -> int * int -> int -> (unit, string) result
   (** [pin h (k, l) v] fixes the pair's connection count to [v].

@@ -11,5 +11,8 @@ val round_down : Problem.t -> float Lp_relax.solution -> Allocation.t
 (** Deterministic rounding of a relaxation solution. *)
 
 val solve :
-  ?objective:Lp_relax.objective -> Problem.t -> (Allocation.t, string) result
+  ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
+  Problem.t ->
+  (Allocation.t, string) result
 (** Solve the relaxation, then {!round_down}. *)

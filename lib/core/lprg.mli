@@ -7,4 +7,7 @@
     bound on the SUM objective at large K. *)
 
 val solve :
-  ?objective:Lp_relax.objective -> Problem.t -> (Allocation.t, string) result
+  ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
+  Problem.t ->
+  (Allocation.t, string) result

@@ -45,6 +45,7 @@ type stats = {
 val solve :
   ?warm:bool ->
   ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
   rng:Dls_util.Prng.t ->
   Problem.t ->
   (stats, string) result
@@ -52,6 +53,7 @@ val solve :
 val solve_equal_probability :
   ?warm:bool ->
   ?objective:Lp_relax.objective ->
+  ?backend:Dls_lp.Backend.t ->
   rng:Dls_util.Prng.t ->
   Problem.t ->
   (stats, string) result

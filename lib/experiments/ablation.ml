@@ -32,7 +32,7 @@ let rounding_policy ?(seed = 6) ?(ks = [ 8; 12 ]) ?(per_k = 4) () =
         | Ok bound ->
           let run solve =
             match
-              solve ?warm:None ?objective:(Some Lp_relax.Maxmin)
+              solve ?warm:None ?objective:(Some Lp_relax.Maxmin) ?backend:None
                 ~rng:(Prng.split rng) problem
             with
             | Ok stats ->

@@ -1,0 +1,15 @@
+type t = Dense | Sparse
+
+let state = ref Dense
+
+let default () = !state
+
+let set_default b = state := b
+
+let to_string = function Dense -> "dense" | Sparse -> "sparse"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | _ -> None

@@ -1,0 +1,27 @@
+(** LP kernel selection for the packed inequality path.
+
+    Two interchangeable cores solve the packed form [maximize c.x subject
+    to Ax <= b, x >= 0, b >= 0]:
+
+    - {!Dense}: the eta-file revised simplex of {!Revised_simplex}, with
+      dense work vectors and full Dantzig pricing.  Proven since PR 1; it
+      is the oracle the differential harness trusts.
+    - {!Sparse}: the sparse core of {!Sparse_simplex} — CSC columns,
+      Markowitz LU of the basis with product-form updates, partial
+      pricing, presolve and equilibration.
+
+    The process-wide default feeds every call site that does not pass an
+    explicit [?backend] (experiments, heuristics, benches); the CLI
+    exposes it as [--lp-backend]. *)
+
+type t = Dense | Sparse
+
+val default : unit -> t
+(** Current process-wide default, {!Dense} unless {!set_default} ran. *)
+
+val set_default : t -> unit
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ["dense"] and ["sparse"] (case-insensitive). *)

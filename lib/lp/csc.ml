@@ -1,0 +1,143 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  colptr : int array;
+  rowind : int array;
+  values : float array;
+}
+
+let nnz t = t.colptr.(t.ncols)
+
+(* Build from per-row adjacency.  Two passes: count entries per column,
+   then fill with a per-column cursor.  Visiting rows in order makes row
+   indices within each column increasing for free.  Duplicates are merged
+   per row first so the counts are exact. *)
+let of_rows ~nrows ~ncols rows =
+  if Array.length rows <> nrows then
+    invalid_arg "Csc.of_rows: row count mismatch";
+  let merged =
+    Array.map
+      (fun entries ->
+        match entries with
+        | [] -> [||]
+        | _ ->
+            let tbl = Hashtbl.create (List.length entries) in
+            List.iter
+              (fun (j, v) ->
+                if j < 0 || j >= ncols then
+                  invalid_arg "Csc.of_rows: column index out of range";
+                let prev = try Hashtbl.find tbl j with Not_found -> 0.0 in
+                Hashtbl.replace tbl j (prev +. v))
+              entries;
+            let acc = Hashtbl.fold (fun j v l -> (j, v) :: l) tbl [] in
+            let arr = Array.of_list (List.filter (fun (_, v) -> v <> 0.0) acc) in
+            Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+            arr)
+      rows
+  in
+  let counts = Array.make ncols 0 in
+  Array.iter
+    (Array.iter (fun (j, _) -> counts.(j) <- counts.(j) + 1))
+    merged;
+  let colptr = Array.make (ncols + 1) 0 in
+  for j = 0 to ncols - 1 do
+    colptr.(j + 1) <- colptr.(j) + counts.(j)
+  done;
+  let total = colptr.(ncols) in
+  let rowind = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let cursor = Array.copy colptr in
+  Array.iteri
+    (fun i entries ->
+      Array.iter
+        (fun (j, v) ->
+          let p = cursor.(j) in
+          rowind.(p) <- i;
+          values.(p) <- v;
+          cursor.(j) <- p + 1)
+        entries)
+    merged;
+  { nrows; ncols; colptr; rowind; values }
+
+let of_dense rows =
+  let nrows = Array.length rows in
+  let ncols = if nrows = 0 then 0 else Array.length rows.(0) in
+  let adj =
+    Array.map
+      (fun row ->
+        if Array.length row <> ncols then
+          invalid_arg "Csc.of_dense: ragged rows";
+        let acc = ref [] in
+        for j = ncols - 1 downto 0 do
+          if row.(j) <> 0.0 then acc := (j, row.(j)) :: !acc
+        done;
+        !acc)
+      rows
+  in
+  of_rows ~nrows ~ncols adj
+
+let to_dense t =
+  let d = Array.make_matrix t.nrows t.ncols 0.0 in
+  for j = 0 to t.ncols - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      d.(t.rowind.(p)).(j) <- d.(t.rowind.(p)).(j) +. t.values.(p)
+    done
+  done;
+  d
+
+let transpose t =
+  let counts = Array.make t.nrows 0 in
+  for p = 0 to nnz t - 1 do
+    counts.(t.rowind.(p)) <- counts.(t.rowind.(p)) + 1
+  done;
+  let colptr = Array.make (t.nrows + 1) 0 in
+  for i = 0 to t.nrows - 1 do
+    colptr.(i + 1) <- colptr.(i) + counts.(i)
+  done;
+  let rowind = Array.make (nnz t) 0 in
+  let values = Array.make (nnz t) 0.0 in
+  let cursor = Array.copy colptr in
+  (* Walking columns in order keeps row indices sorted in the result. *)
+  for j = 0 to t.ncols - 1 do
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      let i = t.rowind.(p) in
+      let q = cursor.(i) in
+      rowind.(q) <- j;
+      values.(q) <- t.values.(p);
+      cursor.(i) <- q + 1
+    done
+  done;
+  { nrows = t.ncols; ncols = t.nrows; colptr; rowind; values }
+
+let mat_vec t x =
+  if Array.length x <> t.ncols then invalid_arg "Csc.mat_vec: length mismatch";
+  let y = Array.make t.nrows 0.0 in
+  for j = 0 to t.ncols - 1 do
+    let xj = x.(j) in
+    if xj <> 0.0 then
+      for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+        y.(t.rowind.(p)) <- y.(t.rowind.(p)) +. (t.values.(p) *. xj)
+      done
+  done;
+  y
+
+let mat_tvec t y =
+  if Array.length y <> t.nrows then invalid_arg "Csc.mat_tvec: length mismatch";
+  let x = Array.make t.ncols 0.0 in
+  for j = 0 to t.ncols - 1 do
+    let acc = ref 0.0 in
+    for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+      acc := !acc +. (t.values.(p) *. y.(t.rowind.(p)))
+    done;
+    x.(j) <- !acc
+  done;
+  x
+
+let iter_col t j f =
+  for p = t.colptr.(j) to t.colptr.(j + 1) - 1 do
+    f t.rowind.(p) t.values.(p)
+  done
+
+let col t j =
+  let lo = t.colptr.(j) and hi = t.colptr.(j + 1) in
+  (Array.sub t.rowind lo (hi - lo), Array.sub t.values lo (hi - lo))

@@ -1,0 +1,44 @@
+(** Compressed sparse column matrices over floats.
+
+    Column [j] occupies entries [colptr.(j) .. colptr.(j+1) - 1] of
+    [rowind]/[values]; within a column the row indices are strictly
+    increasing.  The structure is frozen after construction, but callers
+    may overwrite [values] in place (e.g. zeroing a coefficient for an
+    incremental LP re-solve) — the sparsity pattern never grows. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  colptr : int array;  (** length [ncols + 1] *)
+  rowind : int array;  (** length [nnz] *)
+  values : float array;  (** length [nnz] *)
+}
+
+val of_rows : nrows:int -> ncols:int -> (int * float) list array -> t
+(** [of_rows ~nrows ~ncols rows] builds the matrix from per-row
+    [(column, coefficient)] lists.  Duplicate coordinates are summed;
+    exact zeros (including duplicate sums that cancel) are dropped.
+    Raises [Invalid_argument] on an out-of-range column index. *)
+
+val of_dense : float array array -> t
+(** Rows of equal length; zeros dropped.  [of_dense [||]] is the 0x0
+    matrix. *)
+
+val to_dense : t -> float array array
+
+val transpose : t -> t
+
+val nnz : t -> int
+
+val mat_vec : t -> float array -> float array
+(** [mat_vec a x] is [A x]; [x] has length [ncols]. *)
+
+val mat_tvec : t -> float array -> float array
+(** [mat_tvec a y] is [A^T y]; [y] has length [nrows]. *)
+
+val iter_col : t -> int -> (int -> float -> unit) -> unit
+(** [iter_col a j f] applies [f row value] over column [j] in increasing
+    row order. *)
+
+val col : t -> int -> int array * float array
+(** Copy of column [j] as parallel (rows, values) arrays. *)

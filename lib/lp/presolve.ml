@@ -1,0 +1,164 @@
+module Rs = Revised_simplex
+
+type map = {
+  orig_vars : int;
+  orig_rows : int;
+  col_of_reduced : int array; (* reduced col -> original col *)
+  row_of_reduced : int array; (* reduced row -> original row *)
+}
+
+type result = Reduced of Rs.problem * map | Unbounded of int
+
+let kept_rows m = Array.length m.row_of_reduced
+let kept_cols m = Array.length m.col_of_reduced
+
+exception Found_unbounded of int
+
+let reduce (p : Rs.problem) =
+  let n = p.num_vars in
+  let nrows = List.length p.rows in
+  (* Merge duplicate coefficients per row, validating as the solvers do. *)
+  let rows =
+    Array.of_list
+      (List.map
+         (fun (c : Rs.constr) ->
+           if c.rhs < 0.0 then
+             invalid_arg "Presolve.reduce: negative right-hand side";
+           let tbl = Hashtbl.create 8 in
+           List.iter
+             (fun (j, v) ->
+               if j < 0 || j >= n then
+                 invalid_arg "Presolve.reduce: variable index out of range";
+               let prev = try Hashtbl.find tbl j with Not_found -> 0.0 in
+               Hashtbl.replace tbl j (prev +. v))
+             c.coeffs;
+           let entries =
+             Hashtbl.fold (fun j v l -> if v = 0.0 then l else (j, v) :: l) tbl []
+           in
+           (entries, c.rhs))
+         p.rows)
+  in
+  let obj = Array.make n 0.0 in
+  List.iter
+    (fun (j, v) ->
+      if j < 0 || j >= n then
+        invalid_arg "Presolve.reduce: variable index out of range";
+      obj.(j) <- obj.(j) +. v)
+    p.maximize;
+  let keep_row = Array.make nrows true in
+  let keep_col = Array.make n true in
+  let changed = ref true in
+  (try
+     while !changed do
+       changed := false;
+       (* Tightest bound per column among positive singleton rows. *)
+       let best_bound = Array.make n infinity in
+       let best_row = Array.make n (-1) in
+       Array.iteri
+         (fun i (entries, rhs) ->
+           if keep_row.(i) then begin
+             let live =
+               List.filter (fun (j, _) -> keep_col.(j)) entries
+             in
+             match live with
+             | [] ->
+                 keep_row.(i) <- false;
+                 changed := true
+             | _ when List.for_all (fun (_, v) -> v <= 0.0) live ->
+                 (* lhs <= 0 <= rhs under x >= 0: vacuous. *)
+                 keep_row.(i) <- false;
+                 changed := true
+             | [ (j, a) ] when a > 0.0 ->
+                 let bound = rhs /. a in
+                 if bound < best_bound.(j) then begin
+                   best_bound.(j) <- bound;
+                   best_row.(j) <- i
+                 end
+             | _ -> ()
+           end)
+         rows;
+       (* Drop singleton rows dominated by a tighter one. *)
+       Array.iteri
+         (fun i (entries, _) ->
+           if keep_row.(i) then
+             match List.filter (fun (j, _) -> keep_col.(j)) entries with
+             | [ (j, a) ] when a > 0.0 && best_row.(j) <> i ->
+                 keep_row.(i) <- false;
+                 changed := true
+             | _ -> ())
+         rows;
+       (* Column scans: constraint footprint over the kept rows. *)
+       let appears = Array.make n false in
+       let has_negative = Array.make n false in
+       Array.iteri
+         (fun i (entries, _) ->
+           if keep_row.(i) then
+             List.iter
+               (fun (j, v) ->
+                 if keep_col.(j) then begin
+                   appears.(j) <- true;
+                   if v < 0.0 then has_negative.(j) <- true
+                 end)
+               entries)
+         rows;
+       for j = 0 to n - 1 do
+         if keep_col.(j) then
+           if not appears.(j) then begin
+             if obj.(j) > 0.0 then raise (Found_unbounded j);
+             keep_col.(j) <- false;
+             changed := true
+           end
+           else if obj.(j) <= 0.0 && not has_negative.(j) then begin
+             (* Raising x_j only consumes capacity and never pays. *)
+             keep_col.(j) <- false;
+             changed := true
+           end
+       done
+     done;
+     let col_of_reduced =
+       Array.of_seq
+         (Seq.filter (fun j -> keep_col.(j)) (Seq.init n (fun j -> j)))
+     in
+     let row_of_reduced =
+       Array.of_seq
+         (Seq.filter (fun i -> keep_row.(i)) (Seq.init nrows (fun i -> i)))
+     in
+     let new_col = Array.make n (-1) in
+     Array.iteri (fun r j -> new_col.(j) <- r) col_of_reduced;
+     let reduced_rows =
+       Array.to_list row_of_reduced
+       |> List.map (fun i ->
+              let entries, rhs = rows.(i) in
+              {
+                Rs.coeffs =
+                  List.filter_map
+                    (fun (j, v) ->
+                      if keep_col.(j) then Some (new_col.(j), v) else None)
+                    entries;
+                rhs;
+              })
+     in
+     let reduced_obj =
+       Array.to_list col_of_reduced
+       |> List.filter_map (fun j ->
+              if obj.(j) = 0.0 then None else Some (new_col.(j), obj.(j)))
+     in
+     Reduced
+       ( {
+           Rs.num_vars = Array.length col_of_reduced;
+           maximize = reduced_obj;
+           rows = reduced_rows;
+         },
+         { orig_vars = n; orig_rows = nrows; col_of_reduced; row_of_reduced }
+       )
+   with Found_unbounded j -> Unbounded j)
+
+let restore_values m values =
+  let out = Array.make m.orig_vars 0.0 in
+  Array.iteri (fun r j -> out.(j) <- values.(r)) m.col_of_reduced;
+  out
+
+let restore_duals m duals =
+  let out = Array.make m.orig_rows 0.0 in
+  Array.iteri (fun r i -> out.(i) <- duals.(r)) m.row_of_reduced;
+  out

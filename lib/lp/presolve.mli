@@ -1,0 +1,41 @@
+(** Structural presolve for the packed inequality form
+    [maximize c.x subject to Ax <= b, x >= 0, b >= 0].
+
+    Reductions, iterated to a fixpoint:
+    - empty rows and rows whose coefficients are all nonpositive are
+      dropped (always satisfied by [x >= 0, b >= 0]);
+    - among singleton rows [a x_j <= b] with [a > 0] only the tightest
+      bound per column is kept;
+    - empty columns are dropped: if such a column has a positive
+      objective the LP is unbounded, otherwise the variable is fixed
+      at 0;
+    - columns with nonpositive objective and only nonnegative
+      coefficients are fixed at 0 (raising them never helps).
+
+    Every reduction preserves the optimal objective and the status
+    (optimal/unbounded), and the postsolve mapping embeds a reduced
+    solution back into the original index space with zeros for dropped
+    variables and zero duals for dropped rows — both remain feasible
+    for the original problem. *)
+
+type map
+
+type result =
+  | Reduced of Revised_simplex.problem * map
+  | Unbounded of int
+      (** An empty column with positive objective: the LP is unbounded
+          along that coordinate axis. *)
+
+val reduce : Revised_simplex.problem -> result
+(** Raises [Invalid_argument] on negative right-hand sides or
+    out-of-range variable indices, mirroring solver validation. *)
+
+val restore_values : map -> float array -> float array
+(** Map a reduced primal solution to original variable space. *)
+
+val restore_duals : map -> float array -> float array
+(** Map reduced row duals to original row space. *)
+
+val kept_rows : map -> int
+
+val kept_cols : map -> int

@@ -386,12 +386,7 @@ let optimize ?max_iterations st =
   let last_z = ref neg_infinity in
   let result = ref None in
   while !result = None do
-    if !iterations >= budget then
-      result :=
-        Some
-          (if !bland && objective_value st <= !z_at_bland +. 1e-12 then Cycling
-           else Iteration_limit)
-    else begin
+    begin
       if st.pivot_etas >= refactor_interval then ignore (refactor st : bool);
       (* Pricing: y = (B^-1)' c_B, then reduced costs per nonbasic column. *)
       Array.fill y 0 st.m 0.0;
@@ -432,6 +427,16 @@ let optimize ?max_iterations st =
         done
       end;
       if !entering < 0 then result := Some Optimal
+      else if !iterations >= budget then
+        (* Budget checked only after pricing fails to prove optimality:
+           a solve that reaches the optimum in exactly [budget] pivots
+           is Optimal, not Iteration_limit (the off-by-one fixed while
+           wiring the sparse backend; pinned in test_lp). *)
+        result :=
+          Some
+            (if !bland && objective_value st <= !z_at_bland +. 1e-12 then
+               Cycling
+             else Iteration_limit)
       else begin
         let q = !entering in
         scatter_column st q w;

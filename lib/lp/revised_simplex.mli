@@ -64,7 +64,11 @@ type solution = {
 }
 
 val solve : ?max_iterations:int -> problem -> solution
-(** One-shot solve from the all-slack basis.
+(** One-shot solve from the all-slack basis.  [max_iterations] caps the
+    number of pivots; the cap is only reported ({!Iteration_limit} or
+    {!Cycling}) when pricing cannot already prove optimality, so a
+    program whose optimum needs exactly [max_iterations] pivots still
+    comes back {!Optimal}.
     @raise Invalid_argument on an out-of-range variable index or a
     negative right-hand side. *)
 

@@ -1,0 +1,438 @@
+(* Sparse LU of a simplex basis: right-looking elimination with
+   Markowitz pivot selection and threshold partial pivoting, plus a
+   product-form eta file appended by [update] between refactorizations.
+
+   Factorization state is kept column-wise in growable buffers.  A row
+   becomes "frozen" once it has been chosen as a pivot row; frozen
+   entries stay in place inside the column buffers and become the U part
+   of that column when (and if) the column itself is pivoted.  Active
+   row/column counts drive the Markowitz cost; columns are found through
+   a bucket queue keyed by active count, with lazy deletion (stale
+   bucket entries are discarded when popped). *)
+
+let tau = 0.1 (* threshold pivoting: accept |a_ij| >= tau * colmax *)
+let drop_tol = 1e-12
+let max_candidates = 4 (* columns examined per pivot before settling *)
+
+type eta = {
+  e_slot : int;
+  e_piv : float;
+  e_idx : int array;
+  e_val : float array;
+}
+
+type t = {
+  m : int;
+  p_row : int array; (* step -> pivot row *)
+  p_slot : int array; (* step -> basis slot *)
+  diag : float array;
+  l_idx : int array array; (* multiplier rows, per step *)
+  l_val : float array array;
+  u_idx : int array array; (* earlier pivot rows with entries, per step *)
+  u_val : float array array;
+  lu_nnz : int;
+  basis_nnz : int;
+  scratch : float array;
+  mutable etas : eta list; (* newest first *)
+  mutable n_etas : int;
+  mutable etas_nnz : int;
+}
+
+let size t = t.m
+let lu_nnz t = t.lu_nnz
+let basis_nnz t = t.basis_nnz
+let eta_count t = t.n_etas
+let eta_nnz t = t.etas_nnz
+
+(* Growable parallel buffers. *)
+
+type ivec = { mutable ia : int array; mutable ilen : int }
+
+let ivec () = { ia = [||]; ilen = 0 }
+
+let ipush v x =
+  if v.ilen = Array.length v.ia then begin
+    let cap = max 8 (2 * Array.length v.ia) in
+    let a = Array.make cap 0 in
+    Array.blit v.ia 0 a 0 v.ilen;
+    v.ia <- a
+  end;
+  v.ia.(v.ilen) <- x;
+  v.ilen <- v.ilen + 1
+
+type colbuf = {
+  mutable cr : int array;
+  mutable cv : float array;
+  mutable clen : int;
+}
+
+let colbuf_reserve cb n =
+  if Array.length cb.cr < n then begin
+    let cap = max n (2 * Array.length cb.cr) in
+    let r = Array.make cap 0 and v = Array.make cap 0.0 in
+    Array.blit cb.cr 0 r 0 cb.clen;
+    Array.blit cb.cv 0 v 0 cb.clen;
+    cb.cr <- r;
+    cb.cv <- v
+  end
+
+exception Singular
+
+let factor ~m ~col =
+  if m = 0 then
+    Some
+      {
+        m = 0;
+        p_row = [||];
+        p_slot = [||];
+        diag = [||];
+        l_idx = [||];
+        l_val = [||];
+        u_idx = [||];
+        u_val = [||];
+        lu_nnz = 0;
+        basis_nnz = 0;
+        scratch = [||];
+        etas = [];
+        n_etas = 0;
+        etas_nnz = 0;
+      }
+  else begin
+    let cols = Array.init m (fun _ -> { cr = [||]; cv = [||]; clen = 0 }) in
+    let rowlists = Array.init m (fun _ -> ivec ()) in
+    let rowcount = Array.make m 0 in
+    let colcount = Array.make m 0 in
+    let row_pivoted = Array.make m false in
+    let col_done = Array.make m false in
+    let buckets = Array.make (m + 1) [] in
+    let basis_nnz = ref 0 in
+    for k = 0 to m - 1 do
+      let ri, rv = col k in
+      let len = Array.length ri in
+      if Array.length rv <> len then
+        invalid_arg "Sparse_lu.factor: ragged column";
+      let cb = cols.(k) in
+      colbuf_reserve cb len;
+      for p = 0 to len - 1 do
+        let i = ri.(p) in
+        if i < 0 || i >= m then
+          invalid_arg "Sparse_lu.factor: row index out of range";
+        cb.cr.(p) <- i;
+        cb.cv.(p) <- rv.(p);
+        rowcount.(i) <- rowcount.(i) + 1;
+        ipush rowlists.(i) k
+      done;
+      cb.clen <- len;
+      colcount.(k) <- len;
+      basis_nnz := !basis_nnz + len;
+      buckets.(len) <- k :: buckets.(len)
+    done;
+    (* Recorded steps. *)
+    let p_row = Array.make m 0 in
+    let p_slot = Array.make m 0 in
+    let diag = Array.make m 0.0 in
+    let l_idx = Array.make m [||] in
+    let l_val = Array.make m [||] in
+    let u_idx = Array.make m [||] in
+    let u_val = Array.make m [||] in
+    (* Scatter workspace for column rebuilds. *)
+    let w = Array.make m 0.0 in
+    let present = Array.make m (-1) in
+    let in_old = Array.make m (-1) in
+    let touched = ivec () in
+    let tmp_r = Array.make m 0 in
+    let tmp_v = Array.make m 0.0 in
+    let seen_col = Array.make m (-1) in
+    let tag = ref 0 in
+    try
+      for step = 0 to m - 1 do
+        (* --- Markowitz pivot selection over the bucket queue --- *)
+        let best_col = ref (-1) in
+        let best_row = ref (-1) in
+        let best_cost = ref max_int in
+        let best_mag = ref 0.0 in
+        let examined = ref [] in
+        let n_examined = ref 0 in
+        (try
+           for c = 1 to m do
+             let continue_bucket = ref true in
+             while !continue_bucket do
+               match buckets.(c) with
+               | [] -> continue_bucket := false
+               | j :: rest ->
+                   buckets.(c) <- rest;
+                   (* Lazy deletion: stale copies are dropped here; a
+                      valid copy lives in the bucket of the current
+                      count, pushed when the count last changed. *)
+                   if (not col_done.(j)) && colcount.(j) = c then begin
+                     examined := j :: !examined;
+                     incr n_examined;
+                     let cb = cols.(j) in
+                     let colmax = ref 0.0 in
+                     for p = 0 to cb.clen - 1 do
+                       if not row_pivoted.(cb.cr.(p)) then begin
+                         let a = Float.abs cb.cv.(p) in
+                         if a > !colmax then colmax := a
+                       end
+                     done;
+                     if !colmax > drop_tol then begin
+                       let thresh = tau *. !colmax in
+                       for p = 0 to cb.clen - 1 do
+                         let i = cb.cr.(p) in
+                         if not row_pivoted.(i) then begin
+                           let a = Float.abs cb.cv.(p) in
+                           if a >= thresh && a > drop_tol then begin
+                             let cost = (rowcount.(i) - 1) * (c - 1) in
+                             if
+                               cost < !best_cost
+                               || (cost = !best_cost && a > !best_mag)
+                             then begin
+                               best_cost := cost;
+                               best_mag := a;
+                               best_col := j;
+                               best_row := i
+                             end
+                           end
+                         end
+                       done
+                     end;
+                     if !best_col >= 0
+                        && (!best_cost = 0 || !n_examined >= max_candidates)
+                     then raise Exit
+                   end
+             done
+           done
+         with Exit -> ());
+        List.iter
+          (fun j ->
+            if j <> !best_col && not col_done.(j) then
+              buckets.(colcount.(j)) <- j :: buckets.(colcount.(j)))
+          !examined;
+        if !best_col < 0 then raise Singular;
+        let q = !best_col and p = !best_row in
+        (* --- Record the step: split the pivot column into U / diag / L --- *)
+        let cb = cols.(q) in
+        let d = ref 0.0 in
+        for pos = 0 to cb.clen - 1 do
+          if cb.cr.(pos) = p then d := cb.cv.(pos)
+        done;
+        let li = ref [] and lv = ref [] and ui = ref [] and uv = ref [] in
+        for pos = 0 to cb.clen - 1 do
+          let i = cb.cr.(pos) and v = cb.cv.(pos) in
+          if i = p then ()
+          else if row_pivoted.(i) then begin
+            ui := i :: !ui;
+            uv := v :: !uv
+          end
+          else begin
+            li := i :: !li;
+            lv := (v /. !d) :: !lv;
+            rowcount.(i) <- rowcount.(i) - 1
+          end
+        done;
+        rowcount.(p) <- rowcount.(p) - 1;
+        p_row.(step) <- p;
+        p_slot.(step) <- q;
+        diag.(step) <- !d;
+        l_idx.(step) <- Array.of_list !li;
+        l_val.(step) <- Array.of_list !lv;
+        u_idx.(step) <- Array.of_list !ui;
+        u_val.(step) <- Array.of_list !uv;
+        col_done.(q) <- true;
+        row_pivoted.(p) <- true;
+        let mult_i = l_idx.(step) and mult_v = l_val.(step) in
+        (* --- Eliminate row p from every other active column --- *)
+        let rl = rowlists.(p) in
+        incr tag;
+        let step_tag = !tag in
+        for t = 0 to rl.ilen - 1 do
+          let j = rl.ia.(t) in
+          if j <> q && (not col_done.(j)) && seen_col.(j) <> step_tag then begin
+            seen_col.(j) <- step_tag;
+            let cbj = cols.(j) in
+            let apj = ref 0.0 and found = ref false in
+            for pos = 0 to cbj.clen - 1 do
+              if cbj.cr.(pos) = p then begin
+                apj := cbj.cv.(pos);
+                found := true
+              end
+            done;
+            if !found then begin
+              if Array.length mult_i = 0 then begin
+                (* Only the frozen p-entry changes status. *)
+                colcount.(j) <- colcount.(j) - 1;
+                buckets.(colcount.(j)) <- j :: buckets.(colcount.(j))
+              end
+              else begin
+                incr tag;
+                let utag = !tag in
+                touched.ilen <- 0;
+                let tlen = ref 0 in
+                (* Frozen entries (now including row p) carry over
+                   verbatim; active entries are scattered for update. *)
+                for pos = 0 to cbj.clen - 1 do
+                  let i = cbj.cr.(pos) in
+                  if row_pivoted.(i) then begin
+                    tmp_r.(!tlen) <- i;
+                    tmp_v.(!tlen) <- cbj.cv.(pos);
+                    incr tlen
+                  end
+                  else begin
+                    w.(i) <- cbj.cv.(pos);
+                    present.(i) <- utag;
+                    in_old.(i) <- utag;
+                    ipush touched i
+                  end
+                done;
+                for k = 0 to Array.length mult_i - 1 do
+                  let i = mult_i.(k) in
+                  let delta = mult_v.(k) *. !apj in
+                  if present.(i) = utag then w.(i) <- w.(i) -. delta
+                  else begin
+                    w.(i) <- -.delta;
+                    present.(i) <- utag;
+                    ipush touched i
+                  end
+                done;
+                let kept = ref 0 in
+                for t2 = 0 to touched.ilen - 1 do
+                  let i = touched.ia.(t2) in
+                  if Float.abs w.(i) > drop_tol then begin
+                    tmp_r.(!tlen) <- i;
+                    tmp_v.(!tlen) <- w.(i);
+                    incr tlen;
+                    incr kept;
+                    if in_old.(i) <> utag then begin
+                      (* fill-in *)
+                      rowcount.(i) <- rowcount.(i) + 1;
+                      ipush rowlists.(i) j
+                    end
+                  end
+                  else if in_old.(i) = utag then
+                    rowcount.(i) <- rowcount.(i) - 1
+                done;
+                colbuf_reserve cbj !tlen;
+                Array.blit tmp_r 0 cbj.cr 0 !tlen;
+                Array.blit tmp_v 0 cbj.cv 0 !tlen;
+                cbj.clen <- !tlen;
+                colcount.(j) <- !kept;
+                buckets.(!kept) <- j :: buckets.(!kept)
+              end
+            end
+          end
+        done
+      done;
+      let lu_nnz = ref m in
+      for k = 0 to m - 1 do
+        lu_nnz := !lu_nnz + Array.length l_idx.(k) + Array.length u_idx.(k)
+      done;
+      Some
+        {
+          m;
+          p_row;
+          p_slot;
+          diag;
+          l_idx;
+          l_val;
+          u_idx;
+          u_val;
+          lu_nnz = !lu_nnz;
+          basis_nnz = !basis_nnz;
+          scratch = Array.make m 0.0;
+          etas = [];
+          n_etas = 0;
+          etas_nnz = 0;
+        }
+    with Singular -> None
+  end
+
+(* Eta transforms live in slot space, exactly like the dense solver's
+   product-form file. *)
+
+let apply_eta v e =
+  let t1 = v.(e.e_slot) /. e.e_piv in
+  for k = 0 to Array.length e.e_idx - 1 do
+    v.(e.e_idx.(k)) <- v.(e.e_idx.(k)) -. (e.e_val.(k) *. t1)
+  done;
+  v.(e.e_slot) <- t1
+
+let apply_eta_t v e =
+  let acc = ref v.(e.e_slot) in
+  for k = 0 to Array.length e.e_idx - 1 do
+    acc := !acc -. (e.e_val.(k) *. v.(e.e_idx.(k)))
+  done;
+  v.(e.e_slot) <- !acc /. e.e_piv
+
+let ftran t v =
+  if t.m > 0 then begin
+    (* L: forward elimination in pivot order. *)
+    for k = 0 to t.m - 1 do
+      let x = v.(t.p_row.(k)) in
+      if x <> 0.0 then begin
+        let li = t.l_idx.(k) and lv = t.l_val.(k) in
+        for p = 0 to Array.length li - 1 do
+          v.(li.(p)) <- v.(li.(p)) -. (lv.(p) *. x)
+        done
+      end
+    done;
+    (* U: back substitution; results land in slot order via scratch. *)
+    let res = t.scratch in
+    for k = t.m - 1 downto 0 do
+      let x = v.(t.p_row.(k)) /. t.diag.(k) in
+      if x <> 0.0 then begin
+        let ui = t.u_idx.(k) and uv = t.u_val.(k) in
+        for p = 0 to Array.length ui - 1 do
+          v.(ui.(p)) <- v.(ui.(p)) -. (uv.(p) *. x)
+        done
+      end;
+      res.(t.p_slot.(k)) <- x
+    done;
+    Array.blit res 0 v 0 t.m;
+    List.iter (apply_eta v) (List.rev t.etas)
+  end
+
+let btran t v =
+  if t.m > 0 then begin
+    List.iter (apply_eta_t v) t.etas;
+    let c = t.scratch in
+    Array.blit v 0 c 0 t.m;
+    (* U^T: forward over steps; unknowns live at pivot rows. *)
+    for k = 0 to t.m - 1 do
+      let acc = ref c.(t.p_slot.(k)) in
+      let ui = t.u_idx.(k) and uv = t.u_val.(k) in
+      for p = 0 to Array.length ui - 1 do
+        acc := !acc -. (uv.(p) *. v.(ui.(p)))
+      done;
+      v.(t.p_row.(k)) <- !acc /. t.diag.(k)
+    done;
+    (* L^T: reverse order. *)
+    for k = t.m - 1 downto 0 do
+      let li = t.l_idx.(k) and lv = t.l_val.(k) in
+      let acc = ref v.(t.p_row.(k)) in
+      for p = 0 to Array.length li - 1 do
+        acc := !acc -. (lv.(p) *. v.(li.(p)))
+      done;
+      v.(t.p_row.(k)) <- !acc
+    done
+  end
+
+let update t ~slot w =
+  let piv = w.(slot) in
+  if Float.abs piv <= drop_tol then
+    invalid_arg "Sparse_lu.update: singular pivot";
+  let n = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> slot && Float.abs w.(i) > drop_tol then incr n
+  done;
+  let idx = Array.make !n 0 and vals = Array.make !n 0.0 in
+  let p = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> slot && Float.abs w.(i) > drop_tol then begin
+      idx.(!p) <- i;
+      vals.(!p) <- w.(i);
+      incr p
+    end
+  done;
+  t.etas <- { e_slot = slot; e_piv = piv; e_idx = idx; e_val = vals } :: t.etas;
+  t.n_etas <- t.n_etas + 1;
+  t.etas_nnz <- t.etas_nnz + !n + 1

@@ -1,0 +1,60 @@
+(** Sparse LU factorization of a simplex basis, with a product-form eta
+    file for cheap post-pivot updates.
+
+    [factor] runs a right-looking Gaussian elimination with
+    Markowitz-style pivot selection: at each step it prefers the pivot
+    minimizing [(r_i - 1) * (c_j - 1)] (row and column active counts)
+    among numerically acceptable candidates ([|a_ij| >= tau * colmax]),
+    which is what keeps fill-in low on the banded/arrow-shaped bases the
+    divisible-load relaxations produce.
+
+    The basis columns are addressed by {e slot} (their position in the
+    basis, [0 .. m-1]) while matrix entries are addressed by {e row}.
+    [ftran] maps a row-indexed right-hand side to a slot-indexed solution
+    of [B x = b]; [btran] maps a slot-indexed objective restriction to a
+    row-indexed dual solution of [B^T y = c].
+
+    After a simplex pivot replaces the column in slot [r], call
+    {!update} with the freshly computed [w = B^{-1} a_q]: the factors
+    are not rebuilt, an eta transform is appended instead (product-form
+    update, the variant of Forrest–Tomlin bookkeeping used here).  The
+    eta file grows until the owner decides to refactorize. *)
+
+type t
+
+val factor : m:int -> col:(int -> int array * float array) -> t option
+(** [factor ~m ~col] factorizes the [m x m] basis whose slot [k] column
+    is [col k] (parallel row-index/value arrays, rows unsorted is fine,
+    no duplicates).  Returns [None] when the basis is numerically
+    singular. *)
+
+val ftran : t -> float array -> unit
+(** In-place solve of [B x = b] (with all appended etas), length [m].
+    Input indexed by row, output indexed by slot. *)
+
+val btran : t -> float array -> unit
+(** In-place solve of [B^T y = c], length [m].  Input indexed by slot,
+    output indexed by row. *)
+
+val update : t -> slot:int -> float array -> unit
+(** [update t ~slot w] records that the column in [slot] was replaced by
+    a column whose ftran image is [w] (slot-indexed, as returned by
+    {!ftran}).  [w] is not modified.  Raises [Invalid_argument] if
+    [w.(slot)] is numerically zero (the replacement would be singular —
+    the simplex ratio test must prevent this). *)
+
+val size : t -> int
+(** Dimension [m]. *)
+
+val lu_nnz : t -> int
+(** Nonzeros stored in the triangular factors (diagonal included). *)
+
+val basis_nnz : t -> int
+(** Nonzeros of the basis matrix that was factorized; [lu_nnz - basis_nnz]
+    is the fill-in. *)
+
+val eta_count : t -> int
+(** Number of product-form updates appended since [factor]. *)
+
+val eta_nnz : t -> int
+(** Total nonzeros across the eta file. *)

@@ -1,0 +1,506 @@
+module Rs = Revised_simplex
+
+type problem = Rs.problem
+type status = Rs.status
+type solution = Rs.solution
+type counters = Rs.counters
+
+let src = Logs.Src.create "dls.lp.sparse" ~doc:"Sparse-LU revised simplex"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module M = Dls_obs.Metrics
+
+(* The lp.* registry names are shared with Revised_simplex — metric
+   registration is idempotent by name, so both cores feed the same
+   cells and campaign-level dashboards see one LP workload.  The
+   lp.factor.* family is specific to this core. *)
+let m_solves = M.counter "lp.solves"
+let m_warm_starts = M.counter "lp.warm_starts"
+let m_cold_starts = M.counter "lp.cold_starts"
+let m_pivots = M.counter "lp.pivots"
+let m_reinversions = M.counter "lp.reinversions"
+let m_bland_activations = M.counter "lp.bland_activations"
+let m_solve_seconds = M.histogram "lp.solve_seconds"
+let m_solve_pivots = M.histogram "lp.solve_pivots"
+let m_refactors = M.counter "lp.factor.refactors"
+let m_factor_nnz = M.histogram "lp.factor.nnz"
+let m_factor_fill = M.histogram "lp.factor.fill"
+let m_eta_len = M.histogram "lp.factor.eta_len"
+
+let dtol = 1e-7
+let eta_interval = 64 (* product-form updates tolerated before refactor *)
+
+let zero_counters =
+  {
+    Rs.solves = 0;
+    warm_starts = 0;
+    cold_starts = 0;
+    pivots = 0;
+    reinversions = 0;
+    bland_activations = 0;
+    wall_clock = 0.0;
+  }
+
+type state = {
+  m : int;
+  n : int; (* structural columns; slack j = n + i covers row i *)
+  mat : Csc.t; (* equilibrated structural columns *)
+  obj : float array; (* scaled: c_j * col_scale_j *)
+  obj_orig : float array;
+  rhs : float array; (* scaled: row_scale_i * b_i *)
+  row_scale : float array; (* powers of two *)
+  col_scale : float array;
+  basis : int array;
+  in_basis : bool array; (* length n + m *)
+  x_basic : float array; (* slot-indexed, scaled *)
+  mutable lu : Sparse_lu.t option;
+  mutable cursor : int; (* partial-pricing rotation point *)
+  mutable solved : bool;
+  mutable ctr : counters;
+}
+
+let counters st = st.ctr
+
+let factor_stats st =
+  Option.map
+    (fun lu ->
+      ( Sparse_lu.lu_nnz lu,
+        Sparse_lu.lu_nnz lu - Sparse_lu.basis_nnz lu,
+        Sparse_lu.eta_count lu ))
+    st.lu
+
+(* Power-of-two factor normalizing [mx] into [0.5, 1). *)
+let pow2_scale mx =
+  if mx > 0.0 && Float.is_finite mx then Float.ldexp 1.0 (-snd (Float.frexp mx))
+  else 1.0
+
+let basis_col st k =
+  let j = st.basis.(k) in
+  if j >= st.n then ([| j - st.n |], [| 1.0 |])
+  else begin
+    (* Skip zeroed entries (zero_coeff leaves structural holes). *)
+    let ri, rv = Csc.col st.mat j in
+    let n = Array.length ri in
+    let keep = ref 0 in
+    for p = 0 to n - 1 do
+      if rv.(p) <> 0.0 then incr keep
+    done;
+    if !keep = n then (ri, rv)
+    else begin
+      let fi = Array.make !keep 0 and fv = Array.make !keep 0.0 in
+      let c = ref 0 in
+      for p = 0 to n - 1 do
+        if rv.(p) <> 0.0 then begin
+          fi.(!c) <- ri.(p);
+          fv.(!c) <- rv.(p);
+          incr c
+        end
+      done;
+      (fi, fv)
+    end
+  end
+
+(* Every factorization counts as a reinversion; a sparse cold start
+   factors the (trivial) slack basis too, so its opening factor shows
+   up in the counters, unlike the dense core whose cold start needs no
+   etas at all. *)
+let count_refactor st =
+  st.ctr <- { st.ctr with reinversions = st.ctr.reinversions + 1 };
+  M.incr m_reinversions;
+  M.incr m_refactors;
+  match st.lu with
+  | Some lu -> M.observe m_eta_len (float_of_int (Sparse_lu.eta_count lu))
+  | None -> ()
+
+let install st lu =
+  st.lu <- Some lu;
+  M.observe m_factor_nnz (float_of_int (Sparse_lu.lu_nnz lu));
+  M.observe m_factor_fill
+    (float_of_int (Sparse_lu.lu_nnz lu - Sparse_lu.basis_nnz lu));
+  Array.blit st.rhs 0 st.x_basic 0 st.m;
+  Sparse_lu.ftran lu st.x_basic;
+  for i = 0 to st.m - 1 do
+    if st.x_basic.(i) < 0.0 && st.x_basic.(i) > -1e-6 then
+      st.x_basic.(i) <- 0.0
+  done
+
+let reset_cold st =
+  Array.fill st.in_basis 0 (st.n + st.m) false;
+  for i = 0 to st.m - 1 do
+    st.basis.(i) <- st.n + i;
+    st.in_basis.(st.n + i) <- true
+  done;
+  count_refactor st;
+  match Sparse_lu.factor ~m:st.m ~col:(basis_col st) with
+  | Some lu -> install st lu
+  | None -> assert false (* the slack basis is the identity *)
+
+(* Refactorize the carried basis.  Returns [false] (after falling back
+   to the all-slack basis) when it is singular. *)
+let refactor_or_cold st =
+  count_refactor st;
+  match Sparse_lu.factor ~m:st.m ~col:(basis_col st) with
+  | Some lu ->
+      install st lu;
+      true
+  | None ->
+      reset_cold st;
+      false
+
+let of_csc mat ~maximize ~rhs =
+  let m = mat.Csc.nrows and n = mat.Csc.ncols in
+  if Array.length rhs <> m then invalid_arg "Sparse_simplex.of_csc: rhs length";
+  Array.iter
+    (fun b ->
+      if b < 0.0 then
+        invalid_arg "Sparse_simplex.of_csc: negative right-hand side")
+    rhs;
+  let obj_orig = Array.make n 0.0 in
+  List.iter
+    (fun (j, v) ->
+      if j < 0 || j >= n then
+        invalid_arg "Sparse_simplex.of_csc: objective index out of range";
+      obj_orig.(j) <- obj_orig.(j) +. v)
+    maximize;
+  (* Equilibration: rows then columns, powers of two so every product
+     below is exact and unscaling is a lossless shift. *)
+  let row_scale = Array.make m 1.0 and col_scale = Array.make n 1.0 in
+  let row_max = Array.make m 0.0 in
+  for p = 0 to Csc.nnz mat - 1 do
+    let i = mat.Csc.rowind.(p) in
+    let a = Float.abs mat.Csc.values.(p) in
+    if a > row_max.(i) then row_max.(i) <- a
+  done;
+  for i = 0 to m - 1 do
+    row_scale.(i) <- pow2_scale row_max.(i)
+  done;
+  for j = 0 to n - 1 do
+    let mx = ref 0.0 in
+    for p = mat.Csc.colptr.(j) to mat.Csc.colptr.(j + 1) - 1 do
+      let a = Float.abs (mat.Csc.values.(p) *. row_scale.(mat.Csc.rowind.(p))) in
+      if a > !mx then mx := a
+    done;
+    col_scale.(j) <- pow2_scale !mx;
+    for p = mat.Csc.colptr.(j) to mat.Csc.colptr.(j + 1) - 1 do
+      mat.Csc.values.(p) <-
+        mat.Csc.values.(p) *. row_scale.(mat.Csc.rowind.(p)) *. col_scale.(j)
+    done
+  done;
+  let st =
+    {
+      m;
+      n;
+      mat;
+      obj = Array.mapi (fun j c -> c *. col_scale.(j)) obj_orig;
+      obj_orig;
+      rhs = Array.mapi (fun i b -> b *. row_scale.(i)) rhs;
+      row_scale;
+      col_scale;
+      basis = Array.init m (fun i -> n + i);
+      in_basis =
+        Array.init (n + m) (fun j -> j >= n);
+      x_basic = Array.make m 0.0;
+      lu = None;
+      cursor = 0;
+      solved = false;
+      ctr = zero_counters;
+    }
+  in
+  Array.blit st.rhs 0 st.x_basic 0 st.m;
+  st
+
+let create (p : problem) =
+  let rows = Array.of_list p.Rs.rows in
+  let adj =
+    Array.map
+      (fun (c : Rs.constr) ->
+        if c.Rs.rhs < 0.0 then
+          invalid_arg "Sparse_simplex.create: negative right-hand side";
+        c.Rs.coeffs)
+      rows
+  in
+  let mat =
+    try Csc.of_rows ~nrows:(Array.length rows) ~ncols:p.Rs.num_vars adj
+    with Invalid_argument _ ->
+      invalid_arg "Sparse_simplex.create: variable index out of range"
+  in
+  of_csc mat ~maximize:p.Rs.maximize
+    ~rhs:(Array.map (fun (c : Rs.constr) -> c.Rs.rhs) rows)
+
+(* ---------------- incremental updates ---------------- *)
+
+let set_rhs st ~row v =
+  if row < 0 || row >= st.m then
+    invalid_arg "Sparse_simplex.set_rhs: row out of range";
+  if v < 0.0 then invalid_arg "Sparse_simplex.set_rhs: negative right-hand side";
+  st.rhs.(row) <- v *. st.row_scale.(row)
+
+let rhs st ~row =
+  if row < 0 || row >= st.m then
+    invalid_arg "Sparse_simplex.rhs: row out of range";
+  st.rhs.(row) /. st.row_scale.(row)
+
+let zero_coeff st ~row ~var =
+  if row < 0 || row >= st.m then
+    invalid_arg "Sparse_simplex.zero_coeff: row out of range";
+  if var < 0 || var >= st.n then
+    invalid_arg "Sparse_simplex.zero_coeff: variable out of range";
+  for p = st.mat.Csc.colptr.(var) to st.mat.Csc.colptr.(var + 1) - 1 do
+    if st.mat.Csc.rowind.(p) = row then st.mat.Csc.values.(p) <- 0.0
+  done
+
+let objective_value st =
+  let z = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    let j = st.basis.(i) in
+    if j < st.n then z := !z +. (st.obj.(j) *. st.x_basic.(i))
+  done;
+  !z
+
+(* ---------------- the simplex loop ---------------- *)
+
+let optimize ?max_iterations st =
+  let total = st.n + st.m in
+  let budget =
+    match max_iterations with
+    | Some b -> b
+    | None -> 2000 + (60 * (st.m + total))
+  in
+  let iterations = ref 0 in
+  let y = Array.make st.m 0.0 in
+  let w = Array.make st.m 0.0 in
+  let stall = ref 0 in
+  let stall_limit = 4 * (st.m + total) in
+  let bland = ref false in
+  let z_at_bland = ref neg_infinity in
+  let last_z = ref neg_infinity in
+  let result = ref None in
+  let lu () =
+    match st.lu with Some lu -> lu | None -> assert false
+  in
+  let reduced j =
+    if j < st.n then begin
+      let dot = ref 0.0 in
+      for p = st.mat.Csc.colptr.(j) to st.mat.Csc.colptr.(j + 1) - 1 do
+        dot := !dot +. (st.mat.Csc.values.(p) *. y.(st.mat.Csc.rowind.(p)))
+      done;
+      st.obj.(j) -. !dot
+    end
+    else -.y.(j - st.n)
+  in
+  (* Partial pricing: rotate over ~1/8 blocks of the column span, enter
+     the best positive reduced cost of the first block that has one.
+     Only a full fruitless wrap proves optimality. *)
+  let pick_partial () =
+    let block = max 64 ((total + 7) / 8) in
+    let entering = ref (-1) and best = ref dtol in
+    let scanned = ref 0 in
+    let j = ref st.cursor in
+    while !scanned < total && !entering < 0 do
+      let stop = min total (!scanned + block) in
+      while !scanned < stop do
+        let jj = !j in
+        if not st.in_basis.(jj) then begin
+          let d = reduced jj in
+          if d > !best then begin
+            best := d;
+            entering := jj
+          end
+        end;
+        incr scanned;
+        j := if jj + 1 = total then 0 else jj + 1
+      done
+    done;
+    if !entering >= 0 then st.cursor <- (!entering + 1) mod total;
+    !entering
+  in
+  let pick_bland () =
+    let entering = ref (-1) in
+    let j = ref 0 in
+    while !entering < 0 && !j < total do
+      if (not st.in_basis.(!j)) && reduced !j > dtol then entering := !j;
+      incr j
+    done;
+    !entering
+  in
+  while !result = None do
+    (match st.lu with
+    | None -> ignore (refactor_or_cold st : bool)
+    | Some lu ->
+        if
+          Sparse_lu.eta_count lu >= eta_interval
+          || Sparse_lu.eta_nnz lu > (2 * Sparse_lu.lu_nnz lu) + st.m
+        then ignore (refactor_or_cold st : bool));
+    (* Pricing: y = B^-T c_B (row-indexed), then reduced costs. *)
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      y.(i) <- (if j < st.n then st.obj.(j) else 0.0)
+    done;
+    Sparse_lu.btran (lu ()) y;
+    let entering = if !bland then pick_bland () else pick_partial () in
+    if entering < 0 then result := Some Rs.Optimal
+    else if !iterations >= budget then
+      (* Pricing before the budget check: an optimum reached in exactly
+         [budget] pivots is still Optimal (see the matching fix in
+         Revised_simplex). *)
+      result :=
+        Some
+          (if !bland && objective_value st <= !z_at_bland +. 1e-12 then
+             Rs.Cycling
+           else Rs.Iteration_limit)
+    else begin
+      let q = entering in
+      Array.fill w 0 st.m 0.0;
+      if q < st.n then
+        Csc.iter_col st.mat q (fun i v -> w.(i) <- v)
+      else w.(q - st.n) <- 1.0;
+      Sparse_lu.ftran (lu ()) w;
+      (* Ratio test with Bland tie-breaking. *)
+      let leave = ref (-1) and theta = ref infinity in
+      for i = 0 to st.m - 1 do
+        if w.(i) > dtol then begin
+          let ratio = st.x_basic.(i) /. w.(i) in
+          if
+            !leave < 0
+            || ratio < !theta -. 1e-12
+            || (Float.abs (ratio -. !theta) <= 1e-12
+                && st.basis.(i) < st.basis.(!leave))
+          then begin
+            leave := i;
+            theta := ratio
+          end
+        end
+      done;
+      if !leave < 0 then result := Some Rs.Unbounded
+      else begin
+        let r = !leave in
+        let theta = Float.max 0.0 !theta in
+        for i = 0 to st.m - 1 do
+          if i <> r then st.x_basic.(i) <- st.x_basic.(i) -. (w.(i) *. theta)
+        done;
+        st.x_basic.(r) <- theta;
+        st.in_basis.(st.basis.(r)) <- false;
+        st.in_basis.(q) <- true;
+        st.basis.(r) <- q;
+        Sparse_lu.update (lu ()) ~slot:r w;
+        incr iterations;
+        let z = objective_value st in
+        if z > !last_z +. 1e-12 then begin
+          last_z := z;
+          stall := 0
+        end
+        else begin
+          incr stall;
+          if !stall > stall_limit && not !bland then begin
+            bland := true;
+            z_at_bland := z;
+            st.ctr <-
+              { st.ctr with
+                bland_activations = st.ctr.bland_activations + 1 };
+            M.incr m_bland_activations;
+            Log.debug (fun m ->
+                m "solve #%d: degenerate stall after %d pivots, switching \
+                   to Bland's rule"
+                  st.ctr.solves !iterations)
+          end
+        end
+      end
+    end
+  done;
+  let status = match !result with Some s -> s | None -> assert false in
+  (status, !iterations)
+
+let solve_state ?max_iterations st =
+  let t0 = Unix.gettimeofday () in
+  let sp = Dls_obs.Trace.start ~cat:"lp" "lp.solve" in
+  let warm =
+    st.solved
+    && refactor_or_cold st
+    && not (Array.exists (fun x -> x < 0.0) st.x_basic)
+  in
+  if not warm then reset_cold st;
+  st.ctr <-
+    { st.ctr with
+      solves = st.ctr.solves + 1;
+      warm_starts = (st.ctr.warm_starts + if warm then 1 else 0);
+      cold_starts = (st.ctr.cold_starts + if warm then 0 else 1) };
+  M.incr m_solves;
+  M.incr (if warm then m_warm_starts else m_cold_starts);
+  let status, iterations = optimize ?max_iterations st in
+  st.solved <- true;
+  let values = Array.make st.n 0.0 in
+  let duals = Array.make st.m 0.0 in
+  if status = Rs.Optimal then begin
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      if j < st.n then
+        values.(j) <- Float.max 0.0 (st.x_basic.(i) *. st.col_scale.(j))
+    done;
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      duals.(i) <- (if j < st.n then st.obj.(j) else 0.0)
+    done;
+    (match st.lu with Some lu -> Sparse_lu.btran lu duals | None -> ());
+    for i = 0 to st.m - 1 do
+      duals.(i) <- duals.(i) *. st.row_scale.(i)
+    done
+  end;
+  let objective =
+    let z = ref 0.0 in
+    for j = 0 to st.n - 1 do
+      z := !z +. (st.obj_orig.(j) *. values.(j))
+    done;
+    !z
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  st.ctr <-
+    { st.ctr with
+      pivots = st.ctr.pivots + iterations;
+      wall_clock = st.ctr.wall_clock +. dt };
+  M.add m_pivots iterations;
+  M.observe m_solve_seconds dt;
+  M.observe m_solve_pivots (float_of_int iterations);
+  if Dls_obs.Trace.live sp then
+    Dls_obs.Trace.finish sp
+      ~args:
+        [ ("backend", "sparse");
+          ("start", if warm then "warm" else "cold");
+          ("pivots", string_of_int iterations) ];
+  Log.debug (fun m ->
+      m "solve #%d (%s): %d pivots, %.3f ms"
+        st.ctr.solves
+        (if warm then "warm" else "cold")
+        iterations (1e3 *. dt));
+  { Rs.status; objective; values; duals; iterations }
+
+let solve ?(presolve = true) ?max_iterations (p : problem) =
+  if not presolve then solve_state ?max_iterations (create p)
+  else
+    match Presolve.reduce p with
+    | Presolve.Unbounded _ ->
+        {
+          Rs.status = Rs.Unbounded;
+          objective = 0.0;
+          values = Array.make p.Rs.num_vars 0.0;
+          duals = Array.make (List.length p.Rs.rows) 0.0;
+          iterations = 0;
+        }
+    | Presolve.Reduced (rp, map) ->
+        let sol = solve_state ?max_iterations (create rp) in
+        if sol.Rs.status = Rs.Optimal then begin
+          let values = Presolve.restore_values map sol.Rs.values in
+          let duals = Presolve.restore_duals map sol.Rs.duals in
+          let objective =
+            let z = ref 0.0 in
+            List.iter (fun (j, c) -> z := !z +. (c *. values.(j))) p.Rs.maximize;
+            !z
+          in
+          { sol with Rs.values; duals; objective }
+        end
+        else
+          {
+            sol with
+            Rs.values = Array.make p.Rs.num_vars 0.0;
+            duals = Array.make (List.length p.Rs.rows) 0.0;
+            objective = 0.0;
+          }

@@ -1,0 +1,62 @@
+(** Revised simplex on the sparse core: CSC columns, Markowitz LU of the
+    basis ({!Sparse_lu}) with product-form updates instead of full
+    reinversion, partial pricing, and a presolve/equilibration front end
+    ({!Presolve}).
+
+    Same packed inequality scope as {!Revised_simplex} — maximize
+    [c . x] subject to [A x <= b], [x >= 0], [b >= 0] — and the same
+    problem/solution/counters types, so the two cores are drop-in
+    interchangeable behind {!Backend} and directly comparable in the
+    differential harness ([test/test_lp_diff.ml]), where the dense core
+    is the trusted oracle.
+
+    Numerics: the constraint matrix is equilibrated with powers of two
+    (exact in binary floating point) before solving; scaling is frozen
+    when a state is built so row/column indices stay valid across
+    incremental edits.  One-shot {!solve} additionally runs the
+    structural presolve; resumable states skip it so that rows that are
+    slack today can be tightened tomorrow (the LPRR warm-start
+    contract). *)
+
+type problem = Revised_simplex.problem
+type status = Revised_simplex.status
+type solution = Revised_simplex.solution
+type counters = Revised_simplex.counters
+
+val solve : ?presolve:bool -> ?max_iterations:int -> problem -> solution
+(** One-shot solve; [presolve] defaults to [true].
+    @raise Invalid_argument on an out-of-range variable index or a
+    negative right-hand side. *)
+
+(** {2 Resumable solver state}
+
+    Mirrors {!Revised_simplex}: the optimal basis is carried between
+    solves, {!set_rhs}/{!zero_coeff} edit the problem in place, and the
+    next {!solve_state} warm-starts by refactorizing the carried basis,
+    falling back to the all-slack cold start when it has become singular
+    or primal infeasible. *)
+
+type state
+
+val create : problem -> state
+(** Build CSC form and equilibration scaling once.  Raises like
+    {!solve}.  No structural presolve is applied. *)
+
+val of_csc :
+  Csc.t -> maximize:(int * float) list -> rhs:float array -> state
+(** Build a state directly from a CSC constraint matrix (the
+    {!Model.Float.packed_csc} path).  Takes ownership of the matrix —
+    its values are rescaled in place.
+    @raise Invalid_argument on dimension mismatch or negative rhs. *)
+
+val solve_state : ?max_iterations:int -> state -> solution
+
+val set_rhs : state -> row:int -> float -> unit
+val rhs : state -> row:int -> float
+val zero_coeff : state -> row:int -> var:int -> unit
+val counters : state -> counters
+
+val factor_stats : state -> (int * int * int) option
+(** [(lu_nnz, fill_in, eta_count)] of the current factorization, if one
+    exists — the quantities also exported through the [lp.factor.*]
+    metrics. *)

@@ -491,6 +491,33 @@ let test_revised_pivot_limit () =
   Alcotest.(check bool) "full budget optimal" true
     ((Rs.solve p).Rs.status = Rs.Optimal)
 
+let test_revised_budget_boundary () =
+  (* Pinned regression for the budget/optimality off-by-one found while
+     wiring the sparse backend: the budget used to be checked before
+     pricing, so a solve that reached the optimum in exactly [budget]
+     pivots was misreported as Iteration_limit.  Optimality proved at
+     the boundary must win. *)
+  let n = 20 in
+  let rows =
+    List.init n (fun i ->
+        { Rs.coeffs = ((i, 1.0) :: if i > 0 then [ (i - 1, 0.5) ] else []);
+          rhs = 10.0 })
+  in
+  let p = { Rs.num_vars = n; maximize = List.init n (fun i -> (i, 1.0)); rows } in
+  let full = Rs.solve p in
+  Alcotest.(check bool) "reference optimal" true (full.Rs.status = Rs.Optimal);
+  Alcotest.(check bool) "needs pivots" true (full.Rs.iterations > 0);
+  let exact = Rs.solve ~max_iterations:full.Rs.iterations p in
+  Alcotest.(check bool) "exact budget is optimal" true
+    (exact.Rs.status = Rs.Optimal);
+  Alcotest.(check int) "same pivot count" full.Rs.iterations
+    exact.Rs.iterations;
+  let short = Rs.solve ~max_iterations:(full.Rs.iterations - 1) p in
+  Alcotest.(check bool) "one pivot short is not optimal" true
+    (match short.Rs.status with
+     | Rs.Iteration_limit | Rs.Cycling -> true
+     | Rs.Optimal | Rs.Unbounded -> false)
+
 let test_revised_bland_counter () =
   (* A clean non-degenerate solve never needs the anti-cycling rule. *)
   let st =
@@ -739,6 +766,41 @@ let test_model_incremental_handle () =
   check_float "zeroed objective" 27.0 r3.Mf.objective;
   Alcotest.(check int) "solves counted" 3 (registry_counter "lp.solves")
 
+let test_model_incremental_both_backends () =
+  (* The same incremental script through each revised-simplex core:
+     identical optima, and each core feeds the shared lp.* registry
+     cells (the sparse one additionally counts factorizations). *)
+  List.iter
+    (fun backend ->
+      with_registry @@ fun () ->
+      let m = Mf.create () in
+      let x = Mf.add_var ~name:"x" m in
+      let y = Mf.add_var ~name:"y" m in
+      Mf.add_le m [ (x, 1.0) ] 4.0;
+      Mf.add_le m [ (y, 2.0) ] 12.0;
+      Mf.add_le m [ (x, 3.0); (y, 2.0) ] 18.0;
+      Mf.set_objective m [ (x, 3.0); (y, 5.0) ];
+      let h = Mf.incremental ~backend m in
+      let tag = Dls_lp.Backend.to_string backend in
+      let r1 = Mf.inc_solve h in
+      check_float (tag ^ ": first objective") 36.0 r1.Mf.objective;
+      Mf.inc_set_rhs h ~row:1 6.0;
+      let r2 = Mf.inc_solve h in
+      check_float (tag ^ ": tightened objective") 27.0 r2.Mf.objective;
+      Alcotest.(check int) (tag ^ ": solves") 2 (registry_counter "lp.solves");
+      Alcotest.(check int)
+        (tag ^ ": every solve tagged")
+        2
+        (registry_counter "lp.warm_starts" + registry_counter "lp.cold_starts");
+      let c = Mf.inc_counters h in
+      Alcotest.(check int) (tag ^ ": state solves") 2 c.Rs.solves;
+      if backend = Dls_lp.Backend.Sparse then
+        Alcotest.(check bool)
+          (tag ^ ": refactors counted")
+          true
+          (registry_counter "lp.factor.refactors" > 0))
+    [ Dls_lp.Backend.Dense; Dls_lp.Backend.Sparse ]
+
 let prop_warm_matches_cold_after_tightening =
   (* The tentpole's correctness property in miniature: solve, scale
      every rhs down, re-solve the same state — the warm (or fallen-back)
@@ -815,6 +877,8 @@ let () =
             test_revised_many_pivots_refactor;
           Alcotest.test_case "pivot limit terminates" `Quick
             test_revised_pivot_limit;
+          Alcotest.test_case "budget boundary is optimal" `Quick
+            test_revised_budget_boundary;
           Alcotest.test_case "bland counter stays zero" `Quick
             test_revised_bland_counter ] );
       ( "warm-start",
@@ -827,7 +891,9 @@ let () =
           Alcotest.test_case "update validation" `Quick
             test_state_update_validation;
           Alcotest.test_case "model incremental handle" `Quick
-            test_model_incremental_handle ] );
+            test_model_incremental_handle;
+          Alcotest.test_case "model incremental, both backends" `Quick
+            test_model_incremental_both_backends ] );
       ( "duals",
         [ Alcotest.test_case "textbook duals" `Quick test_dense_duals_textbook ] );
       qsuite "simplex-prop"

@@ -1,0 +1,822 @@
+(* Differential test harness for the LP backends.
+
+   The PR-1 eta-file revised simplex (Backend.Dense) is the trusted
+   oracle; the sparse core (Csc + Sparse_lu + Presolve + Sparse_simplex,
+   Backend.Sparse) is the device under test.  Random packed LPs
+   (feasible, degenerate, unbounded-leaning) and Table-1 platform
+   relaxations run through both; statuses must match, objectives must
+   agree within relative tolerance, and both solutions must be primal
+   feasible.  The numerics under the sparse core get their own
+   properties: CSC round-trips against a dense reference, LU
+   factor-solve residuals, product-form updates vs refactorization, and
+   presolve objective invariance.
+
+   The DLS_LP_DIFF environment variable scales the run: "smoke" shrinks
+   the QCheck counts and the grid for the CI timeout, "full" expands
+   both (the complete Table-1 axis sweep), unset is the default tier
+   (>= 500 differential QCheck instances). *)
+
+module Rs = Dls_lp.Revised_simplex
+module Sp = Dls_lp.Sparse_simplex
+module Csc = Dls_lp.Csc
+module Lu = Dls_lp.Sparse_lu
+module Ps = Dls_lp.Presolve
+module Backend = Dls_lp.Backend
+module M = Dls_lp.Model.Float
+module Gen_p = Dls_platform.Generator
+module P = Dls_platform.Platform
+module Problem = Dls_core.Problem
+module Lp_relax = Dls_core.Lp_relax
+module Prng = Dls_util.Prng
+module Obs = Dls_obs.Metrics
+
+type mode = Smoke | Default | Full
+
+let mode =
+  match Sys.getenv_opt "DLS_LP_DIFF" with
+  | Some "smoke" -> Smoke
+  | Some "full" -> Full
+  | _ -> Default
+
+let count n =
+  match mode with Smoke -> max 10 (n / 5) | Default -> n | Full -> 2 * n
+
+(* ------------------------------------------------------------------ *)
+(* Random packed LPs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Half-integer coefficients exercise non-trivial floats while staying
+   exactly representable, so oracle/sparse disagreements are real
+   solver divergences, not input rounding. *)
+let general_lp_gen =
+  let open QCheck2.Gen in
+  let* nv = int_range 1 8 in
+  let* nrows = int_range 1 10 in
+  let coeff = map (fun c -> float_of_int c /. 2.0) (int_range (-6) 12) in
+  let row =
+    let* terms =
+      list_size (int_range 1 (2 * nv)) (pair (int_range 0 (nv - 1)) coeff)
+    in
+    let* rhs = map (fun r -> float_of_int r /. 2.0) (int_range 0 40) in
+    return { Rs.coeffs = terms; rhs }
+  in
+  let* obj =
+    list_repeat nv
+      (pair (int_range 0 (nv - 1))
+         (map (fun c -> float_of_int c /. 2.0) (int_range (-6) 10)))
+  in
+  let* rows = list_repeat nrows row in
+  return { Rs.num_vars = nv; maximize = obj; rows }
+
+(* Degenerate: many zero right-hand sides and duplicated rows — the
+   shape that historically provokes cycling and ties in the ratio
+   test. *)
+let degenerate_lp_gen =
+  let open QCheck2.Gen in
+  let* p = general_lp_gen in
+  let* zeroed =
+    flatten_l
+      (List.map
+         (fun (r : Rs.constr) ->
+           let* z = bool in
+           return (if z then { r with Rs.rhs = 0.0 } else r))
+         p.Rs.rows)
+  in
+  let* dup = bool in
+  let rows =
+    if dup && zeroed <> [] then List.hd zeroed :: zeroed else zeroed
+  in
+  return { p with Rs.rows = rows }
+
+(* Unbounded-leaning: positive objective on every variable but rows
+   constraining only a prefix of them, so the tail often rides free. *)
+let unbounded_lp_gen =
+  let open QCheck2.Gen in
+  let* nv = int_range 2 6 in
+  let* covered = int_range 0 (nv - 1) in
+  let* nrows = int_range 0 4 in
+  let coeff = map (fun c -> float_of_int c /. 2.0) (int_range 0 8) in
+  let row =
+    let* terms =
+      if covered = 0 then return []
+      else list_size (int_range 1 covered) (pair (int_range 0 (covered - 1)) coeff)
+    in
+    let* rhs = map float_of_int (int_range 0 20) in
+    return { Rs.coeffs = terms; rhs }
+  in
+  let* rows = list_repeat nrows row in
+  let obj = List.init nv (fun j -> (j, 1.0)) in
+  return { Rs.num_vars = nv; maximize = obj; rows }
+
+let feasible (p : Rs.problem) (sol : Rs.solution) =
+  Array.for_all (fun v -> v >= -1e-7) sol.Rs.values
+  && List.for_all
+       (fun (r : Rs.constr) ->
+         let lhs =
+           List.fold_left
+             (fun acc (v, c) -> acc +. (c *. sol.Rs.values.(v)))
+             0.0 r.Rs.coeffs
+         in
+         lhs <= r.Rs.rhs +. (1e-6 *. Float.max 1.0 (Float.abs r.Rs.rhs)))
+       p.Rs.rows
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs a)
+
+(* The differential contract.  Budget exhaustion on either side is
+   inconclusive (the two cores pivot differently), everything else must
+   agree. *)
+let diff_ok (p : Rs.problem) =
+  let oracle = Rs.solve p in
+  let sparse = Sp.solve p in
+  match (oracle.Rs.status, sparse.Rs.status) with
+  | Rs.Optimal, Rs.Optimal ->
+    close oracle.Rs.objective sparse.Rs.objective
+    && feasible p oracle && feasible p sparse
+  | Rs.Unbounded, Rs.Unbounded -> true
+  | (Rs.Iteration_limit | Rs.Cycling), _ | _, (Rs.Iteration_limit | Rs.Cycling)
+    ->
+    true
+  | _ -> false
+
+let prop_diff_general =
+  QCheck2.Test.make ~name:"dense and sparse backends agree (general)"
+    ~count:(count 300) general_lp_gen diff_ok
+
+let prop_diff_degenerate =
+  QCheck2.Test.make ~name:"dense and sparse backends agree (degenerate)"
+    ~count:(count 150) degenerate_lp_gen diff_ok
+
+let prop_diff_unbounded =
+  QCheck2.Test.make ~name:"dense and sparse backends agree (unbounded)"
+    ~count:(count 120) unbounded_lp_gen diff_ok
+
+let prop_sparse_strong_duality =
+  QCheck2.Test.make ~name:"sparse backend satisfies strong duality"
+    ~count:(count 200) general_lp_gen (fun p ->
+      let sol = Sp.solve p in
+      sol.Rs.status <> Rs.Optimal
+      || begin
+        let dual_obj =
+          List.fold_left2
+            (fun acc (r : Rs.constr) d -> acc +. (d *. r.Rs.rhs))
+            0.0 p.Rs.rows
+            (Array.to_list sol.Rs.duals)
+        in
+        Float.abs (dual_obj -. sol.Rs.objective)
+        <= 1e-5 *. Float.max 1.0 (Float.abs sol.Rs.objective)
+        && Array.for_all (fun d -> d >= -1e-7) sol.Rs.duals
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* CSC numerics vs a dense reference                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dense_case_gen =
+  let open QCheck2.Gen in
+  let* nrows = int_range 0 7 in
+  let* ncols = int_range 0 7 in
+  let* entries =
+    list_size (int_range 0 (3 * max 1 (nrows * ncols / 2)))
+      (triple
+         (int_range 0 (max 0 (nrows - 1)))
+         (int_range 0 (max 0 (ncols - 1)))
+         (map (fun v -> float_of_int v /. 2.0) (int_range (-9) 9)))
+  in
+  let* x = list_repeat ncols (map float_of_int (int_range (-5) 5)) in
+  let* y = list_repeat nrows (map float_of_int (int_range (-5) 5)) in
+  return (nrows, ncols, entries, Array.of_list x, Array.of_list y)
+
+let build_dense nrows ncols entries =
+  let d = Array.make_matrix nrows ncols 0.0 in
+  if nrows > 0 && ncols > 0 then
+    List.iter (fun (i, j, v) -> d.(i).(j) <- d.(i).(j) +. v) entries;
+  d
+
+let build_adj nrows ncols entries =
+  let adj = Array.make nrows [] in
+  if nrows > 0 && ncols > 0 then
+    List.iter (fun (i, j, v) -> adj.(i) <- (j, v) :: adj.(i)) entries;
+  adj
+
+let prop_csc_roundtrip =
+  QCheck2.Test.make ~name:"CSC of_rows/to_dense round-trips" ~count:(count 300)
+    dense_case_gen (fun (nrows, ncols, entries, _, _) ->
+      let d = build_dense nrows ncols entries in
+      let c = Csc.of_rows ~nrows ~ncols (build_adj nrows ncols entries) in
+      Csc.to_dense c = d
+      && (* no explicit zeros stored *)
+      Array.for_all (fun v -> v <> 0.0) c.Csc.values)
+
+let prop_csc_transpose =
+  QCheck2.Test.make ~name:"CSC transpose matches dense transpose"
+    ~count:(count 300) dense_case_gen (fun (nrows, ncols, entries, _, _) ->
+      let d = build_dense nrows ncols entries in
+      let c = Csc.of_rows ~nrows ~ncols (build_adj nrows ncols entries) in
+      let tr = Csc.to_dense (Csc.transpose c) in
+      let expected =
+        Array.init ncols (fun j -> Array.init nrows (fun i -> d.(i).(j)))
+      in
+      tr = expected
+      && Csc.to_dense (Csc.transpose (Csc.transpose c)) = d)
+
+let prop_csc_matvec =
+  QCheck2.Test.make ~name:"CSC mat_vec/mat_tvec match dense products"
+    ~count:(count 300) dense_case_gen (fun (nrows, ncols, entries, x, y) ->
+      let d = build_dense nrows ncols entries in
+      let c = Csc.of_rows ~nrows ~ncols (build_adj nrows ncols entries) in
+      let ax =
+        Array.init nrows (fun i ->
+            let acc = ref 0.0 in
+            for j = 0 to ncols - 1 do
+              acc := !acc +. (d.(i).(j) *. x.(j))
+            done;
+            !acc)
+      in
+      let aty =
+        Array.init ncols (fun j ->
+            let acc = ref 0.0 in
+            for i = 0 to nrows - 1 do
+              acc := !acc +. (d.(i).(j) *. y.(i))
+            done;
+            !acc)
+      in
+      let eq a b =
+        Array.length a = Array.length b
+        && Array.for_all2 (fun u v -> Float.abs (u -. v) <= 1e-9) a b
+      in
+      eq (Csc.mat_vec c x) ax && eq (Csc.mat_tvec c y) aty)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse LU                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Strictly diagonally dominant matrices: always nonsingular, so
+   [factor] must succeed and the solve residual is well conditioned. *)
+let lu_case_gen =
+  let open QCheck2.Gen in
+  let* m = int_range 1 12 in
+  let* entries =
+    list_size (int_range 0 (3 * m))
+      (triple (int_range 0 (m - 1)) (int_range 0 (m - 1))
+         (map (fun v -> float_of_int v /. 2.0) (int_range (-9) 9)))
+  in
+  let* b = list_repeat m (map float_of_int (int_range (-20) 20)) in
+  return (m, entries, Array.of_list b)
+
+let dominant_dense m entries =
+  let d = Array.make_matrix m m 0.0 in
+  List.iter (fun (i, j, v) -> if i <> j then d.(i).(j) <- d.(i).(j) +. v) entries;
+  for i = 0 to m - 1 do
+    let s = ref 1.0 in
+    for j = 0 to m - 1 do
+      s := !s +. Float.abs d.(i).(j)
+    done;
+    d.(i).(i) <- !s
+  done;
+  d
+
+let cols_of_dense d =
+  let m = Array.length d in
+  fun k ->
+    let rows = ref [] and vals = ref [] in
+    for i = m - 1 downto 0 do
+      if d.(i).(k) <> 0.0 then begin
+        rows := i :: !rows;
+        vals := d.(i).(k) :: !vals
+      end
+    done;
+    (Array.of_list !rows, Array.of_list !vals)
+
+let max_abs v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+let prop_lu_ftran_residual =
+  QCheck2.Test.make ~name:"LU ftran residual ||Bx - b|| bounded"
+    ~count:(count 300) lu_case_gen (fun (m, entries, b) ->
+      let d = dominant_dense m entries in
+      match Lu.factor ~m ~col:(cols_of_dense d) with
+      | None -> false
+      | Some lu ->
+        let x = Array.copy b in
+        Lu.ftran lu x;
+        (* residual of B x = b with B's column k = d.(.)(k) *)
+        let r = Array.copy b in
+        for k = 0 to m - 1 do
+          for i = 0 to m - 1 do
+            r.(i) <- r.(i) -. (d.(i).(k) *. x.(k))
+          done
+        done;
+        max_abs r <= 1e-7 *. (1.0 +. max_abs b))
+
+let prop_lu_btran_residual =
+  QCheck2.Test.make ~name:"LU btran residual ||B'y - c|| bounded"
+    ~count:(count 300) lu_case_gen (fun (m, entries, c) ->
+      let d = dominant_dense m entries in
+      match Lu.factor ~m ~col:(cols_of_dense d) with
+      | None -> false
+      | Some lu ->
+        let y = Array.copy c in
+        Lu.btran lu y;
+        let r = Array.copy c in
+        for k = 0 to m - 1 do
+          for i = 0 to m - 1 do
+            r.(k) <- r.(k) -. (d.(i).(k) *. y.(i))
+          done;
+          r.(k) <- r.(k) +. 0.0
+        done;
+        max_abs r <= 1e-7 *. (1.0 +. max_abs c))
+
+(* Product-form updates must track a from-scratch refactorization of
+   the updated basis: after k column replacements both paths solve the
+   same systems. *)
+let update_case_gen =
+  let open QCheck2.Gen in
+  let* m = int_range 2 10 in
+  let* entries =
+    list_size (int_range 0 (3 * m))
+      (triple (int_range 0 (m - 1)) (int_range 0 (m - 1))
+         (map (fun v -> float_of_int v /. 2.0) (int_range (-9) 9)))
+  in
+  let* swaps =
+    list_size (int_range 1 8) (pair (int_range 0 (m - 1)) (int_range 0 (m - 1)))
+  in
+  let* b = list_repeat m (map float_of_int (int_range (-20) 20)) in
+  return (m, entries, swaps, Array.of_list b)
+
+let prop_lu_update_matches_refactor =
+  QCheck2.Test.make ~name:"eta updates equivalent to refactorization"
+    ~count:(count 300) update_case_gen (fun (m, entries, swaps, b) ->
+      let d = dominant_dense m entries in
+      let acol = cols_of_dense d in
+      (* slot k holds column basis.(k); -1 = unit slack column e_k *)
+      let basis = Array.make m (-1) in
+      let basis_col k =
+        if basis.(k) < 0 then ([| k |], [| 1.0 |]) else acol basis.(k)
+      in
+      match Lu.factor ~m ~col:basis_col with
+      | None -> false
+      | Some lu ->
+        List.iter
+          (fun (slot, c) ->
+            if not (Array.exists (fun j -> j = c) basis) then begin
+              let w = Array.make m 0.0 in
+              let ri, rv = acol c in
+              Array.iteri (fun p i -> w.(i) <- rv.(p)) ri;
+              Lu.ftran lu w;
+              if Float.abs w.(slot) > 1e-6 then begin
+                Lu.update lu ~slot w;
+                basis.(slot) <- c
+              end
+            end)
+          swaps;
+        (match Lu.factor ~m ~col:basis_col with
+         | None -> false
+         | Some fresh ->
+           let x1 = Array.copy b and x2 = Array.copy b in
+           Lu.ftran lu x1;
+           Lu.ftran fresh x2;
+           let y1 = Array.copy b and y2 = Array.copy b in
+           Lu.btran lu y1;
+           Lu.btran fresh y2;
+           let near u v =
+             let scale = 1.0 +. max_abs v in
+             Array.for_all2
+               (fun a b -> Float.abs (a -. b) <= 1e-6 *. scale)
+               u v
+           in
+           near x1 x2 && near y1 y2))
+
+let test_lu_singular () =
+  (* A structurally singular basis (duplicate column) must be refused,
+     not mis-factorized. *)
+  let col _ = ([| 0; 1 |], [| 1.0; 2.0 |]) in
+  Alcotest.(check bool)
+    "singular detected" true
+    (Lu.factor ~m:2 ~col = None)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_presolve_invariant =
+  QCheck2.Test.make ~name:"presolve never changes status or objective"
+    ~count:(count 250) general_lp_gen (fun p ->
+      let plain = Sp.solve ~presolve:false p in
+      let pre = Sp.solve ~presolve:true p in
+      match (plain.Rs.status, pre.Rs.status) with
+      | Rs.Optimal, Rs.Optimal ->
+        close plain.Rs.objective pre.Rs.objective && feasible p pre
+      | Rs.Unbounded, Rs.Unbounded -> true
+      | (Rs.Iteration_limit | Rs.Cycling), _
+      | _, (Rs.Iteration_limit | Rs.Cycling) ->
+        true
+      | _ -> false)
+
+let prop_presolve_unbounded_agrees =
+  QCheck2.Test.make ~name:"presolve unbounded detection agrees with oracle"
+    ~count:(count 150) unbounded_lp_gen (fun p ->
+      let oracle = Rs.solve p in
+      match Ps.reduce p with
+      | Ps.Unbounded _ -> oracle.Rs.status = Rs.Unbounded
+      | Ps.Reduced (rp, map) ->
+        (* Postsolve of an optimal reduced solution must be feasible
+           for the original program. *)
+        let sol = Sp.solve ~presolve:false rp in
+        (match (sol.Rs.status, oracle.Rs.status) with
+         | Rs.Optimal, Rs.Optimal ->
+           let values = Ps.restore_values map sol.Rs.values in
+           feasible p { sol with Rs.values }
+           && close oracle.Rs.objective
+                (List.fold_left
+                   (fun acc (j, c) -> acc +. (c *. values.(j)))
+                   0.0 p.Rs.maximize)
+         | Rs.Unbounded, Rs.Unbounded -> true
+         | (Rs.Iteration_limit | Rs.Cycling), _
+         | _, (Rs.Iteration_limit | Rs.Cycling) ->
+           true
+         | _ -> false))
+
+let test_presolve_reductions () =
+  (* Empty row, all-nonpositive row, dominated singleton, empty column,
+     and a never-helpful column all disappear; the objective stands. *)
+  let p =
+    {
+      Rs.num_vars = 4;
+      (* x1 never appears; x3 has obj 0 and only positive coeffs. *)
+      maximize = [ (0, 2.0); (2, 1.0) ];
+      rows =
+        [
+          { Rs.coeffs = []; rhs = 5.0 };
+          { Rs.coeffs = [ (0, -1.0); (2, -2.0) ]; rhs = 1.0 };
+          { Rs.coeffs = [ (0, 1.0) ]; rhs = 3.0 };
+          { Rs.coeffs = [ (0, 2.0) ]; rhs = 10.0 };
+          (* dominated: 10/2 > 3 *)
+          { Rs.coeffs = [ (2, 1.0); (3, 1.0) ]; rhs = 4.0 };
+        ];
+    }
+  in
+  match Ps.reduce p with
+  | Ps.Unbounded _ -> Alcotest.fail "not unbounded"
+  | Ps.Reduced (rp, map) ->
+    Alcotest.(check int) "kept rows" 2 (Ps.kept_rows map);
+    Alcotest.(check int) "kept cols" 2 (Ps.kept_cols map);
+    Alcotest.(check int) "reduced vars" 2 rp.Rs.num_vars;
+    let sol = Sp.solve p in
+    let oracle = Rs.solve p in
+    Alcotest.(check bool) "optimal" true (sol.Rs.status = Rs.Optimal);
+    Alcotest.(check (float 1e-6)) "objective" oracle.Rs.objective
+      sol.Rs.objective
+
+let test_presolve_unbounded_column () =
+  let p =
+    {
+      Rs.num_vars = 2;
+      maximize = [ (1, 1.0) ];
+      rows = [ { Rs.coeffs = [ (0, 1.0) ]; rhs = 1.0 } ];
+    }
+  in
+  Alcotest.(check bool)
+    "unbounded" true
+    ((Sp.solve p).Rs.status = Rs.Unbounded);
+  Alcotest.(check bool)
+    "oracle agrees" true
+    ((Rs.solve p).Rs.status = Rs.Unbounded)
+
+(* ------------------------------------------------------------------ *)
+(* Table-1 platform relaxations                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One value per axis step with every other parameter at its Table-1
+   default — the full cross product (115,200 settings) is out of reach
+   for a test suite, the axes are what the paper varies. *)
+let table1_axes =
+  let ks, conns, hets, gs, bws, maxcons =
+    match mode with
+    | Smoke ->
+      ([ 5; 15 ], [ 0.1; 0.8 ], [ 0.2; 0.8 ], [ 50.0; 450.0 ],
+       [ 10.0; 90.0 ], [ 5.0; 95.0 ])
+    | Default ->
+      ( [ 5; 15; 25; 35 ],
+        [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ],
+        [ 0.2; 0.4; 0.6; 0.8 ],
+        [ 50.0; 250.0; 350.0; 450.0 ],
+        [ 10.0; 30.0; 50.0; 70.0; 90.0 ],
+        [ 5.0; 25.0; 45.0; 65.0; 95.0 ] )
+    | Full ->
+      ( [ 5; 15; 25; 35; 45; 55; 65; 75; 85; 95 ],
+        [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ],
+        [ 0.2; 0.4; 0.6; 0.8 ],
+        [ 50.0; 250.0; 350.0; 450.0 ],
+        List.init 9 (fun i -> float_of_int (10 * (i + 1))),
+        List.init 10 (fun i -> float_of_int ((10 * i) + 5)) )
+  in
+  let d = Gen_p.default_params in
+  List.concat
+    [
+      List.map (fun k -> ("k", float_of_int k, { d with Gen_p.k })) ks;
+      List.map
+        (fun connectivity ->
+          ("connectivity", connectivity, { d with Gen_p.connectivity }))
+        conns;
+      List.map
+        (fun heterogeneity ->
+          ("heterogeneity", heterogeneity, { d with Gen_p.heterogeneity }))
+        hets;
+      List.map (fun mean_g -> ("g", mean_g, { d with Gen_p.mean_g })) gs;
+      List.map (fun mean_bw -> ("bw", mean_bw, { d with Gen_p.mean_bw })) bws;
+      List.map
+        (fun mean_maxcon -> ("maxcon", mean_maxcon, { d with Gen_p.mean_maxcon }))
+        maxcons;
+    ]
+
+(* Feasibility of a relaxation solution against the platform's rows
+   (7b compute, 7c local links, 7d backbone slots). *)
+let relax_feasible platform (sol : float Lp_relax.solution) =
+  let kk = P.num_clusters platform in
+  let tol cap = 1e-6 *. Float.max 1.0 cap in
+  let ok = ref true in
+  for l = 0 to kk - 1 do
+    let load = ref 0.0 in
+    for k = 0 to kk - 1 do
+      load := !load +. sol.Lp_relax.alpha.(k).(l)
+    done;
+    if !load > P.speed platform l +. tol (P.speed platform l) then ok := false
+  done;
+  for k = 0 to kk - 1 do
+    let traffic = ref 0.0 in
+    for l = 0 to kk - 1 do
+      if l <> k then
+        traffic :=
+          !traffic +. sol.Lp_relax.alpha.(k).(l) +. sol.Lp_relax.alpha.(l).(k)
+    done;
+    if !traffic > P.local_bw platform k +. tol (P.local_bw platform k) then
+      ok := false
+  done;
+  for link = 0 to P.num_backbones platform - 1 do
+    let slots = ref 0.0 in
+    List.iter
+      (fun (k, l) -> slots := !slots +. sol.Lp_relax.beta.(k).(l))
+      (P.routes_through platform link);
+    let cap = float_of_int (P.backbone platform link).P.max_connect in
+    if !slots > cap +. tol cap then ok := false
+  done;
+  !ok
+
+let test_table1_grid () =
+  List.iteri
+    (fun idx (axis, v, params) ->
+      let rng = Prng.create ~seed:(0x7D1F + idx) in
+      let platform = Gen_p.generate rng params in
+      let payoffs = Array.make (P.num_clusters platform) 1.0 in
+      let problem = Problem.make platform ~payoffs in
+      List.iter
+        (fun objective ->
+          let name =
+            Printf.sprintf "%s=%g %s" axis v
+              (match objective with
+               | Lp_relax.Maxmin -> "maxmin"
+               | Lp_relax.Sum -> "sum")
+          in
+          let dense =
+            Lp_relax.solve ~backend:Backend.Dense ~objective problem
+          in
+          let sparse =
+            Lp_relax.solve ~backend:Backend.Sparse ~objective problem
+          in
+          match (dense, sparse) with
+          | Lp_relax.Solution d, Lp_relax.Solution s ->
+            if not (close d.Lp_relax.objective_value s.Lp_relax.objective_value)
+            then
+              Alcotest.failf "%s: dense %.9g vs sparse %.9g" name
+                d.Lp_relax.objective_value s.Lp_relax.objective_value;
+            if not (relax_feasible platform s) then
+              Alcotest.failf "%s: sparse solution infeasible" name;
+            if not (relax_feasible platform d) then
+              Alcotest.failf "%s: dense solution infeasible" name
+          | Lp_relax.Failed a, Lp_relax.Failed b ->
+            if a <> b then Alcotest.failf "%s: %s vs %s" name a b
+          | Lp_relax.Solution _, Lp_relax.Failed msg ->
+            Alcotest.failf "%s: sparse failed (%s), dense solved" name msg
+          | Lp_relax.Failed msg, Lp_relax.Solution _ ->
+            Alcotest.failf "%s: dense failed (%s), sparse solved" name msg)
+        (Lp_relax.Maxmin :: (if axis = "k" then [ Lp_relax.Sum ] else [])))
+    table1_axes
+
+(* ------------------------------------------------------------------ *)
+(* Warm starts on the sparse backend                                   *)
+(* ------------------------------------------------------------------ *)
+
+let textbook rhs1 rhs2 rhs3 =
+  {
+    Rs.num_vars = 2;
+    maximize = [ (0, 3.0); (1, 5.0) ];
+    rows =
+      [
+        { Rs.coeffs = [ (0, 1.0) ]; rhs = rhs1 };
+        { Rs.coeffs = [ (1, 2.0) ]; rhs = rhs2 };
+        { Rs.coeffs = [ (0, 3.0); (1, 2.0) ]; rhs = rhs3 };
+      ];
+  }
+
+let test_sparse_warm_counters () =
+  let st = Sp.create (textbook 4.0 12.0 18.0) in
+  let s1 = Sp.solve_state st in
+  Alcotest.(check (float 1e-6)) "first solve" 36.0 s1.Rs.objective;
+  Alcotest.(check (float 1e-6)) "rhs read-back" 4.0 (Sp.rhs st ~row:0);
+  Sp.set_rhs st ~row:0 5.0;
+  let s2 = Sp.solve_state st in
+  Alcotest.(check (float 1e-6)) "re-solve" 36.0 s2.Rs.objective;
+  let c = Sp.counters st in
+  Alcotest.(check int) "solves" 2 c.Rs.solves;
+  Alcotest.(check int) "cold starts" 1 c.Rs.cold_starts;
+  Alcotest.(check int) "warm starts" 1 c.Rs.warm_starts;
+  Alcotest.(check bool) "wall clock advances" true (c.Rs.wall_clock > 0.0);
+  match Sp.factor_stats st with
+  | None -> Alcotest.fail "no factorization after solving"
+  | Some (nnz, fill, _) ->
+    Alcotest.(check bool) "factor nnz positive" true (nnz > 0);
+    Alcotest.(check bool) "fill-in non-negative" true (fill >= 0)
+
+let chain_problem n =
+  {
+    Rs.num_vars = n;
+    maximize = List.init n (fun i -> (i, 1.0));
+    rows =
+      List.init n (fun i ->
+          {
+            Rs.coeffs = ((i, 1.0) :: if i > 0 then [ (i - 1, 0.5) ] else []);
+            rhs = 10.0;
+          });
+  }
+
+let test_sparse_warm_fewer_pivots () =
+  (* The PR-1 dense assertion, mirrored: resuming from the previous
+     optimal basis after a small relaxation must beat the cold pivot
+     count on a many-pivot chain. *)
+  let n = 60 in
+  let st = Sp.create (chain_problem n) in
+  let cold = Sp.solve_state st in
+  Alcotest.(check bool) "cold optimal" true (cold.Rs.status = Rs.Optimal);
+  Alcotest.(check bool) "cold pivots" true (cold.Rs.iterations > 0);
+  Sp.set_rhs st ~row:0 10.5;
+  let warm = Sp.solve_state st in
+  Alcotest.(check bool) "warm optimal" true (warm.Rs.status = Rs.Optimal);
+  let c = Sp.counters st in
+  Alcotest.(check int) "warm starts" 1 c.Rs.warm_starts;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm pivots (%d) < cold pivots (%d)" warm.Rs.iterations
+       cold.Rs.iterations)
+    true
+    (warm.Rs.iterations < cold.Rs.iterations);
+  (* And the warm optimum matches a from-scratch solve. *)
+  let scratch =
+    Sp.solve
+      { (chain_problem n) with
+        Rs.rows =
+          (match (chain_problem n).Rs.rows with
+           | r0 :: rest -> { r0 with Rs.rhs = 10.5 } :: rest
+           | [] -> assert false);
+      }
+  in
+  Alcotest.(check (float 1e-6)) "matches cold re-solve" scratch.Rs.objective
+    warm.Rs.objective
+
+let prop_sparse_warm_matches_oracle =
+  QCheck2.Test.make
+    ~name:"sparse warm re-solve after tightening matches the oracle"
+    ~count:(count 100)
+    QCheck2.Gen.(
+      let* lp = general_lp_gen in
+      let* row_frac = float_range 0.0 1.0 in
+      let* shrink = float_range 0.3 1.0 in
+      return (lp, row_frac, shrink))
+    (fun (p, row_frac, shrink) ->
+      let nrows = List.length p.Rs.rows in
+      if nrows = 0 then true
+      else begin
+        let row =
+          min (nrows - 1) (int_of_float (row_frac *. float_of_int nrows))
+        in
+        let st = Sp.create p in
+        let s1 = Sp.solve_state st in
+        if s1.Rs.status <> Rs.Optimal then true
+        else begin
+          let old = Sp.rhs st ~row in
+          Sp.set_rhs st ~row (old *. shrink);
+          let s2 = Sp.solve_state st in
+          let tightened =
+            {
+              p with
+              Rs.rows =
+                List.mapi
+                  (fun i (r : Rs.constr) ->
+                    if i = row then { r with Rs.rhs = r.Rs.rhs *. shrink }
+                    else r)
+                  p.Rs.rows;
+            }
+          in
+          let oracle = Rs.solve tightened in
+          match (s2.Rs.status, oracle.Rs.status) with
+          | Rs.Optimal, Rs.Optimal ->
+            close s2.Rs.objective oracle.Rs.objective
+          | Rs.Unbounded, Rs.Unbounded -> true
+          | (Rs.Iteration_limit | Rs.Cycling), _
+          | _, (Rs.Iteration_limit | Rs.Cycling) ->
+            true
+          | _ -> false
+        end
+      end)
+
+(* Registry counters flow identically through the Model incremental
+   path under the sparse backend (shared lp.* metric names plus the
+   lp.factor.* family). *)
+let test_model_incremental_sparse () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+  @@ fun () ->
+  let m = M.create () in
+  let x = M.add_var ~name:"x" m in
+  let y = M.add_var ~name:"y" m in
+  M.add_le m [ (x, 1.0) ] 4.0;
+  M.add_le m [ (y, 2.0) ] 12.0;
+  M.add_le m [ (x, 3.0); (y, 2.0) ] 18.0;
+  M.set_objective m [ (x, 3.0); (y, 5.0) ];
+  let h = M.incremental ~backend:Backend.Sparse m in
+  let r1 = M.inc_solve h in
+  Alcotest.(check (float 1e-6)) "first objective" 36.0 r1.M.objective;
+  M.inc_set_rhs h ~row:1 6.0;
+  let r2 = M.inc_solve h in
+  Alcotest.(check bool) "re-solve optimal" true (r2.M.status = M.Solver.Optimal);
+  let counter name =
+    match List.assoc_opt name (Obs.snapshot ()) with
+    | Some (Obs.Counter n) -> n
+    | _ -> Alcotest.failf "metric %s not a registered counter" name
+  in
+  Alcotest.(check int) "solves" 2 (counter "lp.solves");
+  Alcotest.(check int) "solve starts" 2
+    (counter "lp.warm_starts" + counter "lp.cold_starts");
+  Alcotest.(check bool) "refactors counted" true
+    (counter "lp.factor.refactors" > 0);
+  (match List.assoc_opt "lp.factor.nnz" (Obs.snapshot ()) with
+   | Some (Obs.Histogram h) ->
+     Alcotest.(check bool) "factor nnz observed" true (h.Obs.hs_count > 0)
+   | _ -> Alcotest.fail "lp.factor.nnz not registered");
+  let c = M.inc_counters h in
+  Alcotest.(check int) "state solves" 2 c.Rs.solves
+
+(* The budget/optimality off-by-one pinned from the sparse side too: a
+   solve that needs exactly its budget of pivots is Optimal. *)
+let test_sparse_budget_boundary () =
+  let p = chain_problem 20 in
+  let full = Sp.solve ~presolve:false p in
+  Alcotest.(check bool) "full optimal" true (full.Rs.status = Rs.Optimal);
+  Alcotest.(check bool) "needs pivots" true (full.Rs.iterations > 0);
+  let exact = Sp.solve ~presolve:false ~max_iterations:full.Rs.iterations p in
+  Alcotest.(check bool) "exact budget still optimal" true
+    (exact.Rs.status = Rs.Optimal)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dls_lp_diff"
+    [
+      ( "differential",
+        qsuite
+          [
+            prop_diff_general;
+            prop_diff_degenerate;
+            prop_diff_unbounded;
+            prop_sparse_strong_duality;
+          ] );
+      ( "csc",
+        qsuite [ prop_csc_roundtrip; prop_csc_transpose; prop_csc_matvec ] );
+      ( "sparse-lu",
+        Alcotest.test_case "singular basis refused" `Quick test_lu_singular
+        :: qsuite
+             [
+               prop_lu_ftran_residual;
+               prop_lu_btran_residual;
+               prop_lu_update_matches_refactor;
+             ] );
+      ( "presolve",
+        Alcotest.test_case "structural reductions" `Quick
+          test_presolve_reductions
+        :: Alcotest.test_case "unbounded column" `Quick
+             test_presolve_unbounded_column
+        :: qsuite [ prop_presolve_invariant; prop_presolve_unbounded_agrees ] );
+      ( "table1-grid",
+        [ Alcotest.test_case "axes sweep, both backends" `Slow test_table1_grid ]
+      );
+      ( "warm-start",
+        Alcotest.test_case "counters and re-solve" `Quick
+          test_sparse_warm_counters
+        :: Alcotest.test_case "fewer pivots than cold" `Quick
+             test_sparse_warm_fewer_pivots
+        :: Alcotest.test_case "model incremental, sparse backend" `Quick
+             test_model_incremental_sparse
+        :: Alcotest.test_case "budget boundary is optimal" `Quick
+             test_sparse_budget_boundary
+        :: qsuite [ prop_sparse_warm_matches_oracle ] );
+    ]
