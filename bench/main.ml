@@ -477,10 +477,11 @@ let quick () =
   lp_scale_series ~ks:[ 25 ] ();
   Format.printf "done.@."
 
-(* --trace FILE / --metrics FILE: same observability sinks as the CLI —
-   a Chrome trace_event file and/or a JSONL metrics dump, written at
-   exit.  Left off, both subsystems stay in their free disabled state,
-   so the timing series are unperturbed. *)
+(* --trace/--metrics/--log/--log-level/--flight/--telemetry/--publish:
+   same observability sinks as the CLI — Chrome trace, JSONL metrics
+   dump, structured log, flight recorder and the live Prometheus /
+   snapshot-delta exporters.  Left off, every subsystem stays in its
+   free disabled state, so the timing series are unperturbed. *)
 let flag_value name =
   let r = ref None in
   Array.iteri
@@ -496,10 +497,28 @@ let () =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
-  (match (flag_value "--trace", flag_value "--metrics") with
-  | (None, None) -> ()
-  | (trace, metrics) ->
-    Dls_obs.Obs.configure ?trace ?metrics ();
+  (match
+     ( flag_value "--trace", flag_value "--metrics", flag_value "--log",
+       flag_value "--flight", flag_value "--telemetry", flag_value "--publish" )
+   with
+  | None, None, None, None, None, None -> ()
+  | trace, metrics, log, flight, telemetry, publish ->
+    let log_level =
+      Option.bind (flag_value "--log-level") Dls_obs.Log.level_of_name
+    in
+    let telemetry =
+      Option.map
+        (fun s ->
+          match Dls_obs.Publish.addr_of_string s with
+          | Ok a -> a
+          | Error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2)
+        telemetry
+    in
+    Dls_obs.Obs.configure ?trace ?metrics ?log
+      ~log_level:(Option.value log_level ~default:Dls_obs.Log.Info)
+      ?flight ?telemetry ?publish ();
     at_exit Dls_obs.Obs.finalize);
   if Array.exists (String.equal "--quick") Sys.argv then quick ()
   else if Array.exists (String.equal "--warm") Sys.argv then

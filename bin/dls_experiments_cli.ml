@@ -28,21 +28,100 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let log_arg =
+  let doc =
+    "Append structured JSONL log records (one JSON object per line: ts, \
+     level, msg, typed fields) to $(docv), live."
+  in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc = "Log threshold for --log: error, warn, info or debug." in
+  Arg.(value
+       & opt
+           (enum
+              [ ("error", Dls_obs.Log.Error); ("warn", Dls_obs.Log.Warn);
+                ("info", Dls_obs.Log.Info); ("debug", Dls_obs.Log.Debug) ])
+           Dls_obs.Log.Info
+       & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let flight_arg =
+  let doc =
+    "Keep a bounded in-memory flight recorder of recent log records, span \
+     completions and fault instants, dumped as JSONL to $(docv) at exit, on \
+     an uncaught exception, and on SIGUSR1 — the post-mortem for a crashed \
+     or wedged run."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
+let telemetry_conv =
+  let parse s =
+    match Dls_obs.Publish.addr_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Dls_obs.Publish.addr_to_string a))
+
+let telemetry_arg =
+  let doc =
+    "Serve live Prometheus text exposition of the metrics registry on \
+     $(docv) (PORT, HOST:PORT or unix:PATH) for the whole run; scrape with \
+     curl or Prometheus.  Implies the registry is enabled."
+  in
+  Arg.(value & opt (some telemetry_conv) None
+       & info [ "telemetry" ] ~docv:"ADDR" ~doc)
+
+let publish_arg =
+  let doc =
+    "Append periodic metrics-snapshot deltas to $(docv) as timestamped \
+     JSONL, one tick per --publish-interval; folding the deltas together \
+     reconstructs the cumulative registry state at any tick.  Implies the \
+     registry is enabled."
+  in
+  Arg.(value & opt (some string) None & info [ "publish" ] ~docv:"FILE" ~doc)
+
+let publish_interval_arg =
+  let doc = "Seconds between --publish ticks." in
+  Arg.(value & opt float 1.0 & info [ "publish-interval" ] ~docv:"SECS" ~doc)
+
+(* The full observability flag set, bundled so every long-running
+   subcommand picks it up as one Cmdliner term. *)
+type obs_flags = {
+  o_trace : string option;
+  o_metrics : string option;
+  o_log : string option;
+  o_log_level : Dls_obs.Log.level;
+  o_flight : string option;
+  o_telemetry : Dls_obs.Publish.addr option;
+  o_publish : string option;
+  o_publish_interval : float;
+}
+
+let obs_term =
+  let mk o_trace o_metrics o_log o_log_level o_flight o_telemetry o_publish
+      o_publish_interval =
+    { o_trace; o_metrics; o_log; o_log_level; o_flight; o_telemetry;
+      o_publish; o_publish_interval }
+  in
+  Term.(const mk $ trace_arg $ metrics_arg $ log_arg $ log_level_arg
+        $ flight_arg $ telemetry_arg $ publish_arg $ publish_interval_arg)
+
 (* Observability is configured once before the run and flushed once at
    process exit — [at_exit] rather than an unwind handler so the files
    are also written on the [exit 1] error paths, where a partial trace
-   is exactly the one worth looking at. *)
-let with_obs ?trace ?metrics f =
-  Dls_obs.Obs.configure ?trace ?metrics ();
-  (match (trace, metrics) with
-  | None, None -> ()
-  | _ -> at_exit Dls_obs.Obs.finalize);
+   is exactly the one worth looking at.  [Obs.finalize] is idempotent,
+   so the handler is registered unconditionally. *)
+let with_obs o f =
+  Dls_obs.Obs.configure ?trace:o.o_trace ?metrics:o.o_metrics ?log:o.o_log
+    ~log_level:o.o_log_level ?flight:o.o_flight ?telemetry:o.o_telemetry
+    ?publish:o.o_publish ~publish_interval:o.o_publish_interval ();
+  at_exit Dls_obs.Obs.finalize;
   f ()
 
 let lp_backend_arg =
   let doc =
-    "Revised-simplex core for every LP solve in the run: $(b,dense) (the \\
-     PR-1 eta-file solver) or $(b,sparse) (the Markowitz-LU core with \\
+    "Revised-simplex core for every LP solve in the run: $(b,dense) (the \
+     PR-1 eta-file solver) or $(b,sparse) (the Markowitz-LU core with \
      presolve and partial pricing; same optima, built for large K)."
   in
   Arg.(value
@@ -246,7 +325,7 @@ let campaign_cmd =
          & info [ "quiet" ] ~doc:"Suppress progress lines (warnings only).")
   in
   let run lp_backend seed ks per_k with_lprr lprr_max_k no_timings shards shard resume
-      out_jsonl checkpoint_every domains chunk quiet trace metrics =
+      out_jsonl checkpoint_every domains chunk quiet obs =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if quiet then Logs.Warning else Logs.Info));
     Dls_lp.Backend.set_default lp_backend;
@@ -254,7 +333,7 @@ let campaign_cmd =
       { E.Campaign.seed; ks; per_k; with_lprr; lprr_max_k;
         measure_time = not no_timings }
     in
-    with_obs ?trace ?metrics @@ fun () ->
+    with_obs obs @@ fun () ->
     match
       E.Campaign.run ?domains ?chunk ~checkpoint_every ~shards ?shard ~resume
         ?out:out_jsonl config
@@ -277,7 +356,7 @@ let campaign_cmd =
           $ per_k_arg 5 $ with_lprr_arg $ lprr_max_k_arg $ no_timings_arg
           $ shards_arg $ shard_arg $ resume_arg $ out_jsonl_arg
           $ checkpoint_every_arg $ domains_arg $ chunk_arg $ quiet_arg
-          $ trace_arg $ metrics_arg)
+          $ obs_term)
 
 let resilience_cmd =
   let rates_arg =
@@ -324,7 +403,7 @@ let resilience_cmd =
                    byte-reproducible.")
   in
   let run lp_backend seed k rates per_rate periods kill no_timings resume out_jsonl domains
-      out trace metrics =
+      out obs =
     setup_logs ();
     Dls_lp.Backend.set_default lp_backend;
     let config =
@@ -332,7 +411,7 @@ let resilience_cmd =
         policy = (if kill then Dls_flowsim.Faults.Kill else Dls_flowsim.Faults.Stall);
         measure_time = not no_timings }
     in
-    with_obs ?trace ?metrics @@ fun () ->
+    with_obs obs @@ fun () ->
     let records = ref [] in
     match
       E.Resilience.run ?domains ~resume ?out:out_jsonl
@@ -362,7 +441,7 @@ let resilience_cmd =
           runner's checkpoint/resume).")
     Term.(const run $ lp_backend_arg $ seed_arg 21 $ k_arg $ rates_arg $ per_rate_arg
           $ periods_arg $ kill_arg $ no_timings_arg $ resume_arg $ out_jsonl_arg
-          $ domains_arg $ out_arg $ trace_arg $ metrics_arg)
+          $ domains_arg $ out_arg $ obs_term)
 
 let dynamic_cmd =
   let k_arg =
@@ -435,7 +514,7 @@ let dynamic_cmd =
                    byte-reproducible.")
   in
   let run lp_backend seed k platforms jobs rate heavy swf work_scale fault_rate
-      policy_names no_timings resume out_jsonl domains events out trace metrics =
+      policy_names no_timings resume out_jsonl domains events out obs =
     setup_logs ();
     Dls_lp.Backend.set_default lp_backend;
     let policies =
@@ -453,7 +532,7 @@ let dynamic_cmd =
       { E.Dynexp.seed; k; platforms; jobs; rate; heavy; swf; work_scale;
         fault_rate; policies; measure_time = not no_timings }
     in
-    with_obs ?trace ?metrics @@ fun () ->
+    with_obs obs @@ fun () ->
     let records = ref [] in
     match
       E.Dynexp.run ?domains ~resume ?out:out_jsonl
@@ -496,7 +575,7 @@ let dynamic_cmd =
           $ heavy_arg $ swf_arg $ work_scale_arg $ fault_rate_arg
           $ policies_arg $ no_timings_arg
           $ resume_arg $ out_jsonl_arg $ domains_arg $ events_arg $ out_arg
-          $ trace_arg $ metrics_arg)
+          $ obs_term)
 
 let adaptivity_cmd =
   let run lp_backend seed out =

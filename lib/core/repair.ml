@@ -1,4 +1,6 @@
 module P = Dls_platform.Platform
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
 
 type stage = Rescale | Refine | Resolve
 
@@ -191,11 +193,28 @@ let repair ?objective ?heuristic ?rng ?(budgets = default_budgets) degraded
         | None -> ());
         match repaired with
         | Some a when att.objective > 0.0 -> Some (stage, a)
-        | _ -> None)
+        | _ ->
+          (* This rung did not settle it; the ladder escalates. *)
+          if Olog.enabled Olog.Debug then
+            Olog.debug "repair.escalate"
+              ~fields:
+                [ ("from", Olog.Str (stage_name stage));
+                  ("feasible", Olog.Bool att.feasible);
+                  ("objective", Olog.Float att.objective);
+                  ("seconds", Olog.Float att.seconds) ];
+          if Flight.enabled () then
+            Flight.record ~kind:"repair" ("escalate past " ^ stage_name stage)
+              ~fields:[ ("feasible", string_of_bool att.feasible) ];
+          None)
       ladder
   in
   let attempts = List.rev !attempts in
   match (winner, !best) with
   | Some (stage, allocation), _ -> Ok { allocation; stage; attempts }
   | None, Some (stage, allocation, _) -> Ok { allocation; stage; attempts }
-  | None, None -> Error "repair: no stage produced a feasible allocation"
+  | None, None ->
+    Olog.error "repair.failed"
+      ~fields:[ ("attempts", Olog.Int (List.length attempts)) ];
+    if Flight.enabled () then
+      Flight.record ~kind:"repair" "failed: no feasible stage";
+    Error "repair: no stage produced a feasible allocation"

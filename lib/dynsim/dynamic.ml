@@ -7,6 +7,8 @@ module Faults = Dls_flowsim.Faults
 module Sim = Dls_flowsim.Simulator
 module M = Dls_obs.Metrics
 module Trace = Dls_obs.Trace
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
 
 let m_events = M.counter "dyn.events"
 let m_replans = M.counter "dyn.replans"
@@ -213,11 +215,34 @@ let run ?(policy = Lp_repair) ?(heuristic = Heuristics.LPRG) ?objective
           now reason (policy_name policy)
           (List.length admitted)
           (Repair.stage_name outcome.Repair.stage)
-          (Allocation.objective `Maxmin problem alloc)
+          (Allocation.objective `Maxmin problem alloc);
+        if Olog.enabled Olog.Debug then
+          Olog.debug "dyn.replan"
+            ~fields:
+              [ ("sim_t", Olog.Float now);
+                ("reason", Olog.Str reason);
+                ("policy", Olog.Str (policy_name policy));
+                ("active", Olog.Int (List.length admitted));
+                ("stage", Olog.Str (Repair.stage_name outcome.Repair.stage));
+                ("seconds", Olog.Float ladder_s) ];
+        if Flight.enabled () then
+          Flight.record ~kind:"replan" reason
+            ~fields:
+              [ ("policy", policy_name policy);
+                ("stage", Repair.stage_name outcome.Repair.stage) ]
       | Error e ->
         (* Cannot happen for well-formed platforms (Rescale is total);
            degrade to an idle plan rather than abort the replay. *)
         prev_alloc := Allocation.zero kk;
+        Olog.error "dyn.replan.failed"
+          ~fields:
+            [ ("sim_t", Olog.Float now);
+              ("reason", Olog.Str reason);
+              ("policy", Olog.Str (policy_name policy));
+              ("error", Olog.Str e) ];
+        if Flight.enabled () then
+          Flight.record ~kind:"replan" "failed"
+            ~fields:[ ("reason", reason); ("error", e) ];
         logf "t=%.17g replan reason=%s policy=%s failed %s\n" now reason
           (policy_name policy) e
     end;
@@ -263,6 +288,11 @@ let run ?(policy = Lp_repair) ?(heuristic = Heuristics.LPRG) ?objective
     if !guard <= 0 then begin
       guard_exhausted := true;
       M.incr m_guard_exhausted;
+      Olog.error "dyn.guard_exhausted"
+        ~fields:[ ("sim_t", Olog.Float !clock); ("events", Olog.Int !events) ];
+      if Flight.enabled () then
+        Flight.record ~kind:"fault" "dyn.guard_exhausted"
+          ~fields:[ ("sim_t", Printf.sprintf "%.17g" !clock) ];
       stop := true
     end
     else begin
@@ -294,8 +324,14 @@ let run ?(policy = Lp_repair) ?(heuristic = Heuristics.LPRG) ?objective
               let sp = Trace.start ~cat:"dyn" "dyn.event" in
               List.iter
                 (fun fe ->
-                  logf "t=%.17g fault %s\n" t
-                    (Format.asprintf "%a" Faults.pp_kind fe.Faults.kind))
+                  let descr = Format.asprintf "%a" Faults.pp_kind fe.Faults.kind in
+                  logf "t=%.17g fault %s\n" t descr;
+                  if Olog.enabled Olog.Warn then
+                    Olog.warn "dyn.fault"
+                      ~fields:[ ("sim_t", Olog.Float t); ("fault", Olog.Str descr) ];
+                  if Flight.enabled () then
+                    Flight.record ~kind:"fault" descr
+                      ~fields:[ ("sim_t", Printf.sprintf "%.17g" t) ])
                 applied;
               replan ~now:t ~reason:"fault";
               schedule_completion t;

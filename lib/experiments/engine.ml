@@ -1,6 +1,8 @@
 module Parallel = Dls_util.Parallel
 module M = Dls_obs.Metrics
 module Trace = Dls_obs.Trace
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
 
 type 'e spec = {
   log_label : string;
@@ -146,7 +148,15 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
   let logged_total = ref replayed_n in
   let checkpoint () =
     match out with
-    | Some path -> spec.write_manifest ~out:path ~completed:!logged_total
+    | Some path ->
+      spec.write_manifest ~out:path ~completed:!logged_total;
+      if Olog.enabled Olog.Debug then
+        Olog.debug "engine.checkpoint"
+          ~fields:
+            [ ("experiment", Olog.Str spec.log_label);
+              ("completed", Olog.Int !logged_total) ];
+      Flight.record ~kind:"checkpoint" spec.log_label
+        ~fields:[ ("completed", string_of_int !logged_total) ]
     | None -> ()
   in
   let t0 = Unix.gettimeofday () in
@@ -186,6 +196,12 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
     | Some reason ->
       status.(spec.index_of e) <- `Skipped;
       M.incr m_skipped;
+      if Olog.enabled Olog.Warn then
+        Olog.warn "engine.entry.skipped"
+          ~fields:
+            [ ("experiment", Olog.Str spec.log_label);
+              ("index", Olog.Int (spec.index_of e));
+              ("reason", Olog.Str reason) ];
       Logs.warn (fun m ->
           m "%s: index %d skipped: %s" spec.log_label (spec.index_of e) reason));
     incr evaluated;
@@ -213,6 +229,12 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
         (fun s ->
           let sp = Trace.start ~cat:"campaign" (spec.log_label ^ ".shard") in
           let before = !evaluated in
+          if Olog.enabled Olog.Info then
+            Olog.info "engine.shard.start"
+              ~fields:
+                [ ("experiment", Olog.Str spec.log_label);
+                  ("shard", Olog.Int s);
+                  ("pending", Olog.Int (Array.length (pending_of s))) ];
           Parallel.map_chunked ?domains ?chunk spec.evaluate (pending_of s)
             ~on_chunk:(fun ~offset:_ results ->
               Array.iter handle_entry results;
@@ -222,6 +244,17 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
                 checkpoint ()
               end;
               progress ());
+          if Olog.enabled Olog.Info then
+            Olog.info "engine.shard.finish"
+              ~fields:
+                [ ("experiment", Olog.Str spec.log_label);
+                  ("shard", Olog.Int s);
+                  ("entries", Olog.Int (!evaluated - before)) ];
+          if Flight.enabled () then
+            Flight.record ~kind:"shard" (spec.log_label ^ ".shard")
+              ~fields:
+                [ ("shard", string_of_int s);
+                  ("entries", string_of_int (!evaluated - before)) ];
           if Trace.live sp then
             Trace.finish sp
               ~args:

@@ -2,6 +2,8 @@ module P = Dls_platform.Platform
 module A = Dls_core.Allocation
 module M = Dls_obs.Metrics
 module Trace = Dls_obs.Trace
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
 
 let m_runs = M.counter "sim.runs"
 let m_rounds = M.counter "sim.rounds"
@@ -189,6 +191,18 @@ let run ?(periods = 20) ?(warmup = 2) ?latency ?faults
       faulted := true;
       M.add m_faults_applied (List.length applied);
       Trace.instant ~cat:"sim" "sim.fault";
+      List.iter
+        (fun fe ->
+          if Olog.enabled Olog.Warn || Flight.enabled () then begin
+            let descr = Format.asprintf "%a" Faults.pp_kind fe.Faults.kind in
+            if Olog.enabled Olog.Warn then
+              Olog.warn "sim.fault"
+                ~fields:[ ("sim_t", Olog.Float now); ("fault", Olog.Str descr) ];
+            if Flight.enabled () then
+              Flight.record ~kind:"fault" descr
+                ~fields:[ ("sim_t", Printf.sprintf "%.17g" now) ]
+          end)
+        applied;
       refresh_capacities ();
       List.iter (fun fl -> fl.cap <- current_cap fl.route fl.beta) !active;
       cull_if_killing ()

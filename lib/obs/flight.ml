@@ -1,0 +1,108 @@
+module J = Dls_util.Json
+
+type entry = {
+  fl_ts : float;
+  fl_kind : string;
+  fl_what : string;
+  fl_fields : (string * string) list;
+}
+
+let default_capacity = 4096
+
+(* Hot-path gate, same discipline as Metrics/Trace: one atomic load and
+   a branch when the recorder is off. *)
+let on = Atomic.make false
+
+let lock = Mutex.create ()
+
+(* Ring state, guarded by [lock].  [ring] slots hold [None] until first
+   written; [head] is the next write position; [seen_] counts every
+   record ever made, so [seen_ - kept] is the number overwritten. *)
+let ring : entry option array ref = ref (Array.make default_capacity None)
+
+let head = ref 0
+
+let seen_ = ref 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled () = Atomic.get on
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Flight.enable: capacity must be >= 1";
+  with_lock (fun () ->
+      ring := Array.make capacity None;
+      head := 0;
+      seen_ := 0);
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let reset () =
+  with_lock (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      head := 0;
+      seen_ := 0)
+
+let push e =
+  with_lock (fun () ->
+      let r = !ring in
+      r.(!head) <- Some e;
+      head := (!head + 1) mod Array.length r;
+      incr seen_)
+
+let record ?(fields = []) ~kind what =
+  if Atomic.get on then
+    push { fl_ts = Clock.now (); fl_kind = kind; fl_what = what;
+           fl_fields = fields }
+
+let note_log ~ts ~level ~msg ~fields =
+  if Atomic.get on then
+    push { fl_ts = ts; fl_kind = "log"; fl_what = msg;
+           fl_fields = ("level", level) :: fields }
+
+let note_span ~name ~dur_us =
+  if Atomic.get on then
+    push { fl_ts = Clock.now (); fl_kind = "span"; fl_what = name;
+           fl_fields = [ ("dur_us", Printf.sprintf "%.17g" dur_us) ] }
+
+let entries () =
+  with_lock (fun () ->
+      let r = !ring in
+      let n = Array.length r in
+      (* Oldest-first: slots [head .. head+n) modulo n, skipping the
+         never-written ones of a ring that has not wrapped yet. *)
+      let acc = ref [] in
+      for i = n - 1 downto 0 do
+        match r.((!head + i) mod n) with
+        | Some e -> acc := e :: !acc
+        | None -> ()
+      done;
+      !acc)
+
+let seen () = with_lock (fun () -> !seen_)
+
+let entry_to_json e =
+  J.Obj
+    (("ts", J.Num e.fl_ts)
+    :: ("kind", J.Str e.fl_kind)
+    :: ("what", J.Str e.fl_what)
+    :: List.map (fun (k, v) -> (k, J.Str v)) e.fl_fields)
+
+let dump () =
+  let es = entries () in
+  let header =
+    J.Obj
+      [ ("flight", J.Str "dump");
+        ("seen", J.Num (float_of_int (seen ())));
+        ("kept", J.Num (float_of_int (List.length es))) ]
+  in
+  String.concat ""
+    (List.map (fun j -> J.to_string j ^ "\n") (header :: List.map entry_to_json es))
+
+let dump_to path =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (dump ()));
+  Sys.rename tmp path

@@ -1,0 +1,64 @@
+(** Crash flight recorder: a bounded ring of recent telemetry.
+
+    While enabled, the ring keeps the last [capacity] entries — log
+    records, span completions and fault instants — overwriting the
+    oldest.  A crashed or wedged run can then be dumped post mortem:
+    {!Obs} arranges a dump on uncaught exception and on [SIGUSR1], and
+    {!dump_to} works on demand.
+
+    Lock-light: recording takes one small mutex for an array store and
+    two index bumps; nothing is rendered or allocated beyond the entry
+    itself until a dump is requested.  Disabled (the default), {!record}
+    is one atomic load and a branch. *)
+
+type entry = {
+  fl_ts : float;  (** µs, from {!Clock.now} at record time. *)
+  fl_kind : string;  (** ["log"], ["span"], ["fault"], ... *)
+  fl_what : string;  (** Log message / span name / fault description. *)
+  fl_fields : (string * string) list;
+}
+
+(** {1 Switch} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording into a fresh ring of [capacity] entries (default
+    {!default_capacity}).  @raise Invalid_argument on capacity < 1. *)
+
+val default_capacity : int
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all entries (capacity and switch state are kept). *)
+
+(** {1 Recording} *)
+
+val record : ?fields:(string * string) list -> kind:string -> string -> unit
+(** Append one entry stamped with the current {!Clock} time. *)
+
+val note_log :
+  ts:float -> level:string -> msg:string -> fields:(string * string) list -> unit
+(** Entry point used by {!Log} (kind ["log"], level as a field). *)
+
+val note_span : name:string -> dur_us:float -> unit
+(** Entry point used by {!Trace.finish} (kind ["span"]). *)
+
+(** {1 Dumping} *)
+
+val entries : unit -> entry list
+(** Chronological (oldest first); at most [capacity] entries. *)
+
+val seen : unit -> int
+(** Total entries ever recorded, including overwritten ones. *)
+
+val dump : unit -> string
+(** The ring as JSONL: a header line
+    [{"flight":"dump","seen":N,"kept":K}] followed by one line per entry
+    [{"ts":...,"kind":...,"what":...,<fields>}].  Deterministic under
+    {!Clock.set_override}. *)
+
+val dump_to : string -> unit
+(** {!dump} to a file, atomically (write-then-rename), so a dump racing
+    a reader never shows a torn file. *)

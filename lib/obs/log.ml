@@ -1,0 +1,113 @@
+module J = Dls_util.Json
+
+type level = Error | Warn | Info | Debug
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_name s =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type field = string * value
+
+(* One atomic guards the hot path; the encoded threshold is [-1] when no
+   sink is attached, else the severity cut-off, so [enabled] is a single
+   load and an integer compare — same discipline as [Metrics.on]. *)
+let threshold = Atomic.make (-1)
+
+let sink : out_channel option ref = ref None
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled lvl =
+  let t = Atomic.get threshold in
+  t >= 0 && severity lvl <= t
+
+let set_level lvl =
+  if Atomic.get threshold >= 0 then Atomic.set threshold (severity lvl)
+
+let set_sink ?(level = Info) oc =
+  with_lock (fun () -> sink := Some oc);
+  Atomic.set threshold (severity level)
+
+let close_sink () =
+  Atomic.set threshold (-1);
+  with_lock (fun () ->
+      (match !sink with Some oc -> flush oc | None -> ());
+      sink := None)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_to_json = function
+  | Str s -> J.Str s
+  | Int n -> J.Num (float_of_int n)
+  | Float f -> if Float.is_finite f then J.Num f else J.Null
+  | Bool b -> J.Bool b
+
+let reserved k = k = "ts" || k = "level" || k = "msg"
+
+let record_to_json ~ts lvl msg fields =
+  J.Obj
+    (("ts", J.Num ts)
+    :: ("level", J.Str (level_name lvl))
+    :: ("msg", J.Str msg)
+    :: List.map
+         (fun (k, v) ->
+           ((if reserved k then "_" ^ k else k), value_to_json v))
+         fields)
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let emit lvl ?(fields = []) msg =
+  if enabled lvl then begin
+    let ts = Clock.now () in
+    (* Feed the flight recorder first: a crash between the ring push and
+       the sink write still leaves the record in the post-mortem. *)
+    Flight.note_log ~ts ~level:(level_name lvl) ~msg ~fields:(List.map
+        (fun (k, v) ->
+          ( k,
+            match v with
+            | Str s -> s
+            | Int n -> string_of_int n
+            | Float f -> Printf.sprintf "%.17g" f
+            | Bool b -> string_of_bool b ))
+        fields);
+    let line = J.to_string (record_to_json ~ts lvl msg fields) in
+    with_lock (fun () ->
+        match !sink with
+        | Some oc ->
+          (* One write call per line + flush: no torn or interleaved
+             lines across domains, and a live [tail -f] sees complete
+             records only. *)
+          output_string oc (line ^ "\n");
+          flush oc
+        | None -> ())
+  end
+
+let error ?fields msg = emit Error ?fields msg
+
+let warn ?fields msg = emit Warn ?fields msg
+
+let info ?fields msg = emit Info ?fields msg
+
+let debug ?fields msg = emit Debug ?fields msg

@@ -1,0 +1,67 @@
+(** Leveled structured logging: one JSON object per line.
+
+    Records carry typed key/value fields and are rendered through
+    {!Dls_util.Json}, so every line is one strict JSON value — the same
+    invariant the campaign log relies on, and what makes the log
+    greppable with [jq] while a run is live.
+
+    Disabled-path discipline matches {!Metrics} and {!Trace}: {!enabled}
+    is one atomic load and a compare, and the recording functions check
+    it before touching their arguments.  Hot paths should guard field
+    construction with [if Log.enabled Log.Debug then ...], exactly like
+    [Trace.live]-guarded span args.
+
+    Domain-safe: each record is rendered to one string and written with
+    a single [output_string] under the sink mutex, then flushed, so
+    concurrent domains never tear or interleave lines. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_name : level -> string
+
+val level_of_name : string -> level option
+(** Case-insensitive; also accepts "warning". *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type field = string * value
+
+(** {1 Switch and sink} *)
+
+val set_sink : ?level:level -> out_channel -> unit
+(** Route records at or above [level] (default [Info]) to the channel
+    and enable recording.  The caller keeps ownership of the channel;
+    {!close_sink} flushes but does not close it. *)
+
+val set_level : level -> unit
+
+val close_sink : unit -> unit
+(** Flush, detach the sink and disable recording.  Idempotent. *)
+
+val enabled : level -> bool
+(** True when a sink is attached and [level] passes the threshold.
+    One atomic load — safe on hot paths. *)
+
+(** {1 Recording}
+
+    Each emits one record with the current {!Clock} time.  No-ops
+    (without evaluating nothing beyond the already-built arguments)
+    when the level is filtered or no sink is attached. *)
+
+val emit : level -> ?fields:field list -> string -> unit
+
+val error : ?fields:field list -> string -> unit
+
+val warn : ?fields:field list -> string -> unit
+
+val info : ?fields:field list -> string -> unit
+
+val debug : ?fields:field list -> string -> unit
+
+(** {1 Rendering} *)
+
+val record_to_json : ts:float -> level -> string -> field list -> Dls_util.Json.t
+(** The line format: [{"ts":<µs>,"level":"info","msg":<msg>,<fields>}].
+    Field keys colliding with the three reserved keys are prefixed with
+    an underscore rather than dropped.  Non-finite [Float] fields encode
+    as [null] (same sanitization boundary as the metrics codec). *)

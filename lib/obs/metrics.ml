@@ -246,6 +246,54 @@ let rec merge a b =
     else if c < 0 then (n1, v1) :: merge ra b
     else (n2, v2) :: merge a rb
 
+(* Bucket-wise subtraction: [a - b] where [b] is an earlier snapshot of
+   the same growing histogram, so every count of [b] is <= its count in
+   [a].  Zero-count buckets are dropped to keep the sparse invariant. *)
+let rec diff_buckets a b =
+  match (a, b) with
+  | rest, [] -> rest
+  | [], _ :: _ ->
+    invalid_arg "Metrics.diff: since-snapshot has buckets the current lacks"
+  | (i, c) :: ra, (j, d) :: rb ->
+    if i = j then
+      if c - d > 0 then (i, c - d) :: diff_buckets ra rb else diff_buckets ra rb
+    else if i < j then (i, c) :: diff_buckets ra b
+    else invalid_arg "Metrics.diff: since-snapshot has buckets the current lacks"
+
+let diff_hist cur prev =
+  { hs_buckets = diff_buckets cur.hs_buckets prev.hs_buckets;
+    hs_underflow = cur.hs_underflow - prev.hs_underflow;
+    hs_count = cur.hs_count - prev.hs_count;
+    hs_sum = cur.hs_sum -. prev.hs_sum;
+    (* Carry the cumulative edges: min/max are monotone, so merging this
+       delta onto the previous cumulative state restores them exactly
+       (merge takes min-of-mins / max-of-maxes). *)
+    hs_min = cur.hs_min;
+    hs_max = cur.hs_max }
+
+let diff_value name cur prev =
+  match (cur, prev) with
+  | Counter x, Counter y -> Counter (x - y)
+  | Gauge _, Gauge _ -> cur  (* last write wins on re-merge *)
+  | Histogram x, Histogram y -> Histogram (diff_hist x y)
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.diff: %S has mismatched metric kinds" name)
+
+let rec diff cur ~since =
+  match (cur, since) with
+  | rest, [] -> rest
+  | [], (n, _) :: _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.diff: %S present in since-snapshot only" n)
+  | (n1, v1) :: rc, (n2, v2) :: rs ->
+    let c = String.compare n1 n2 in
+    if c = 0 then (n1, diff_value n1 v1 v2) :: diff rc ~since:rs
+    else if c < 0 then (n1, v1) :: diff rc ~since
+    else
+      invalid_arg
+        (Printf.sprintf "Metrics.diff: %S present in since-snapshot only" n2)
+
 let snapshot () =
   with_lock (fun () ->
       Hashtbl.fold
@@ -438,6 +486,65 @@ let snapshot_of_jsonl text =
   Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) (List.rev entries))
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format 0.0.4)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Our dotted names map dots
+   (and anything else illegal) to underscores; a leading digit gets an
+   underscore prefix. *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  for i = 0 to Bytes.length b - 1 do
+    let c = Bytes.get b i in
+    let ok =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+      || (i > 0 && c >= '0' && c <= '9')
+    in
+    if not ok then Bytes.set b i '_'
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "_" else s
+
+(* Prometheus floats: integral values print without an exponent (what
+   every scraper emits for counts); the rest use %.17g round-trip
+   precision.  Non-finite sums have no exposition spelling, so they
+   degrade to 0 rather than corrupt the page. *)
+let prom_num v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      match v with
+      | Counter n ->
+        line "# TYPE %s_total counter" p;
+        line "%s_total %d" p n
+      | Gauge { value; _ } ->
+        line "# TYPE %s gauge" p;
+        line "%s %s" p (prom_num value)
+      | Histogram hs ->
+        line "# TYPE %s histogram" p;
+        (* Underflow observations are <= 0, hence <= every positive [le]
+           edge: they enter the running total before the first bucket. *)
+        let cum = ref hs.hs_underflow in
+        List.iter
+          (fun (i, c) ->
+            cum := !cum + c;
+            line "%s_bucket{le=\"%s\"} %d" p (prom_num (bound (i + 1))) !cum)
+          hs.hs_buckets;
+        line "%s_bucket{le=\"+Inf\"} %d" p hs.hs_count;
+        line "%s_sum %s" p (prom_num hs.hs_sum);
+        line "%s_count %d" p hs.hs_count)
+    snap;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Human summary table                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -447,22 +554,23 @@ let summary_rows snap =
   List.map
     (fun (name, v) ->
       match v with
-      | Counter n -> [ name; "counter"; string_of_int n; "-"; "-"; "-"; "-" ]
-      | Gauge { value; _ } -> [ name; "gauge"; cell value; "-"; "-"; "-"; "-" ]
+      | Counter n -> [ name; "counter"; string_of_int n; "-"; "-"; "-"; "-"; "-" ]
+      | Gauge { value; _ } -> [ name; "gauge"; cell value; "-"; "-"; "-"; "-"; "-" ]
       | Histogram hs ->
         if hs.hs_count = 0 then
-          [ name; "histogram"; "0"; "-"; "-"; "-"; "-" ]
+          [ name; "histogram"; "0"; "-"; "-"; "-"; "-"; "-" ]
         else
           [ name; "histogram"; string_of_int hs.hs_count;
             cell (hs.hs_sum /. float_of_int hs.hs_count);
             cell (hist_quantile hs ~q:0.5);
             cell (hist_quantile hs ~q:0.95);
+            cell (hist_quantile hs ~q:0.99);
             cell (if Float.is_finite hs.hs_max then hs.hs_max else Float.nan) ])
     snap
 
 let pp_summary fmt snap =
   (* "value" holds the counter/gauge value, or a histogram's count. *)
-  let header = [ "metric"; "type"; "value"; "mean"; "p50"; "p95"; "max" ] in
+  let header = [ "metric"; "type"; "value"; "mean"; "p50"; "p95"; "p99"; "max" ] in
   let rows = summary_rows snap in
   let all = header :: rows in
   let ncols = List.length header in

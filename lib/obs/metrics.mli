@@ -117,6 +117,18 @@ val merge : snapshot -> snapshot -> snapshot
     for float rounding in histogram [hs_sum].
     @raise Invalid_argument when one name maps to two metric kinds. *)
 
+val diff : snapshot -> since:snapshot -> snapshot
+(** The per-interval delta the live publisher appends: counters and
+    histogram buckets/counts subtract, gauges keep the current write,
+    and histogram [min]/[max] carry the current cumulative edges (they
+    are monotone, so re-merging deltas restores them exactly).  The
+    defining law, QCheck-pinned: for cumulative snapshots [s0 ⊆ s1 ⊆
+    ... ⊆ sn] of one growing registry, folding {!merge} over
+    [diff s1 ~since:s0; diff s2 ~since:s1; ...] rebuilds [sn] exactly —
+    up to float rounding in [hs_sum], as with {!merge} itself.
+    Metrics absent from [since] pass through whole.
+    @raise Invalid_argument on mismatched kinds. *)
+
 val hist_quantile : hist_snapshot -> q:float -> float
 (** Upper edge of the bucket holding the rank-[ceil q*n] observation,
     clamped into [[hs_min, hs_max]]; within a factor {!base} of the true
@@ -141,6 +153,16 @@ val snapshot_to_jsonl : snapshot -> string
 
 val snapshot_of_jsonl : string -> (snapshot, string) result
 
+val to_prometheus : snapshot -> string
+(** The snapshot as Prometheus text exposition (format 0.0.4): counters
+    as [<name>_total], gauges as-is, histograms as cumulative
+    [<name>_bucket{le="..."}] series whose [le] edges are the {!bound}
+    upper edges of the occupied buckets plus ["+Inf"], with [_sum] and
+    [_count].  Underflow observations (non-positive values) count into
+    every bucket.  Metric names are sanitized to the Prometheus charset
+    ([.] becomes [_]); non-finite sums export as [0] (Prometheus has no
+    null). *)
+
 val pp_summary : Format.formatter -> snapshot -> unit
 (** Fixed-width human table: one row per metric with count, mean and
-    p50/p95/max for histograms. *)
+    p50/p95/p99/max for histograms. *)

@@ -1,30 +1,114 @@
 (* Startup/shutdown glue for the CLI and bench entry points: pick the
-   sinks once at startup (absent flags leave both subsystems in their
-   free disabled state), flush files once at exit. *)
+   sinks once at startup (absent flags leave every subsystem in its
+   free disabled state), flush everything exactly once at shutdown.
 
-let trace_path : string option ref = ref None
+   Configuration is deliberately once-per-process: the flight recorder
+   installs process-global signal/exception handlers and the publisher
+   owns background threads, so a silent second configure would leak the
+   first run's paths.  Tests use [reset_for_tests]. *)
 
-let metrics_path : string option ref = ref None
+type config = {
+  trace : string option;
+  metrics : string option;
+  log : string option;
+  flight : string option;
+}
 
-let configure ?trace ?metrics () =
-  (match trace with
+let state : config option ref = ref None
+
+let finalized = ref false
+
+let log_oc : out_channel option ref = ref None
+
+(* The flight dump path, readable from the SIGUSR1 and uncaught-
+   exception handlers.  Those handlers are installed once and never
+   removed (reinstalling signal handlers from [reset_for_tests] would
+   race a concurrently delivered signal); they no-op when unset. *)
+let flight_path : string option ref = ref None
+
+let handlers_installed = ref false
+
+let dump_flight () =
+  match !flight_path with
+  | Some path when Flight.enabled () -> (
+    try Flight.dump_to path with Sys_error _ -> ())
+  | _ -> ()
+
+let install_handlers () =
+  if not !handlers_installed then begin
+    handlers_installed := true;
+    (* SIGUSR1: dump the ring on demand — the "what is that wedged
+       campaign doing" probe.  Windows has no SIGUSR1; ignore EINVAL. *)
+    (try
+       ignore
+         (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_flight ())))
+     with Invalid_argument _ | Sys_error _ -> ());
+    Printexc.set_uncaught_exception_handler (fun exn bt ->
+        dump_flight ();
+        Printexc.default_uncaught_exception_handler exn bt)
+  end
+
+let configured () = !state <> None
+
+let configure ?trace ?metrics ?log ?(log_level = Log.Info) ?flight
+    ?flight_capacity ?telemetry ?publish ?(publish_interval = 1.0) () =
+  if !state <> None then
+    invalid_arg "Obs.configure: already configured (sinks are once-per-process)";
+  state := Some { trace; metrics; log; flight };
+  finalized := false;
+  (match trace with Some _ -> Trace.enable () | None -> ());
+  (match (metrics, telemetry, publish) with
+  | None, None, None -> ()
+  | _ -> Metrics.enable ());
+  (match log with
   | Some path ->
-    trace_path := Some path;
-    Trace.enable ()
+    let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+    log_oc := Some oc;
+    Log.set_sink ~level:log_level oc
   | None -> ());
-  match metrics with
+  (match flight with
   | Some path ->
-    metrics_path := Some path;
-    Metrics.enable ()
-  | None -> ()
+    Flight.enable ?capacity:flight_capacity ();
+    flight_path := Some path;
+    install_handlers ()
+  | None -> ());
+  (match publish with
+  | Some path -> Publish.start_snapshots ~interval:publish_interval ~path ()
+  | None -> ());
+  match telemetry with Some addr -> Publish.start_http addr | None -> ()
 
 let finalize () =
-  (match !trace_path with
-  | Some path -> Trace.write path
-  | None -> ());
-  match !metrics_path with
-  | Some path ->
-    Out_channel.with_open_bin path (fun oc ->
-        Out_channel.output_string oc
-          (Metrics.snapshot_to_jsonl (Metrics.snapshot ())))
+  match !state with
   | None -> ()
+  | Some _ when !finalized -> ()
+  | Some { trace; metrics; log; flight } ->
+    finalized := true;
+    (* Live exporters first: the final delta tick must see every metric
+       the run recorded, and the scrape socket should vanish before the
+       files a watcher might switch to reading. *)
+    Publish.stop ();
+    (match trace with Some path -> Trace.write path | None -> ());
+    (match metrics with
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Metrics.snapshot_to_jsonl (Metrics.snapshot ())))
+    | None -> ());
+    (match flight with Some path -> Flight.dump_to path | None -> ());
+    match log with
+    | Some _ ->
+      Log.close_sink ();
+      (match !log_oc with Some oc -> close_out oc | None -> ());
+      log_oc := None
+    | None -> ()
+
+let reset_for_tests () =
+  finalize ();
+  state := None;
+  finalized := false;
+  flight_path := None;
+  Trace.disable ();
+  Trace.reset ();
+  Metrics.disable ();
+  Flight.disable ();
+  Log.close_sink ()

@@ -1,15 +1,51 @@
 (** Entry-point wiring for the observability sinks.
 
-    [configure] is called once at startup from the CLI (--trace /
-    --metrics flags) or the bench driver; omitted arguments leave the
-    corresponding subsystem disabled, which is the allocation-free
-    default.  [finalize] flushes the configured files once at exit. *)
+    [configure] is called once at startup from the CLI ([--trace] /
+    [--metrics] / [--log] / [--flight] / [--telemetry] / [--publish])
+    or the bench driver; omitted arguments leave the corresponding
+    subsystem disabled, which is the allocation-free default.  A second
+    call is a programming error and fails loudly rather than silently
+    forgetting the first configuration.  [finalize] flushes every
+    configured sink and is idempotent, so it can be registered with
+    [at_exit] and also called explicitly. *)
 
-val configure : ?trace:string -> ?metrics:string -> unit -> unit
-(** [configure ?trace ?metrics ()] enables span recording when [trace]
-    is given and the metrics registry when [metrics] is given,
-    remembering the output paths for {!finalize}. *)
+val configure :
+  ?trace:string ->
+  ?metrics:string ->
+  ?log:string ->
+  ?log_level:Log.level ->
+  ?flight:string ->
+  ?flight_capacity:int ->
+  ?telemetry:Publish.addr ->
+  ?publish:string ->
+  ?publish_interval:float ->
+  unit ->
+  unit
+(** Enable the requested sinks:
+    - [trace]: span recording, Chrome trace written at {!finalize};
+    - [metrics]: the registry, JSONL dump written at {!finalize};
+    - [log]/[log_level]: structured JSONL logging to the file
+      (default level [Info]);
+    - [flight]/[flight_capacity]: the flight recorder; the ring is
+      dumped to the path at {!finalize}, on [SIGUSR1] and by the
+      uncaught-exception handler, so a crashed run leaves a post-mortem;
+    - [telemetry]: Prometheus text exposition served live (implies the
+      registry);
+    - [publish]/[publish_interval]: periodic snapshot-delta JSONL
+      appended live (implies the registry).
+    @raise Invalid_argument when called a second time (use
+    {!reset_for_tests} between runs in one process). *)
+
+val configured : unit -> bool
 
 val finalize : unit -> unit
-(** Write the Chrome trace and/or JSONL metrics dump to the paths given
-    to {!configure}.  No-op for sinks that were never configured. *)
+(** Flush every configured sink: stop the live publishers (one final
+    delta tick), write the Chrome trace, the metrics JSONL dump and the
+    flight dump, and close the log.  Idempotent — calls after the first
+    are no-ops.  No-op for sinks that were never configured. *)
+
+val reset_for_tests : unit -> unit
+(** Finalize if needed, then forget the configuration and disable every
+    subsystem so a test harness can configure again.  Signal and
+    exception handlers installed for the flight recorder are left in
+    place (they become no-ops). *)

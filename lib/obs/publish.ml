@@ -1,0 +1,234 @@
+module J = Dls_util.Json
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some port when port >= 0 && port < 65536 -> Ok (Tcp ("127.0.0.1", port))
+    | _ -> Error (Printf.sprintf "telemetry address %S: not a port number" s))
+  | Some i ->
+    let head = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if head = "unix" then
+      if rest = "" then Error "telemetry address: empty unix socket path"
+      else Ok (Unix_sock rest)
+    else (
+      match int_of_string_opt rest with
+      | Some port when port >= 0 && port < 65536 ->
+        Ok (Tcp ((if head = "" then "127.0.0.1" else head), port))
+      | _ -> Error (Printf.sprintf "telemetry address %S: bad port" s))
+
+let addr_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Unix_sock path -> "unix:" ^ path
+
+let render () = Metrics.to_prometheus (Metrics.snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* Shared thread plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Both exporters are plain [Thread]s, not domains: they spend their
+   lives blocked in sleep/select, and a thread shares the runtime lock
+   politely with the single-domain CLI main loop.  [stopping] is the
+   one shutdown signal; loops poll it between short waits so [stop]
+   returns promptly. *)
+let stopping = Atomic.make false
+
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+type ticker = {
+  t_thread : Thread.t;
+  t_final : unit -> unit;  (* last delta + close, run by [stop] *)
+}
+
+let ticker_state : ticker option ref = ref None
+
+type responder = { r_thread : Thread.t; r_cleanup : unit -> unit }
+
+let responder_state : responder option ref = ref None
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot-delta ticker                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tick_lines ~ts ~tick delta =
+  String.concat ""
+    (List.map
+       (fun entry ->
+         let j =
+           match Metrics.value_to_json entry with
+           | J.Obj fields ->
+             J.Obj (("ts", J.Num ts) :: ("tick", J.Num (float_of_int tick)) :: fields)
+           | j -> j
+         in
+         J.to_string j ^ "\n")
+       delta)
+
+let start_snapshots ?(interval = 1.0) ~path () =
+  if not (interval > 0.0) then
+    invalid_arg "Publish.start_snapshots: interval must be > 0";
+  with_lock (fun () ->
+      if !ticker_state <> None then
+        invalid_arg "Publish.start_snapshots: ticker already running");
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  (* [prev] starts empty, so the first tick's delta is the whole
+     registry state — folding merge over all ticks needs no seed. *)
+  let prev = ref [] in
+  let tick = ref 0 in
+  let oc_lock = Mutex.create () in
+  let emit_tick () =
+    let snap = Metrics.snapshot () in
+    let delta = Metrics.diff snap ~since:!prev in
+    prev := snap;
+    Stdlib.incr tick;
+    let lines = tick_lines ~ts:(Clock.now ()) ~tick:!tick delta in
+    Mutex.lock oc_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock oc_lock)
+      (fun () ->
+        output_string oc lines;
+        flush oc)
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec wait remaining =
+          if (not (Atomic.get stopping)) && remaining > 0.0 then begin
+            let step = Float.min 0.05 remaining in
+            Thread.delay step;
+            wait (remaining -. step)
+          end
+        in
+        while not (Atomic.get stopping) do
+          wait interval;
+          if not (Atomic.get stopping) then emit_tick ()
+        done)
+      ()
+  in
+  let final () =
+    (* One closing delta so the tick log always sums to the final
+       registry state, however the interval and the run length align. *)
+    emit_tick ();
+    close_out oc
+  in
+  with_lock (fun () ->
+      ticker_state := Some { t_thread = thread; t_final = final })
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus scrape endpoint                                          *)
+(* ------------------------------------------------------------------ *)
+
+let http_response body =
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+(* One connection at a time, read-some-then-answer: every HTTP/1.x GET
+   a scraper sends fits this, and a malformed client costs at most one
+   1s read timeout, never a wedged exporter. *)
+let serve_client fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+       with Unix.Unix_error _ -> ());
+      let buf = Bytes.create 2048 in
+      (try ignore (Unix.read fd buf 0 (Bytes.length buf))
+       with Unix.Unix_error _ -> ());
+      let resp = http_response (render ()) in
+      let rec write_all pos =
+        if pos < String.length resp then
+          match
+            Unix.write_substring fd resp pos (String.length resp - pos)
+          with
+          | 0 -> ()
+          | n -> write_all (pos + n)
+          | exception Unix.Unix_error _ -> ()
+      in
+      write_all 0)
+
+let start_http addr =
+  with_lock (fun () ->
+      if !responder_state <> None then
+        invalid_arg "Publish.start_http: responder already running");
+  let sock, cleanup_sock =
+    match addr with
+    | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> raise (Unix.Unix_error (Unix.EINVAL, "getaddrinfo", host)))
+      in
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (ip, port));
+      (s, fun () -> ())
+    | Unix_sock path ->
+      if Sys.file_exists path then Sys.remove path;
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      (s, fun () -> try Sys.remove path with Sys_error _ -> ())
+  in
+  Unix.listen sock 8;
+  let thread =
+    Thread.create
+      (fun () ->
+        let continue = ref true in
+        while !continue && not (Atomic.get stopping) do
+          (* Select with a short timeout so the stop flag is honoured
+             even when no scraper ever connects. *)
+          match Unix.select [ sock ] [] [] 0.2 with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.accept sock with
+            | fd, _ -> serve_client fd
+            | exception Unix.Unix_error _ -> continue := false)
+          | exception Unix.Unix_error _ -> continue := false
+        done)
+      ()
+  in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    cleanup_sock ()
+  in
+  with_lock (fun () ->
+      responder_state := Some { r_thread = thread; r_cleanup = cleanup })
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stop () =
+  Atomic.set stopping true;
+  let t, r =
+    with_lock (fun () ->
+        let t = !ticker_state and r = !responder_state in
+        ticker_state := None;
+        responder_state := None;
+        (t, r))
+  in
+  Option.iter
+    (fun { t_thread; t_final } ->
+      Thread.join t_thread;
+      t_final ())
+    t;
+  Option.iter
+    (fun { r_thread; r_cleanup } ->
+      Thread.join r_thread;
+      r_cleanup ())
+    r;
+  Atomic.set stopping false

@@ -1,0 +1,50 @@
+(** Live export of the metrics registry: a periodic snapshot-delta
+    ticker and a minimal Prometheus scrape endpoint.
+
+    Both sides read the same {!Metrics.snapshot}; neither perturbs the
+    registry.  The ticker appends, every [interval] seconds, one JSONL
+    line per metric holding the delta since the previous tick (see
+    {!Metrics.diff}) stamped with the tick time and index — so a
+    consumer can fold {!Metrics.merge} over a prefix of ticks and
+    recover the cumulative registry state at that point in the run.
+
+    The HTTP responder is deliberately minimal: one background thread,
+    one connection at a time, answering every GET with the current
+    registry as Prometheus text exposition ({!Metrics.to_prometheus}).
+    It exists so a live campaign/dynsim run can be watched with
+    [curl]/Prometheus, not to be a web server. *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"], ["HOST:PORT"] or bare ["PORT"] (binds 127.0.0.1). *)
+
+val addr_to_string : addr -> string
+
+(** {1 Ticker} *)
+
+val start_snapshots : ?interval:float -> path:string -> unit -> unit
+(** Append delta lines to [path] every [interval] seconds (default 1.0)
+    from a background thread until {!stop}.  Tick lines are the
+    {!Metrics} JSONL codec objects with two extra fields, ["ts"] (µs)
+    and ["tick"] (1-based index); {!Metrics.value_of_json} ignores the
+    extras, so each line still decodes as a metric.
+    @raise Invalid_argument on a non-positive interval, or if a ticker
+    is already running. *)
+
+(** {1 Scrape endpoint} *)
+
+val start_http : addr -> unit
+(** Bind and serve Prometheus text exposition from a background thread
+    until {!stop}.  @raise Invalid_argument if a responder is already
+    running; @raise Unix.Unix_error when the address cannot be bound. *)
+
+val render : unit -> string
+(** The exposition body the responder would serve right now. *)
+
+(** {1 Shutdown} *)
+
+val stop : unit -> unit
+(** Stop both background threads (joining them), write one final delta
+    tick so the log covers the whole run, close sockets and unlink a
+    unix-domain socket path.  Idempotent; safe when nothing started. *)

@@ -23,6 +23,21 @@ let lock = Mutex.create ()
 
 let events_rev : event list ref = ref []
 
+let buffered = ref 0
+
+(* The buffer is bounded: a multi-hour dynsim run records millions of
+   spans, and an unbounded list would eat the heap long before the
+   exit-time flush.  Events past the cap are dropped (the earliest ones
+   are the interesting ones for a flame view anyway) and counted, both
+   internally and — when the registry is live — in [obs.trace.dropped]. *)
+let default_capacity = 1_000_000
+
+let capacity = Atomic.make default_capacity
+
+let dropped_ = Atomic.make 0
+
+let m_dropped = Metrics.counter "obs.trace.dropped"
+
 let t0 = ref 0.0
 
 let with_lock f =
@@ -37,14 +52,31 @@ let enable () =
 
 let disable () = Atomic.set on false
 
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n
+
+let dropped () = Atomic.get dropped_
+
 let reset () =
   with_lock (fun () ->
       events_rev := [];
+      buffered := 0;
+      Atomic.set dropped_ 0;
       t0 := Clock.now ())
 
 let events () = with_lock (fun () -> List.rev !events_rev)
 
-let push ev = with_lock (fun () -> events_rev := ev :: !events_rev)
+let push ev =
+  with_lock (fun () ->
+      if !buffered < Atomic.get capacity then begin
+        events_rev := ev :: !events_rev;
+        Stdlib.incr buffered
+      end
+      else begin
+        Atomic.incr dropped_;
+        Metrics.incr m_dropped
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -91,6 +123,7 @@ let finish ?(args = []) sp =
     let d = Domain.DLS.get depth_key in
     d := Stdlib.max 0 (!d - 1);
     let t1 = Clock.now () in
+    Flight.note_span ~name:sp.s_name ~dur_us:(t1 -. sp.s_t0);
     push
       { ev_name = sp.s_name;
         ev_cat = sp.s_cat;

@@ -28,7 +28,24 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all recorded events and re-anchor the clock origin (tests). *)
+(** Drop all recorded and dropped events and re-anchor the clock origin
+    (tests). *)
+
+(** {1 Buffer bound}
+
+    The buffer keeps at most {!default_capacity} events (configurable);
+    later events are dropped and counted — internally and, when the
+    metrics registry is live, in the [obs.trace.dropped] counter — so a
+    long dynsim run cannot grow the trace without bound. *)
+
+val default_capacity : int
+(** 1,000,000 events. *)
+
+val set_capacity : int -> unit
+(** @raise Invalid_argument on a capacity < 1. *)
+
+val dropped : unit -> int
+(** Events dropped at the cap since the last {!reset}. *)
 
 (** {1 Recording} *)
 

@@ -6,6 +6,11 @@
 
 module M = Dls_obs.Metrics
 module Trace = Dls_obs.Trace
+module Clock = Dls_obs.Clock
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
+module Publish = Dls_obs.Publish
+module Obs = Dls_obs.Obs
 module J = Dls_util.Json
 module Prng = Dls_util.Prng
 module G = Dls_graph.Graph
@@ -18,6 +23,14 @@ module C = E.Campaign
 open Dls_core
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let contains sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let jsonl_lines text =
+  String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
 
 (* Same convention as test_experiments.ml: set DLS_UPDATE_GOLDEN=<abs
    dir> to rewrite the expected files instead of comparing. *)
@@ -492,6 +505,385 @@ let test_shard_snapshots_merge_exactly () =
     true (merged = whole)
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot deltas: diff is the inverse of merge                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One tick's worth of activity against a model registry holding one
+   counter, one gauge and one histogram. *)
+type batch = { b_add : int; b_obs : float list; b_set : float option }
+
+let gen_batch =
+  QCheck2.Gen.(
+    map3
+      (fun b_add b_obs b_set -> { b_add; b_obs; b_set })
+      (int_range 0 1000) gen_values
+      (opt (float_range (-1e6) 1e6)))
+
+(* The cumulative snapshot after the given batches, mirroring what the
+   live registry would hold: counters accumulate, observations fold,
+   and the gauge keeps the last write (seq = batch index, increasing
+   like the registry's global write sequence). *)
+let cumulative batches =
+  let add = List.fold_left (fun s b -> s + b.b_add) 0 batches in
+  let obs = List.concat_map (fun b -> b.b_obs) batches in
+  let _, set =
+    List.fold_left
+      (fun (i, acc) b ->
+        (i + 1, match b.b_set with Some v -> Some (v, i) | None -> acc))
+      (0, None) batches
+  in
+  let gauge =
+    match set with
+    | Some (value, seq) -> M.Gauge { value; seq }
+    | None -> M.Gauge { value = 0.0; seq = -1 }
+  in
+  [ ("c", M.Counter add); ("g", gauge);
+    ("h", M.Histogram (M.hist_of_values obs)) ]
+
+(* Everything except hs_sum, which telescopes through float addition in
+   a different order, compares exactly. *)
+let snapshots_agree a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (na, va) (nb, vb) ->
+         na = nb
+         &&
+         match (va, vb) with
+         | M.Histogram x, M.Histogram y ->
+           hist_shape x = hist_shape y && sums_close x.M.hs_sum y.M.hs_sum
+         | _ -> va = vb)
+       a b
+
+let prop_deltas_remerge =
+  QCheck2.Test.make
+    ~name:"fold of merge over per-tick diffs = final cumulative snapshot"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) gen_batch)
+    (fun batches ->
+      let n = List.length batches in
+      let prefix i = cumulative (List.filteri (fun j _ -> j < i) batches) in
+      let deltas =
+        List.init n (fun i -> M.diff (prefix (i + 1)) ~since:(prefix i))
+      in
+      let merged = List.fold_left M.merge (prefix 0) deltas in
+      snapshots_agree merged (prefix n))
+
+(* ------------------------------------------------------------------ *)
+(* Trace buffer cap                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_cap_and_dropped_counter () =
+  quiesce ();
+  M.enable ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_capacity Trace.default_capacity;
+      quiesce ())
+  @@ fun () ->
+  Trace.set_capacity 10;
+  for i = 1 to 25 do
+    Trace.instant (Printf.sprintf "tick%d" i)
+  done;
+  Alcotest.(check int) "buffer capped" 10 (List.length (Trace.events ()));
+  Alcotest.(check int) "overflow counted" 15 (Trace.dropped ());
+  (match find "obs.trace.dropped" (M.snapshot ()) with
+  | M.Counter n -> Alcotest.(check int) "registry counter follows" 15 n
+  | _ -> Alcotest.fail "wrong kind");
+  Trace.reset ();
+  Alcotest.(check int) "reset clears the drop count" 0 (Trace.dropped ());
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Trace.set_capacity: capacity must be >= 1") (fun () ->
+      Trace.set_capacity 0)
+
+(* ------------------------------------------------------------------ *)
+(* Structured log                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_log_file f =
+  let path = Filename.temp_file "dls_obs_log" ".jsonl" in
+  let oc = Out_channel.open_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+      Olog.close_sink ();
+      Out_channel.close oc;
+      Sys.remove path)
+  @@ fun () -> f path oc
+
+let test_log_levels_filter_and_lines_parse () =
+  with_log_file @@ fun path oc ->
+  Alcotest.(check bool) "disabled by default" false (Olog.enabled Olog.Error);
+  Olog.set_sink ~level:Olog.Warn oc;
+  Alcotest.(check bool) "warn passes" true (Olog.enabled Olog.Warn);
+  Alcotest.(check bool) "info filtered" false (Olog.enabled Olog.Info);
+  Olog.info "dropped";
+  Olog.warn "kept"
+    ~fields:
+      [ ("k", Olog.Str "v"); ("n", Olog.Int 3); ("x", Olog.Float 1.5);
+        ("b", Olog.Bool true) ];
+  Olog.error "also kept";
+  Olog.set_level Olog.Debug;
+  Olog.debug "kept after set_level";
+  Olog.close_sink ();
+  Olog.warn "after close must be a no-op";
+  let lines = jsonl_lines (read_file path) in
+  Alcotest.(check int) "exactly the unfiltered records" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      match J.of_string l with
+      | Ok j ->
+        (match J.member "level" j with
+        | Some _ -> ()
+        | None -> Alcotest.failf "record lacks level: %s" l);
+        (match J.member "msg" j with
+        | Some _ -> ()
+        | None -> Alcotest.failf "record lacks msg: %s" l)
+      | Error e -> Alcotest.failf "log line is not strict JSON (%s): %s" e l)
+    lines;
+  Alcotest.(check bool) "typed fields rendered" true
+    (contains "\"n\":3" (List.nth lines 0))
+
+let test_log_reserved_keys_and_non_finite () =
+  let j =
+    Olog.record_to_json ~ts:12.0 Olog.Info "m"
+      [ ("msg", Olog.Str "clash"); ("bad", Olog.Float Float.nan) ]
+  in
+  let s = J.to_string j in
+  Alcotest.(check bool) "reserved key prefixed, not dropped" true
+    (contains "\"_msg\":\"clash\"" s);
+  Alcotest.(check bool) "record msg survives" true (contains "\"msg\":\"m\"" s);
+  Alcotest.(check bool) "non-finite field encodes as null" true
+    (contains "\"bad\":null" s);
+  match J.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rendered record is not strict JSON: %s" e
+
+let test_log_multi_domain_no_torn_lines () =
+  with_log_file @@ fun path oc ->
+  Olog.set_sink ~level:Olog.Debug oc;
+  let per_domain = 200 and n_domains = 4 in
+  let worker d () =
+    for i = 1 to per_domain do
+      Olog.info "concurrent"
+        ~fields:
+          [ ("domain", Olog.Int d); ("i", Olog.Int i);
+            ("pad", Olog.Str (String.make 64 (Char.chr (65 + d)))) ]
+    done
+  in
+  let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Olog.close_sink ();
+  let lines = jsonl_lines (read_file path) in
+  Alcotest.(check int) "every record present" (n_domains * per_domain)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match J.of_string l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "torn/interleaved line (%s): %S" e l)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_ring_overwrites_oldest () =
+  Fun.protect ~finally:Flight.disable @@ fun () ->
+  Flight.enable ~capacity:3 ();
+  for i = 1 to 7 do
+    Flight.record ~kind:"test" (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "seen counts overwritten entries" 7 (Flight.seen ());
+  let whats = List.map (fun e -> e.Flight.fl_what) (Flight.entries ()) in
+  Alcotest.(check (list string)) "oldest-first, newest kept"
+    [ "e5"; "e6"; "e7" ] whats;
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Flight.enable: capacity must be >= 1") (fun () ->
+      Flight.enable ~capacity:0 ())
+
+let test_flight_disabled_records_nothing () =
+  Flight.disable ();
+  Flight.reset ();
+  Flight.record ~kind:"test" "ignored";
+  Flight.note_span ~name:"ignored" ~dur_us:1.0;
+  Alcotest.(check int) "no entries" 0 (List.length (Flight.entries ()))
+
+(* ------------------------------------------------------------------ *)
+(* Publish: ticker and scrape endpoint                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tick_index j =
+  match J.member "tick" j with
+  | Some t -> (
+    match J.to_int t with
+    | Ok n -> n
+    | Error e -> Alcotest.failf "tick is not an int: %s" e)
+  | None -> Alcotest.fail "tick line lacks a tick field"
+
+let test_publish_ticker_deltas_remerge () =
+  quiesce ();
+  M.enable ();
+  let path = Filename.temp_file "dls_obs_ticks" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Publish.stop ();
+      Sys.remove path;
+      quiesce ())
+  @@ fun () ->
+  let c = M.counter "test.pub.ticker" in
+  let h = M.histogram "test.pub.hist" in
+  Publish.start_snapshots ~interval:0.02 ~path ();
+  for i = 1 to 5 do
+    M.add c i;
+    M.observe h (float_of_int i);
+    Thread.delay 0.03
+  done;
+  Publish.stop ();
+  let final = M.snapshot () in
+  (* Decode every line (the ts/tick extras must not break the metric
+     codec), group into per-tick delta snapshots, and re-merge. *)
+  let entries =
+    List.map
+      (fun l ->
+        match J.of_string l with
+        | Error e -> Alcotest.failf "tick line is not JSON (%s): %s" e l
+        | Ok j -> (
+          match M.value_of_json j with
+          | Ok kv -> (tick_index j, kv)
+          | Error e -> Alcotest.failf "tick line is not a metric (%s): %s" e l))
+      (jsonl_lines (read_file path))
+  in
+  let max_tick = List.fold_left (fun m (t, _) -> Stdlib.max m t) 0 entries in
+  Alcotest.(check bool) "at least two ticks recorded" true (max_tick >= 2);
+  let tick t = List.filter_map (fun (u, kv) -> if u = t then Some kv else None)
+      entries in
+  let merged =
+    List.fold_left (fun acc t -> M.merge acc (tick t)) []
+      (List.init max_tick (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "merged ticks = final cumulative registry" true
+    (snapshots_agree merged final);
+  (match find "test.pub.ticker" merged with
+  | M.Counter n -> Alcotest.(check int) "counter total" 15 n
+  | _ -> Alcotest.fail "wrong kind");
+  match find "test.pub.hist" merged with
+  | M.Histogram hs -> Alcotest.(check int) "observation count" 5 hs.M.hs_count
+  | _ -> Alcotest.fail "wrong kind"
+
+let recv_all fd =
+  let buf = Bytes.create 4096 in
+  let b = Buffer.create 256 in
+  let rec go () =
+    let n = Unix.read fd buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      Buffer.add_subbytes b buf 0 n;
+      go ()
+    end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents b
+
+let test_publish_http_scrape () =
+  quiesce ();
+  M.enable ();
+  let sock_path = Filename.temp_file "dls_obs_http" ".sock" in
+  Sys.remove sock_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Publish.stop ();
+      quiesce ())
+  @@ fun () ->
+  let c = M.counter "test.pub.scrape" in
+  M.add c 7;
+  let h = M.histogram "test.pub.lat" in
+  M.observe h 0.5;
+  Publish.start_http (Publish.Unix_sock sock_path);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let resp =
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX sock_path);
+    let req = "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n" in
+    ignore (Unix.write_substring fd req 0 (String.length req) : int);
+    recv_all fd
+  in
+  Alcotest.(check bool) "200" true (contains "HTTP/1.1 200 OK" resp);
+  Alcotest.(check bool) "exposition content type" true
+    (contains "text/plain; version=0.0.4" resp);
+  Alcotest.(check bool) "counter exposed" true
+    (contains "test_pub_scrape_total 7" resp);
+  Alcotest.(check bool) "histogram count exposed" true
+    (contains "test_pub_lat_count 1" resp);
+  Alcotest.(check bool) "+Inf bucket exposed" true
+    (contains "test_pub_lat_bucket{le=\"+Inf\"} 1" resp)
+
+let test_publish_addr_parsing () =
+  (match Publish.addr_of_string "unix:/tmp/m.sock" with
+  | Ok (Publish.Unix_sock p) -> Alcotest.(check string) "path" "/tmp/m.sock" p
+  | _ -> Alcotest.fail "unix addr");
+  (match Publish.addr_of_string "0.0.0.0:9100" with
+  | Ok (Publish.Tcp (h, p)) ->
+    Alcotest.(check string) "host" "0.0.0.0" h;
+    Alcotest.(check int) "port" 9100 p
+  | _ -> Alcotest.fail "host:port addr");
+  (match Publish.addr_of_string "9100" with
+  | Ok (Publish.Tcp (h, p)) ->
+    Alcotest.(check string) "loopback default" "127.0.0.1" h;
+    Alcotest.(check int) "port" 9100 p
+  | _ -> Alcotest.fail "bare port addr");
+  match Publish.addr_of_string "no-port" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Obs lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_obs_configure_once_finalize_idempotent () =
+  quiesce ();
+  Obs.reset_for_tests ();
+  let dir = Filename.temp_file "dls_obs_cfg" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p name = Filename.concat dir name in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset_for_tests ();
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir;
+      quiesce ())
+  @@ fun () ->
+  Alcotest.(check bool) "not configured yet" false (Obs.configured ());
+  Obs.configure ~metrics:(p "metrics.jsonl") ~log:(p "log.jsonl")
+    ~log_level:Olog.Debug ~flight:(p "flight.jsonl") ();
+  Alcotest.(check bool) "configured" true (Obs.configured ());
+  Alcotest.check_raises "second configure fails loudly"
+    (Invalid_argument
+       "Obs.configure: already configured (sinks are once-per-process)")
+    (fun () -> Obs.configure ());
+  Olog.info "one line" ~fields:[ ("k", Olog.Int 1) ];
+  M.incr (M.counter "test.obs.cfg");
+  Flight.record ~kind:"test" "entry";
+  Obs.finalize ();
+  let metrics1 = read_file (p "metrics.jsonl") in
+  let flight1 = read_file (p "flight.jsonl") in
+  Alcotest.(check bool) "log flushed" true
+    (List.length (jsonl_lines (read_file (p "log.jsonl"))) = 1);
+  Alcotest.(check bool) "metrics dump holds the counter" true
+    (contains "test.obs.cfg" metrics1);
+  Alcotest.(check bool) "flight dump holds the entry" true
+    (contains "\"entry\"" flight1);
+  (* Mutate after finalize: a second finalize must be a no-op, not a
+     rewrite. *)
+  Flight.record ~kind:"test" "late entry";
+  Obs.finalize ();
+  Alcotest.(check string) "metrics dump unchanged" metrics1
+    (read_file (p "metrics.jsonl"));
+  Alcotest.(check string) "flight dump unchanged" flight1
+    (read_file (p "flight.jsonl"))
+
+(* ------------------------------------------------------------------ *)
 (* Goldens                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -510,17 +902,61 @@ let test_golden_chrome_trace () =
   | Error msg -> Alcotest.failf "trace is not valid JSON: %s" msg);
   golden_check "obs_trace.expected" (trace ^ "\n")
 
+(* Shared by the summary-table and Prometheus goldens: one counter pair,
+   a gauge, a populated histogram (with underflow) and an empty one. *)
+let table_fixture =
+  [ ("campaign.entries", M.Counter 6);
+    ("campaign.time.LP",
+     M.Histogram (M.hist_of_values [ 0.001; 0.002; 0.004; 0.008; 0.0; 0.0 ]));
+    ("engine.load", M.Gauge { value = 0.75; seq = 3 });
+    ("lp.pivots", M.Counter 294);
+    ("sim.empty", M.Histogram M.empty_hist) ]
+
 let test_golden_pp_summary () =
-  let snap =
-    [ ("campaign.entries", M.Counter 6);
-      ("campaign.time.LP",
-       M.Histogram (M.hist_of_values [ 0.001; 0.002; 0.004; 0.008; 0.0; 0.0 ]));
-      ("engine.load", M.Gauge { value = 0.75; seq = 3 });
-      ("lp.pivots", M.Counter 294);
-      ("sim.empty", M.Histogram M.empty_hist) ]
-  in
   golden_check "obs_summary.expected"
-    (Format.asprintf "%a" M.pp_summary snap)
+    (Format.asprintf "%a" M.pp_summary table_fixture)
+
+let test_golden_prometheus () =
+  let body = M.to_prometheus table_fixture in
+  golden_check "obs_prometheus.expected" body;
+  (* Cumulative-bucket sanity independent of the golden bytes: the +Inf
+     bucket equals the count, and underflow observations are included
+     from the first bucket on. *)
+  Alcotest.(check bool) "+Inf equals count" true
+    (contains "campaign_time_LP_bucket{le=\"+Inf\"} 6" body);
+  Alcotest.(check bool) "count line" true
+    (contains "campaign_time_LP_count 6" body)
+
+let test_golden_flight_dump () =
+  quiesce ();
+  let t = ref 0.0 in
+  Clock.set_override (fun () ->
+      t := !t +. 250.0;
+      !t);
+  Fun.protect
+    ~finally:(fun () ->
+      Clock.clear_override ();
+      Flight.disable ();
+      quiesce ())
+  @@ fun () ->
+  Flight.enable ~capacity:4 ();
+  Flight.record ~kind:"fault" "link 0 down" ~fields:[ ("sim_t", "4.25") ];
+  Flight.note_span ~name:"sim.run" ~dur_us:1234.5;
+  Flight.note_log ~ts:(Clock.now ()) ~level:"warn" ~msg:"guard low"
+    ~fields:[ ("left", "2") ];
+  Flight.record ~kind:"checkpoint" "engine checkpoint";
+  Flight.record ~kind:"replan" "fault outage" (* overwrites the oldest *);
+  Alcotest.(check int) "seen counts the overwritten entry" 5 (Flight.seen ());
+  Alcotest.(check int) "ring keeps capacity entries" 4
+    (List.length (Flight.entries ()));
+  let dump = Flight.dump () in
+  List.iter
+    (fun l ->
+      match J.of_string l with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "dump line is not strict JSON (%s): %S" e l)
+    (jsonl_lines dump);
+  golden_check "obs_flight.expected" dump
 
 let () =
   let qc = QCheck_alcotest.to_alcotest in
@@ -564,8 +1000,36 @@ let () =
             test_registry_deterministic_across_domains;
           Alcotest.test_case "shard snapshots merge exactly" `Quick
             test_shard_snapshots_merge_exactly ] );
+      ( "deltas",
+        [ qc prop_deltas_remerge;
+          Alcotest.test_case "ticker deltas re-merge to the registry" `Quick
+            test_publish_ticker_deltas_remerge ] );
+      ( "log",
+        [ Alcotest.test_case "levels filter, lines parse" `Quick
+            test_log_levels_filter_and_lines_parse;
+          Alcotest.test_case "reserved keys and non-finite fields" `Quick
+            test_log_reserved_keys_and_non_finite;
+          Alcotest.test_case "multi-domain sink, no torn lines" `Quick
+            test_log_multi_domain_no_torn_lines ] );
+      ( "flight",
+        [ Alcotest.test_case "ring overwrites oldest" `Quick
+            test_flight_ring_overwrites_oldest;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_flight_disabled_records_nothing ] );
+      ( "publish",
+        [ Alcotest.test_case "addr parsing" `Quick test_publish_addr_parsing;
+          Alcotest.test_case "http scrape endpoint" `Quick
+            test_publish_http_scrape ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "trace cap and dropped counter" `Quick
+            test_trace_cap_and_dropped_counter;
+          Alcotest.test_case "configure once, finalize idempotent" `Quick
+            test_obs_configure_once_finalize_idempotent ] );
       ( "golden",
         [ Alcotest.test_case "chrome trace exporter" `Quick
             test_golden_chrome_trace;
-          Alcotest.test_case "pp summary table" `Quick test_golden_pp_summary ]
-      ) ]
+          Alcotest.test_case "pp summary table" `Quick test_golden_pp_summary;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_golden_prometheus;
+          Alcotest.test_case "flight recorder dump" `Quick
+            test_golden_flight_dump ] ) ]
