@@ -277,6 +277,60 @@ let dynsim_series ?(seed = 61) ?(ks = [ 4; 8 ]) ?(jobs = 30) () =
     ks;
   Format.printf "@."
 
+(* Budgeted daemon solves: which repair-ladder rung each budget can
+   afford, and what it costs — the latency/quality trade the daemon's
+   deadline machinery navigates per request. *)
+let daemon_series ?(seed = 71) ?(ks = [ 6; 10 ]) () =
+  let module DS = Dls_daemon.Solver in
+  let module DP = Dls_daemon.Protocol in
+  Format.printf "=== Daemon solve-ladder series (deadline-budgeted rungs) ===@.@.";
+  Format.printf "%-4s %-10s %-14s %-12s %-10s %-9s@." "K" "budget-ms" "rung"
+    "objective" "solve-ms" "degraded";
+  List.iter
+    (fun k ->
+      let pf =
+        Dls_platform.Generator.generate
+          (Prng.create ~seed:(seed + k))
+          { Dls_platform.Generator.default_params with k }
+      in
+      let st = Dls_daemon.State.create pf in
+      let apply m =
+        match Dls_daemon.State.apply st m with
+        | Ok () -> ()
+        | Error e -> failwith e
+      in
+      for c = 0 to k - 1 do
+        if c mod 3 = 0 then
+          apply
+            (DP.Register_app
+               { app = Printf.sprintf "bench%d" c; cluster = c; payoff = 1.0 })
+      done;
+      apply
+        (DP.Platform_delta
+           [ Dls_flowsim.Faults.Link_degrade { link = 0; factor = 0.5 } ]);
+      let problem = Dls_daemon.State.problem st in
+      let base = Dls_core.Allocation.zero k in
+      List.iter
+        (fun budget_ms ->
+          let breaker = DS.breaker () in
+          let t0 = Unix.gettimeofday () in
+          match
+            DS.solve ~breaker ~objective:Lp_relax.Maxmin
+              ~budget_s:(budget_ms /. 1000.0) ~base problem
+          with
+          | Ok o ->
+            Format.printf "%-4d %-10.1f %-14s %-12.4f %-10.3f %-9b@." k
+              budget_ms
+              (DS.rung_name o.DS.rung)
+              o.DS.objective_value
+              ((Unix.gettimeofday () -. t0) *. 1e3)
+              o.DS.degraded
+          | Error e ->
+            Format.printf "%-4d %-10.1f solve failed: %s@." k budget_ms e)
+        [ 0.0; 5.0; 1000.0 ])
+    ks;
+  Format.printf "@."
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks, one group per table/figure       *)
 (* ------------------------------------------------------------------ *)
@@ -475,6 +529,7 @@ let quick () =
     (E.Fig6.table (E.Fig6.run ~ks:[ 6 ] ~per_k:1 ()));
   lprr_warm_vs_cold ~ks:[ 8 ] ~per_k:1 ();
   lp_scale_series ~ks:[ 25 ] ();
+  daemon_series ~ks:[ 6 ] ();
   Format.printf "done.@."
 
 (* --trace/--metrics/--log/--log-level/--flight/--telemetry/--publish:
@@ -536,6 +591,9 @@ let () =
   else if Array.exists (String.equal "--dynsim") Sys.argv then
     (* Just the event-loop throughput + re-plan latency series. *)
     dynsim_series ()
+  else if Array.exists (String.equal "--daemon") Sys.argv then
+    (* Just the deadline-budgeted daemon solve ladder series. *)
+    daemon_series ()
   else begin
     reproduction ();
     lprr_warm_vs_cold ();
@@ -543,6 +601,7 @@ let () =
     campaign_throughput ();
     resilience_series ();
     dynsim_series ();
+    daemon_series ();
     run_benchmarks ();
     Format.printf "@.done.@."
   end

@@ -1,0 +1,109 @@
+(** Wire protocol of the allocation daemon.
+
+    Requests and replies are single {!Dls_util.Json} values, framed as
+    [<decimal byte length>\n<payload>] — the length prefix lets the
+    server accumulate a frame across arbitrary TCP segmentation, and
+    the strict JSON codec guarantees one value per frame.  Frames are
+    capped ({!max_frame}) so a hostile length header cannot make the
+    server buffer unbounded input.
+
+    The request set mirrors the daemon's state machine:
+    {ul
+    {- {e mutations} ([register_app] / [retire_app] / [platform_delta])
+       change the registered-application set or apply platform fault
+       deltas; accepted mutations are journaled to the WAL before they
+       are applied, so a crash replays to the exact accepted state;}
+    {- [get_schedule] runs the deadline-budgeted repair ladder and
+       returns the best feasible allocation found in budget;}
+    {- [health] reports liveness counters; [drain] stops accepting,
+       finishes the queue and shuts the server down cleanly;}
+    {- [crash] (only honoured when the server was started with
+       [allow_crash], for tests and the CI supervisor smoke) raises in
+       the serving loop to exercise the supervisor restart path.}} *)
+
+type mutation =
+  | Register_app of { app : string; cluster : int; payoff : float }
+      (** register application [app] on its source cluster with the
+          given (strictly positive) payoff *)
+  | Retire_app of { app : string }
+  | Platform_delta of Dls_flowsim.Faults.kind list
+      (** apply platform fault events (encoded with
+          {!Dls_flowsim.Faults.kind_to_json}) to the daemon's cursor *)
+
+type request =
+  | Mutate of mutation
+  | Get_schedule of {
+      objective : Dls_core.Lp_relax.objective;
+      budget_ms : float option;  (** per-request deadline; [None] uses
+                                     the server default *)
+    }
+  | Health
+  | Drain
+  | Crash
+
+val mutation_to_json : mutation -> Dls_util.Json.t
+val mutation_of_json : Dls_util.Json.t -> (mutation, string) result
+
+val request_to_json : request -> Dls_util.Json.t
+val request_of_json : Dls_util.Json.t -> (request, string) result
+
+(** {1 Schedule replies}
+
+    The subset of a [get_schedule] reply that defines the schedule —
+    used by the crash-recovery equivalence tests, which must ignore
+    wall-clock fields ([attempts] timings). *)
+
+type schedule_reply = {
+  sr_objective : float;  (** objective value of the returned allocation *)
+  sr_rung : string;  (** ladder rung that produced it *)
+  sr_degraded : bool;  (** a better rung was skipped (budget/breaker) *)
+  sr_breaker : string;  (** breaker state after the solve *)
+  sr_alpha : (int * int * float) list;  (** non-zero work entries *)
+  sr_beta : (int * int * int) list;  (** non-zero connection entries *)
+}
+
+val schedule_reply_to_json : schedule_reply -> Dls_util.Json.t
+(** Encoded as part of the [get_schedule] reply object; the server adds
+    [status]/[attempts] fields around it. *)
+
+val schedule_reply_of_json :
+  Dls_util.Json.t -> (schedule_reply, string) result
+(** Decodes a full [get_schedule] reply object (extra fields ignored). *)
+
+val equal_schedule : schedule_reply -> schedule_reply -> bool
+(** Equality on the schedule-defining fields only (not breaker state),
+    exact on floats — replayed solves are bit-deterministic. *)
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Hard cap on a frame payload (4 MiB). *)
+
+val frame : string -> string
+(** [frame payload] is the wire encoding [<len>\n<payload>]. *)
+
+val split_frame :
+  ?max_frame:int ->
+  string ->
+  [ `Incomplete | `Frame of string * int | `Bad of string ]
+(** Try to extract one frame from buffered bytes: [`Frame (payload,
+    consumed)] on success, [`Incomplete] when more bytes are needed,
+    [`Bad reason] on a malformed or oversized header (the connection
+    should be dropped — resynchronisation is impossible). *)
+
+(** {1 Blocking client-side IO}
+
+    Used by the [dls_daemond client] subcommand and the tests; the
+    server itself is non-blocking and uses {!split_frame} directly. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one framed payload, handling short writes. *)
+
+val read_frame :
+  ?timeout:float ->
+  buf:Buffer.t ->
+  Unix.file_descr ->
+  (string, string) result
+(** Read one frame, keeping any over-read bytes in [buf] for the next
+    call (pipelined replies).  [timeout] (default 10 s) bounds the wait
+    via [SO_RCVTIMEO]; [Error] on timeout, closed peer or bad frame. *)

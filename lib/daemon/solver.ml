@@ -1,0 +1,217 @@
+module Repair = Dls_core.Repair
+module Heuristics = Dls_core.Heuristics
+module Allocation = Dls_core.Allocation
+module Problem = Dls_core.Problem
+module Prng = Dls_util.Prng
+module M = Dls_obs.Metrics
+module Olog = Dls_obs.Log
+
+type rung = Rescale | Refine | Resolve_lp | Resolve_greedy
+
+let rung_name = function
+  | Rescale -> "rescale"
+  | Refine -> "refine"
+  | Resolve_lp -> "resolve_lp"
+  | Resolve_greedy -> "resolve_greedy"
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type breaker = {
+  threshold : int;
+  base_backoff : float;
+  max_backoff : float;
+  rng : Prng.t;
+  mutable failures : int;  (* consecutive Resolve-LP failures *)
+  mutable reopens : int;  (* opens since the last close — backoff exponent *)
+  mutable trips : int;  (* total opens, for metrics *)
+  mutable open_until : float;
+  mutable st : breaker_state;
+}
+
+let m_trips = M.counter "daemon.breaker.trips"
+
+let breaker ?(threshold = 3) ?(base_backoff_s = 1.0) ?(max_backoff_s = 60.0)
+    ?(seed = 0) () =
+  if threshold < 1 then invalid_arg "Solver.breaker: threshold must be >= 1";
+  if not (base_backoff_s > 0.0 && max_backoff_s >= base_backoff_s) then
+    invalid_arg "Solver.breaker: backoffs must satisfy 0 < base <= max";
+  {
+    threshold;
+    base_backoff = base_backoff_s;
+    max_backoff = max_backoff_s;
+    rng = Prng.derive ~seed ~index:0;
+    failures = 0;
+    reopens = 0;
+    trips = 0;
+    open_until = 0.0;
+    st = Closed;
+  }
+
+let breaker_state b ~now =
+  (match b.st with
+  | Open when now >= b.open_until -> b.st <- Half_open
+  | _ -> ());
+  b.st
+
+let breaker_trips b = b.trips
+
+let trip b ~now =
+  (* Exponential backoff with multiplicative jitter in [1, 1.5]: the
+     jitter decorrelates probe times across daemons recovering from the
+     same platform-wide incident. *)
+  let backoff =
+    Float.min b.max_backoff
+      (b.base_backoff *. Float.pow 2.0 (float_of_int b.reopens))
+    *. (1.0 +. Prng.float b.rng ~lo:0.0 ~hi:0.5)
+  in
+  b.open_until <- now +. backoff;
+  b.reopens <- b.reopens + 1;
+  b.trips <- b.trips + 1;
+  b.st <- Open;
+  M.incr m_trips;
+  if Olog.enabled Olog.Warn then
+    Olog.warn "daemon.breaker.open"
+      ~fields:
+        [ ("failures", Olog.Int b.failures); ("backoff_s", Olog.Float backoff) ]
+
+let note_lp_failure b ~now =
+  b.failures <- b.failures + 1;
+  match breaker_state b ~now with
+  | Half_open -> trip b ~now  (* failed probe: straight back open *)
+  | Closed when b.failures >= b.threshold -> trip b ~now
+  | Closed | Open -> ()
+
+let note_lp_success b =
+  b.failures <- 0;
+  b.reopens <- 0;
+  b.st <- Closed
+
+(* ------------------------------------------------------------------ *)
+(* The ladder                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type attempt = {
+  a_rung : rung;
+  a_seconds : float;
+  a_within_budget : bool;
+  a_feasible : bool;
+  a_objective : float;
+}
+
+type outcome = {
+  allocation : Allocation.t;
+  objective_value : float;
+  rung : rung;
+  degraded : bool;
+  skipped : rung list;
+  attempts : attempt list;
+}
+
+let total_throughput problem a =
+  let kk = Problem.num_clusters problem in
+  let s = ref 0.0 in
+  for k = 0 to kk - 1 do
+    s := !s +. Allocation.app_throughput a k
+  done;
+  !s
+
+let m_solve_s = M.histogram "daemon.solve.seconds"
+let m_blowouts = M.counter "daemon.solve.blowouts"
+
+let solve ?(now = Unix.gettimeofday) ~breaker:b ~objective ~budget_s ~base
+    problem =
+  let obj_kind = match objective with Dls_core.Lp_relax.Sum -> `Sum | _ -> `Maxmin in
+  let t0 = now () in
+  let elapsed () = now () -. t0 in
+  let attempts = ref [] in
+  let skipped = ref [] in
+  (* Best feasible so far, ranked by (objective, total throughput) with
+     later rungs winning ties — the same ranking Repair uses, so a
+     budget cut returns the strongest allocation already in hand. *)
+  let best = ref None in
+  let attempt rung f =
+    let t = now () in
+    let r = f () in
+    let dt = now () -. t in
+    M.observe m_solve_s dt;
+    let feasible_alloc =
+      match r with
+      | Ok a when Allocation.is_feasible problem a -> Some a
+      | Ok _ | Error _ -> None
+    in
+    let obj =
+      match feasible_alloc with
+      | Some a -> Allocation.objective obj_kind problem a
+      | None -> 0.0
+    in
+    let within = elapsed () <= budget_s in
+    attempts :=
+      { a_rung = rung; a_seconds = dt; a_within_budget = within;
+        a_feasible = feasible_alloc <> None; a_objective = obj }
+      :: !attempts;
+    (match feasible_alloc with
+    | Some a ->
+      let score = (obj, total_throughput problem a) in
+      (match !best with
+      | Some (_, _, s) when s > score -> ()
+      | _ -> best := Some (rung, a, score))
+    | None -> ());
+    (feasible_alloc <> None, within)
+  in
+  let run_stage stage heuristic =
+    Repair.run_stage ~objective ~heuristic stage problem base
+  in
+  (* Rung 1: always — the zero-budget floor. *)
+  ignore (attempt Rescale (fun () -> run_stage Repair.Rescale Heuristics.LPRG));
+  (* Rung 2: greedy refinement, if budget remains. *)
+  if elapsed () < budget_s then
+    ignore (attempt Refine (fun () -> run_stage Repair.Refine Heuristics.LPRG))
+  else skipped := Refine :: !skipped;
+  (* Rung 3: the LP re-solve, gated by both budget and breaker. *)
+  let lp_ok = ref false in
+  let budget_left = elapsed () < budget_s in
+  let breaker_allows = breaker_state b ~now:(now ()) <> Open in
+  if budget_left && breaker_allows then begin
+    let feasible, within =
+      attempt Resolve_lp (fun () -> run_stage Repair.Resolve Heuristics.LPRG)
+    in
+    lp_ok := feasible && within;
+    if !lp_ok then note_lp_success b
+    else begin
+      M.incr m_blowouts;
+      note_lp_failure b ~now:(now ())
+    end
+  end
+  else skipped := Resolve_lp :: !skipped;
+  (* Rung 4: the greedy full re-solve — the backstop when the LP rung
+     was skipped or blew out, never needed after a clean LP solve. *)
+  if (not !lp_ok) && elapsed () < budget_s then
+    ignore
+      (attempt Resolve_greedy (fun () -> run_stage Repair.Resolve Heuristics.G))
+  else if not !lp_ok then skipped := Resolve_greedy :: !skipped;
+  let attempts = List.rev !attempts in
+  let skipped = List.rev !skipped in
+  match !best with
+  | Some (rung, allocation, (objective_value, _)) ->
+    Ok
+      {
+        allocation;
+        objective_value;
+        rung;
+        degraded = skipped <> [] && rung <> Resolve_lp;
+        skipped;
+        attempts;
+      }
+  | None ->
+    Olog.error "daemon.solve.failed"
+      ~fields:[ ("attempts", Olog.Int (List.length attempts)) ];
+    Error "solve: no ladder rung produced a feasible allocation"

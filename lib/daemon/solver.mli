@@ -1,0 +1,112 @@
+(** Deadline-budgeted repair-ladder solves with a circuit breaker.
+
+    Every [get_schedule] request carries a time budget.  The solver
+    climbs the PR-3/4 repair ladder one rung at a time — each rung
+    strictly more expensive and (usually) better than the last — and
+    stops escalating the moment the budget is exhausted, returning the
+    best feasible allocation found so far with a [degraded] flag when a
+    better rung was skipped:
+
+    + {b Rescale} — λ-shrink the cached allocation onto the degraded
+      capacities ({!Dls_core.Repair.rescale}); microseconds, feasible
+      by construction, always attempted (it is the floor the daemon can
+      serve even with a zero budget).
+    + {b Refine} — greedy refinement on the residual capacities; from a
+      zero base this is a full greedy solve, so even budget-starved
+      first requests get greedy-quality schedules.
+    + {b Resolve-LP} — full LP-based re-solve (LPRG).  The expensive
+      rung, and the one the {e circuit breaker} protects: after
+      [threshold] consecutive deadline blowouts (the LP finished past
+      the request deadline, or failed) the breaker {e opens} and
+      Resolve-LP is skipped entirely for an exponentially-backed-off,
+      {!Dls_util.Prng}-jittered interval; then one {e half-open} probe
+      is allowed — success re-closes the breaker, another blowout
+      re-opens it with a doubled backoff.
+    + {b Resolve-greedy} — full objective-free greedy re-solve, the
+      fallback rung when Resolve-LP is skipped (breaker open) or
+      errored.
+
+    Rungs are never aborted mid-flight (budgets gate {e starting} a
+    rung), so a single pathological LP can overrun once — that overrun
+    is precisely what feeds the breaker. *)
+
+type rung = Rescale | Refine | Resolve_lp | Resolve_greedy
+
+val rung_name : rung -> string
+(** ["rescale"], ["refine"], ["resolve_lp"], ["resolve_greedy"]. *)
+
+(** {1 Circuit breaker} *)
+
+type breaker
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_name : breaker_state -> string
+
+val breaker :
+  ?threshold:int ->
+  ?base_backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?seed:int ->
+  unit ->
+  breaker
+(** Fresh closed breaker.  [threshold] consecutive Resolve-LP failures
+    (default 3) trip it open for [base_backoff_s * 2^k] seconds
+    (defaults 1.0 base, 60.0 cap, [k] = re-opens since last close),
+    stretched by a jitter factor in [1, 1.5] drawn from a [seed]ed
+    {!Dls_util.Prng} stream so restarted daemons do not probe in
+    lockstep.
+    @raise Invalid_argument on a non-positive threshold or backoff. *)
+
+val breaker_state : breaker -> now:float -> breaker_state
+(** Current state; an [Open] breaker whose backoff has elapsed reports
+    (and becomes) [Half_open]. *)
+
+val breaker_trips : breaker -> int
+(** Times the breaker has transitioned to [Open]. *)
+
+val note_lp_failure : breaker -> now:float -> unit
+(** Record one Resolve-LP deadline blowout.  {!solve} calls this
+    itself; exposed so the tests can drive the trip / half-open / close
+    cycle with a fake clock. *)
+
+val note_lp_success : breaker -> unit
+(** Record a clean in-budget Resolve-LP; resets failures and closes the
+    breaker. *)
+
+(** {1 Solving} *)
+
+type attempt = {
+  a_rung : rung;
+  a_seconds : float;  (** wall-clock cost of the rung *)
+  a_within_budget : bool;  (** finished before the request deadline *)
+  a_feasible : bool;
+  a_objective : float;  (** 0 when infeasible *)
+}
+
+type outcome = {
+  allocation : Dls_core.Allocation.t;  (** best feasible found *)
+  objective_value : float;
+  rung : rung;  (** rung that produced [allocation] *)
+  degraded : bool;
+      (** a better rung was skipped (budget exhausted or breaker open)
+          and the winner is not the full LP re-solve *)
+  skipped : rung list;  (** rungs not attempted, in ladder order *)
+  attempts : attempt list;  (** rungs attempted, in ladder order *)
+}
+
+val solve :
+  ?now:(unit -> float) ->
+  breaker:breaker ->
+  objective:Dls_core.Lp_relax.objective ->
+  budget_s:float ->
+  base:Dls_core.Allocation.t ->
+  Dls_core.Problem.t ->
+  (outcome, string) result
+(** Climb the ladder under [budget_s] seconds, starting from [base]
+    (the daemon's cached last-good allocation, or zero).  [now]
+    overrides the clock (tests drive the breaker through its
+    open/half-open cycle with a fake clock; default
+    [Unix.gettimeofday]).  [Error] only if no rung produced a feasible
+    allocation, which Rescale's totality rules out for well-formed
+    problems. *)

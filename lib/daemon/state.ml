@@ -1,0 +1,106 @@
+module Platform = Dls_platform.Platform
+module Platform_io = Dls_platform.Platform_io
+module Faults = Dls_flowsim.Faults
+module Problem = Dls_core.Problem
+
+type t = {
+  pf : Platform.t;
+  pf_fingerprint : string;
+  mutable app_list : (string * (int * float)) list;  (* insertion order *)
+  mutable delta_rev : Faults.kind list;  (* newest first *)
+  mutable n_mutations : int;
+}
+
+let create pf =
+  {
+    pf;
+    pf_fingerprint = Digest.to_hex (Digest.string (Platform_io.to_string pf));
+    app_list = [];
+    delta_rev = [];
+    n_mutations = 0;
+  }
+
+let platform t = t.pf
+
+let apps t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t.app_list
+
+let deltas t = List.rev t.delta_rev
+
+let seq t = t.n_mutations
+
+let fingerprint t = t.pf_fingerprint
+
+let apply t (m : Protocol.mutation) =
+  match m with
+  | Protocol.Register_app { app; cluster; payoff } ->
+    if app = "" then Error "register_app: empty application name"
+    else if List.mem_assoc app t.app_list then
+      Error (Printf.sprintf "register_app: %S already registered" app)
+    else if cluster < 0 || cluster >= Platform.num_clusters t.pf then
+      Error
+        (Printf.sprintf "register_app: cluster %d outside [0, %d)" cluster
+           (Platform.num_clusters t.pf))
+    else if not (payoff > 0.0 && payoff < infinity) then
+      Error (Printf.sprintf "register_app: payoff %g not in (0, inf)" payoff)
+    else (
+      match
+        List.find_opt (fun (_, (c, _)) -> c = cluster) t.app_list
+      with
+      | Some (other, _) ->
+        Error
+          (Printf.sprintf "register_app: cluster %d already owned by %S"
+             cluster other)
+      | None ->
+        t.app_list <- t.app_list @ [ (app, (cluster, payoff)) ];
+        t.n_mutations <- t.n_mutations + 1;
+        Ok ())
+  | Protocol.Retire_app { app } ->
+    if not (List.mem_assoc app t.app_list) then
+      Error (Printf.sprintf "retire_app: %S not registered" app)
+    else begin
+      t.app_list <- List.remove_assoc app t.app_list;
+      t.n_mutations <- t.n_mutations + 1;
+      Ok ()
+    end
+  | Protocol.Platform_delta kinds ->
+    if kinds = [] then Error "platform_delta: empty event list"
+    else (
+      (* Faults.make performs the entity-range and factor validation;
+         the synthetic times (0, 1, 2, ...) only fix application
+         order. *)
+      match
+        Faults.make t.pf
+          (List.mapi
+             (fun i k -> { Faults.time = float_of_int i; kind = k })
+             kinds)
+      with
+      | _plan ->
+        t.delta_rev <- List.rev_append kinds t.delta_rev;
+        t.n_mutations <- t.n_mutations + 1;
+        Ok ()
+      | exception Invalid_argument msg -> Error msg)
+
+let degraded_platform t =
+  match t.delta_rev with
+  | [] -> t.pf
+  | _ ->
+    let kinds = List.rev t.delta_rev in
+    let n = List.length kinds in
+    let plan =
+      Faults.make t.pf
+        (List.mapi
+           (fun i k -> { Faults.time = float_of_int i; kind = k })
+           kinds)
+    in
+    Faults.degraded_at t.pf plan ~time:(float_of_int (n - 1))
+
+let problem t =
+  let payoffs = Array.make (Platform.num_clusters t.pf) 0.0 in
+  List.iter (fun (_, (c, p)) -> payoffs.(c) <- p) t.app_list;
+  Problem.make (degraded_platform t) ~payoffs
+
+let equal a b =
+  a.pf_fingerprint = b.pf_fingerprint
+  && apps a = apps b
+  && a.delta_rev = b.delta_rev

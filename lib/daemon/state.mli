@@ -1,0 +1,63 @@
+(** Registered-application state of the allocation daemon.
+
+    The daemon owns one nominal platform (fixed at startup) plus two
+    pieces of mutable state, both driven exclusively by accepted
+    {!Protocol.mutation}s so that WAL replay reconstructs them exactly:
+
+    - the {e application registry}: each application lives on its
+      source cluster (the cluster that holds its input data, Section 3
+      of the paper) with a strictly positive payoff; at most one
+      application per cluster;
+    - the {e platform delta log}: every fault kind accepted through
+      [platform_delta], in arrival order.  The degraded platform is the
+      nominal one with all deltas applied through
+      {!Dls_flowsim.Faults.degraded_at}, so link recoveries and
+      max-connect restorations compose exactly as in the simulator.
+
+    Mutations are validated {e before} being journaled: an [Error] from
+    {!apply} means the state is unchanged and nothing may be written to
+    the WAL. *)
+
+type t
+
+val create : Dls_platform.Platform.t -> t
+(** Fresh state: no applications, no deltas. *)
+
+val platform : t -> Dls_platform.Platform.t
+(** The nominal platform. *)
+
+val apps : t -> (string * (int * float)) list
+(** Registered applications as [(name, (cluster, payoff))], sorted by
+    name. *)
+
+val deltas : t -> Dls_flowsim.Faults.kind list
+(** Accepted platform deltas, in arrival order. *)
+
+val seq : t -> int
+(** Number of mutations applied so far — the WAL sequence number of the
+    next mutation. *)
+
+val apply : t -> Protocol.mutation -> (unit, string) result
+(** Validate and apply one mutation.  Rejections (unchanged state):
+    empty/duplicate application name, cluster out of range or already
+    owned by another application, non-positive or non-finite payoff,
+    retiring an unknown application, an empty delta list, or a delta
+    event rejected by {!Dls_flowsim.Faults.make} (bad entity id or
+    factor). *)
+
+val degraded_platform : t -> Dls_platform.Platform.t
+(** The nominal platform with every accepted delta applied. *)
+
+val problem : t -> Dls_core.Problem.t
+(** The multi-application scheduling problem right now: degraded
+    platform, payoff [p] at each registered application's cluster, 0
+    elsewhere. *)
+
+val fingerprint : t -> string
+(** Hex digest of the nominal platform's canonical serialization; the
+    WAL manifest pins it so a journal is never replayed against a
+    different platform. *)
+
+val equal : t -> t -> bool
+(** Same platform fingerprint, application registry and delta log —
+    the equivalence the WAL replay property checks. *)

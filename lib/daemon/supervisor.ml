@@ -1,0 +1,50 @@
+module M = Dls_obs.Metrics
+module Olog = Dls_obs.Log
+module Flight = Dls_obs.Flight
+module Prng = Dls_util.Prng
+
+let m_restarts = M.counter "daemon.restarts"
+
+let run ?(should_stop = fun () -> false) ?(on_restart = fun _ _ -> ())
+    ?(max_restarts = 100) ?(backoff_base_s = 0.1) ?(sleep = Unix.sleepf)
+    config ~load =
+  if max_restarts < 0 then
+    invalid_arg "Supervisor.run: max_restarts must be >= 0";
+  let rng = Prng.derive ~seed:config.Server.seed ~index:1 in
+  let rec go restarts =
+    match load () with
+    | Error _ as e -> e
+    | Ok (state, journal) -> (
+      let close () = Option.iter Journal.close journal in
+      match Server.serve ~should_stop ~restarts config state journal with
+      | result ->
+        close ();
+        result
+      | exception exn ->
+        close ();
+        let msg = Printexc.to_string exn in
+        let n = restarts + 1 in
+        Flight.record ~kind:"daemon"
+          ~fields:[ ("restart", string_of_int n) ]
+          ("server crashed: " ^ msg);
+        M.incr m_restarts;
+        Olog.error "daemon.crash"
+          ~fields:[ ("exn", Olog.Str msg); ("restarts", Olog.Int n) ];
+        on_restart exn n;
+        if n > max_restarts then
+          Error (Printf.sprintf "daemon: giving up after %d restarts: %s" n msg)
+        else if should_stop () then Ok ()
+        else begin
+          (* Jittered exponential backoff so a crash loop cannot spin,
+             capped: the daemon must come back within seconds of a
+             transient fault even deep into a bad stretch. *)
+          let backoff =
+            Float.min 5.0
+              (backoff_base_s *. Float.pow 2.0 (float_of_int (min n 10)))
+            *. (1.0 +. Prng.float rng ~lo:0.0 ~hi:0.5)
+          in
+          sleep backoff;
+          go n
+        end)
+  in
+  go 0

@@ -1,0 +1,34 @@
+(** Restart supervision for the serving loop.
+
+    The server never catches its own exceptions: anything uncaught
+    means the in-memory state is of unknown integrity, so the only safe
+    continuation is the crash-recovery path — discard everything,
+    replay the WAL, serve again.  The supervisor owns that loop:
+
+    + call [load ()] for a fresh [(state, journal)] pair (a WAL replay,
+      so every restart exercises exactly the code path a kill -9 +
+      re-exec would);
+    + run {!Server.serve};
+    + on [Ok] (a graceful drain) or [should_stop], return;
+    + on an exception: record it in the {!Dls_obs.Flight} ring, bump
+      [daemon.restarts], close the journal, sleep a jittered
+      exponential backoff (base 0.1 s, cap 5 s — crash loops must not
+      spin), and go to 1 — up to [max_restarts] times, after which the
+      last exception's message is returned as [Error]. *)
+
+val run :
+  ?should_stop:(unit -> bool) ->
+  ?on_restart:(exn -> int -> unit) ->
+  ?max_restarts:int ->
+  ?backoff_base_s:float ->
+  ?sleep:(float -> unit) ->
+  Server.config ->
+  load:(unit -> (State.t * Journal.t option, string) result) ->
+  (unit, string) result
+(** Supervise [Server.serve config] over states produced by [load].
+    [on_restart exn n] fires after the [n]th crash, before the backoff
+    sleep — the binary resets the {!Dls_obs.Obs} epoch there.
+    [max_restarts] defaults to 100; [sleep] (default [Unix.sleepf]) and
+    [backoff_base_s] (default 0.1) are test hooks.  A [load] failure is
+    returned as [Error] immediately: a state that cannot be rebuilt
+    from the WAL must never be served. *)

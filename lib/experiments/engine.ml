@@ -31,38 +31,12 @@ type summary = {
 
 let ( let* ) = Result.bind
 
-let load_log ~of_line ~path =
-  let content = In_channel.with_open_bin path In_channel.input_all in
-  let len = String.length content in
-  let rec go pos line_no acc =
-    if pos >= len then Ok (List.rev acc, pos)
-    else
-      match String.index_from_opt content pos '\n' with
-      | None ->
-        (* Final line never got its newline: interrupted write. *)
-        Ok (List.rev acc, pos)
-      | Some nl -> (
-        let line = String.sub content pos (nl - pos) in
-        match of_line line with
-        | Ok e -> go (nl + 1) (line_no + 1) (e :: acc)
-        | Error msg ->
-          if nl = len - 1 then
-            (* Unparseable final line: also an interrupted write. *)
-            Ok (List.rev acc, pos)
-          else
-            Error
-              (Printf.sprintf "%s: corrupt entry at line %d: %s" path line_no
-                 msg))
-  in
-  go 0 1 []
+(* The JSONL/torn-tail/atomic-manifest machinery lives in
+   {!Dls_util.Wal} (the daemon journals through the same code); these
+   aliases keep the Engine API stable for the experiment specs. *)
+let load_log ~of_line ~path = Dls_util.Wal.load ~of_line ~path
 
-let write_atomic ~path content =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content);
-  Sys.rename tmp path
+let write_atomic ~path content = Dls_util.Wal.write_atomic ~path content
 
 let validate spec ~shards ~shard =
   if spec.total < 0 then Error (spec.log_label ^ ": negative total")
@@ -86,13 +60,11 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
     | Some path when resume && Sys.file_exists path ->
       let* () = spec.check_manifest ~path in
       let* entries, valid_len = load_log ~of_line:spec.of_line ~path in
-      let size = (Unix.stat path).Unix.st_size in
-      if valid_len < size then begin
+      let dropped = Dls_util.Wal.truncate_torn ~path ~valid_len in
+      if dropped > 0 then
         Logs.warn (fun m ->
             m "%s: dropping %d torn trailing bytes of %s" spec.log_label
-              (size - valid_len) path);
-        Unix.truncate path valid_len
-      end;
+              dropped path);
       let* entries =
         List.fold_left
           (fun acc e ->
@@ -139,12 +111,7 @@ let run ?domains ?chunk ?(checkpoint_every = 256) ?(shards = 1) ?shard
     List.fold_left (fun acc s -> acc + Array.length (pending_of s)) 0
       shards_to_run
   in
-  let oc =
-    Option.map
-      (fun path ->
-        open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path)
-      out
-  in
+  let oc = Option.map (fun path -> Dls_util.Wal.open_append ~path) out in
   let logged_total = ref replayed_n in
   let checkpoint () =
     match out with

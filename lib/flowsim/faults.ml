@@ -65,6 +65,61 @@ let pp_kind fmt = function
 
 let pp_event fmt ev = Format.fprintf fmt "t=%.17g %a" ev.time pp_kind ev.kind
 
+(* JSON codec for kinds — the daemon's [platform_delta] wire format.
+   Field names mirror the record labels; the tag is the constructor in
+   snake_case. *)
+module J = Dls_util.Json
+
+let kind_to_json = function
+  | Link_down i -> J.Obj [ ("fault", J.Str "link_down"); ("link", J.Num (float_of_int i)) ]
+  | Link_up i -> J.Obj [ ("fault", J.Str "link_up"); ("link", J.Num (float_of_int i)) ]
+  | Link_degrade { link; factor } ->
+    J.Obj
+      [ ("fault", J.Str "link_degrade"); ("link", J.Num (float_of_int link));
+        ("factor", J.Num factor) ]
+  | Max_connect { link; limit } ->
+    J.Obj
+      [ ("fault", J.Str "max_connect"); ("link", J.Num (float_of_int link));
+        ("limit", J.Num (float_of_int limit)) ]
+  | Cluster_throttle { cluster; factor } ->
+    J.Obj
+      [ ("fault", J.Str "cluster_throttle");
+        ("cluster", J.Num (float_of_int cluster)); ("factor", J.Num factor) ]
+  | Cluster_crash c ->
+    J.Obj [ ("fault", J.Str "cluster_crash"); ("cluster", J.Num (float_of_int c)) ]
+
+let kind_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match J.member name j with
+    | None -> Error (Printf.sprintf "fault: missing field %S" name)
+    | Some v -> conv v
+  in
+  let* tag = field "fault" J.to_str in
+  match tag with
+  | "link_down" ->
+    let* i = field "link" J.to_int in
+    Ok (Link_down i)
+  | "link_up" ->
+    let* i = field "link" J.to_int in
+    Ok (Link_up i)
+  | "link_degrade" ->
+    let* link = field "link" J.to_int in
+    let* factor = field "factor" J.to_num in
+    Ok (Link_degrade { link; factor })
+  | "max_connect" ->
+    let* link = field "link" J.to_int in
+    let* limit = field "limit" J.to_int in
+    Ok (Max_connect { link; limit })
+  | "cluster_throttle" ->
+    let* cluster = field "cluster" J.to_int in
+    let* factor = field "factor" J.to_num in
+    Ok (Cluster_throttle { cluster; factor })
+  | "cluster_crash" ->
+    let* c = field "cluster" J.to_int in
+    Ok (Cluster_crash c)
+  | other -> Error (Printf.sprintf "fault: unknown kind %S" other)
+
 let trace plan =
   let buf = Buffer.create 256 in
   let fmt = Format.formatter_of_buffer buf in

@@ -78,6 +78,14 @@ val random :
 val pp_kind : Format.formatter -> kind -> unit
 val pp_event : Format.formatter -> event -> unit
 
+val kind_to_json : kind -> Dls_util.Json.t
+(** One-object encoding ([{"fault":"link_down","link":3}], ...) — the
+    wire format of the scheduler daemon's [platform_delta] request. *)
+
+val kind_of_json : Dls_util.Json.t -> (kind, string) result
+(** Inverse of {!kind_to_json}.  Structural decoding only: range checks
+    against a platform happen in {!make}. *)
+
 val trace : plan -> string
 (** One line per event ([t=<time> <kind>]), byte-stable across runs —
     the determinism tests compare these strings. *)

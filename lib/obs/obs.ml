@@ -2,10 +2,12 @@
    sinks once at startup (absent flags leave every subsystem in its
    free disabled state), flush everything exactly once at shutdown.
 
-   Configuration is deliberately once-per-process: the flight recorder
+   Configuration is deliberately once-per-epoch: the flight recorder
    installs process-global signal/exception handlers and the publisher
    owns background threads, so a silent second configure would leak the
-   first run's paths.  Tests use [reset_for_tests]. *)
+   first run's paths.  [finalize] closes an epoch; after it, a new
+   [configure] is legal (the supervisor restart path).  Tests use
+   [reset_for_tests]. *)
 
 type config = {
   trace : string option;
@@ -52,8 +54,21 @@ let configured () = !state <> None
 
 let configure ?trace ?metrics ?log ?(log_level = Log.Info) ?flight
     ?flight_capacity ?telemetry ?publish ?(publish_interval = 1.0) () =
-  if !state <> None then
-    invalid_arg "Obs.configure: already configured (sinks are once-per-process)";
+  (match !state with
+  | Some _ when not !finalized ->
+    invalid_arg
+      "Obs.configure: already configured (sinks are once-per-process)"
+  | Some _ ->
+    (* Finalized epoch: every sink was flushed and closed, so starting a
+       fresh one is legal — the daemon supervisor reconfigures after
+       each serving-loop restart.  The span buffer is cleared (the old
+       epoch's spans were already written); the metrics registry
+       deliberately survives, so counters like restarts accumulate
+       across epochs. *)
+    Trace.disable ();
+    Trace.reset ();
+    flight_path := None
+  | None -> ());
   state := Some { trace; metrics; log; flight };
   finalized := false;
   (match trace with Some _ -> Trace.enable () | None -> ());

@@ -4,10 +4,12 @@
     [--metrics] / [--log] / [--flight] / [--telemetry] / [--publish])
     or the bench driver; omitted arguments leave the corresponding
     subsystem disabled, which is the allocation-free default.  A second
-    call is a programming error and fails loudly rather than silently
-    forgetting the first configuration.  [finalize] flushes every
-    configured sink and is idempotent, so it can be registered with
-    [at_exit] and also called explicitly. *)
+    call without an intervening [finalize] is a programming error and
+    fails loudly rather than silently forgetting the first
+    configuration; after [finalize] the process may configure again (a
+    fresh epoch — the daemon supervisor restart path).  [finalize]
+    flushes every configured sink and is idempotent, so it can be
+    registered with [at_exit] and also called explicitly. *)
 
 val configure :
   ?trace:string ->
@@ -33,8 +35,12 @@ val configure :
       registry);
     - [publish]/[publish_interval]: periodic snapshot-delta JSONL
       appended live (implies the registry).
-    @raise Invalid_argument when called a second time (use
-    {!reset_for_tests} between runs in one process). *)
+    @raise Invalid_argument when called a second time without an
+    intervening {!finalize} (use {!reset_for_tests} between test runs).
+    After {!finalize} a new [configure] is legal and starts a fresh
+    epoch: the span buffer is cleared, sinks are reopened, and the
+    metrics registry carries over (counters accumulate across epochs) —
+    the daemon supervisor's restart path relies on this. *)
 
 val configured : unit -> bool
 

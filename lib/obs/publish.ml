@@ -136,13 +136,19 @@ let http_response body =
     (String.length body) body
 
 (* One connection at a time, read-some-then-answer: every HTTP/1.x GET
-   a scraper sends fits this, and a malformed client costs at most one
-   1s read timeout, never a wedged exporter. *)
-let serve_client fd =
+   a scraper sends fits this, and a misbehaving client costs at most
+   one recv timeout (never sends) plus one send timeout (never reads),
+   never a wedged exporter.  SO_SNDTIMEO matters as much as SO_RCVTIMEO:
+   without it a scraper that stops draining its socket parks the
+   responder in [write] forever once the exposition outgrows the kernel
+   buffer. *)
+let serve_client ~recv_timeout ~send_timeout fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout
        with Unix.Unix_error _ -> ());
       let buf = Bytes.create 2048 in
       (try ignore (Unix.read fd buf 0 (Bytes.length buf))
@@ -156,10 +162,15 @@ let serve_client fd =
           | 0 -> ()
           | n -> write_all (pos + n)
           | exception Unix.Unix_error _ -> ()
+          (* a timed-out send raises EAGAIN: drop the connection *)
       in
       write_all 0)
 
-let start_http addr =
+let start_http ?(recv_timeout = 1.0) ?(send_timeout = 1.0) ?(conn_cap = 8)
+    addr =
+  if not (recv_timeout > 0.0 && send_timeout > 0.0) then
+    invalid_arg "Publish.start_http: timeouts must be > 0";
+  if conn_cap < 1 then invalid_arg "Publish.start_http: conn_cap must be >= 1";
   with_lock (fun () ->
       if !responder_state <> None then
         invalid_arg "Publish.start_http: responder already running");
@@ -184,19 +195,37 @@ let start_http addr =
       (s, fun () -> try Sys.remove path with Sys_error _ -> ())
   in
   Unix.listen sock 8;
+  Unix.set_nonblock sock;
   let thread =
     Thread.create
       (fun () ->
         let continue = ref true in
+        (* Drain one select wake-up's backlog: serve the first
+           [conn_cap] connections, close the rest unserved so a pile of
+           stalled scrapers bounds this wake at
+           conn_cap * (recv_timeout + send_timeout). *)
+        let rec drain served =
+          match Unix.accept sock with
+          | fd, _ ->
+            if served < conn_cap then begin
+              serve_client ~recv_timeout ~send_timeout fd;
+              drain (served + 1)
+            end
+            else begin
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              drain served
+            end
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            ()
+          | exception Unix.Unix_error _ -> continue := false
+        in
         while !continue && not (Atomic.get stopping) do
           (* Select with a short timeout so the stop flag is honoured
              even when no scraper ever connects. *)
           match Unix.select [ sock ] [] [] 0.2 with
           | [], _, _ -> ()
-          | _ :: _, _, _ -> (
-            match Unix.accept sock with
-            | fd, _ -> serve_client fd
-            | exception Unix.Unix_error _ -> continue := false)
+          | _ :: _, _, _ -> drain 0
           | exception Unix.Unix_error _ -> continue := false
         done)
       ()

@@ -34,10 +34,25 @@ val start_snapshots : ?interval:float -> path:string -> unit -> unit
 
 (** {1 Scrape endpoint} *)
 
-val start_http : addr -> unit
+val start_http :
+  ?recv_timeout:float -> ?send_timeout:float -> ?conn_cap:int -> addr -> unit
 (** Bind and serve Prometheus text exposition from a background thread
-    until {!stop}.  @raise Invalid_argument if a responder is already
-    running; @raise Unix.Unix_error when the address cannot be bound. *)
+    until {!stop}.
+
+    The responder is single-threaded by design, so its robustness
+    budget is per-connection: a client that connects and never sends
+    its request costs at most [recv_timeout] seconds (default 1.0), a
+    client that stops reading the response at most [send_timeout]
+    seconds (default 1.0) — after either, the connection is dropped and
+    the next scraper is served.  [conn_cap] (default 8) bounds how many
+    queued connections are drained per accept wake-up: the first
+    [conn_cap] are served in turn, any further backlog is closed
+    unserved (a real scraper retries), so a flood of stalled sockets
+    cannot wedge the endpoint.
+
+    @raise Invalid_argument if a responder is already running or a
+    timeout/cap is non-positive; @raise Unix.Unix_error when the
+    address cannot be bound. *)
 
 val render : unit -> string
 (** The exposition body the responder would serve right now. *)

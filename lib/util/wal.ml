@@ -1,0 +1,50 @@
+let load ~of_line ~path =
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length content in
+  let rec go pos line_no acc =
+    if pos >= len then Ok (List.rev acc, pos)
+    else
+      match String.index_from_opt content pos '\n' with
+      | None ->
+        (* Final line never got its newline: interrupted write. *)
+        Ok (List.rev acc, pos)
+      | Some nl -> (
+        let line = String.sub content pos (nl - pos) in
+        match of_line line with
+        | Ok e -> go (nl + 1) (line_no + 1) (e :: acc)
+        | Error msg ->
+          if nl = len - 1 then
+            (* Unparseable final line: also an interrupted write. *)
+            Ok (List.rev acc, pos)
+          else
+            Error
+              (Printf.sprintf "%s: corrupt entry at line %d: %s" path line_no
+                 msg))
+  in
+  go 0 1 []
+
+let truncate_torn ~path ~valid_len =
+  let size = (Unix.stat path).Unix.st_size in
+  if valid_len < size then begin
+    Unix.truncate path valid_len;
+    size - valid_len
+  end
+  else 0
+
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let open_append ~path =
+  open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+
+let append_line oc line =
+  if String.contains line '\n' then
+    invalid_arg "Wal.append_line: record contains a newline";
+  output_string oc line;
+  output_char oc '\n';
+  flush oc

@@ -883,6 +883,78 @@ let test_obs_configure_once_finalize_idempotent () =
   Alcotest.(check string) "flight dump unchanged" flight1
     (read_file (p "flight.jsonl"))
 
+(* A scraper that connects and never sends its request must cost at
+   most [recv_timeout], not wedge the single-threaded responder: the
+   honest scraper queued behind it still gets served.  Regression for
+   the unbounded-blocking responder. *)
+let test_publish_http_slow_scraper () =
+  quiesce ();
+  M.enable ();
+  let sock_path = Filename.temp_file "dls_obs_slow" ".sock" in
+  Sys.remove sock_path;
+  Fun.protect
+    ~finally:(fun () ->
+      Publish.stop ();
+      quiesce ())
+  @@ fun () ->
+  M.add (M.counter "test.pub.slow") 3;
+  Publish.start_http ~recv_timeout:0.2 ~send_timeout:0.2
+    (Publish.Unix_sock sock_path);
+  (* The slowloris: connect, send nothing, keep the socket open. *)
+  let stalled = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect stalled (Unix.ADDR_UNIX sock_path);
+  Fun.protect ~finally:(fun () -> Unix.close stalled) @@ fun () ->
+  (* An honest scrape right behind it must still be answered (the
+     responder spends at most recv_timeout on the stalled one). *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let resp =
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX sock_path);
+    let req = "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n" in
+    ignore (Unix.write_substring fd req 0 (String.length req) : int);
+    recv_all fd
+  in
+  Alcotest.(check bool) "served despite the stalled peer" true
+    (contains "test_pub_slow_total 3" resp)
+
+(* The daemon supervisor path: [finalize] closes an epoch, after which
+   a fresh [configure] is legal; within an epoch double-configure still
+   fails loudly.  The metrics registry survives epochs so counters like
+   restarts accumulate. *)
+let test_obs_epoch_reconfigure () =
+  quiesce ();
+  Obs.reset_for_tests ();
+  let dir = Filename.temp_file "dls_obs_epoch" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p name = Filename.concat dir name in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset_for_tests ();
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir;
+      quiesce ())
+  @@ fun () ->
+  Obs.configure ~metrics:(p "m1.jsonl") ();
+  let c = M.counter "test.obs.epoch" in
+  M.incr c;
+  Obs.finalize ();
+  (* New epoch after finalize: legal, and the registry carried over. *)
+  Obs.configure ~metrics:(p "m2.jsonl") ();
+  M.incr c;
+  (* Within the new epoch, configure-without-finalize still raises. *)
+  Alcotest.check_raises "double configure still fails"
+    (Invalid_argument
+       "Obs.configure: already configured (sinks are once-per-process)")
+    (fun () -> Obs.configure ());
+  Obs.finalize ();
+  Alcotest.(check bool) "first epoch saw one increment" true
+    (contains "\"value\":1" (read_file (p "m1.jsonl")));
+  Alcotest.(check bool) "second epoch accumulated across epochs" true
+    (contains "\"value\":2" (read_file (p "m2.jsonl")))
+
 (* ------------------------------------------------------------------ *)
 (* Goldens                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -1019,12 +1091,16 @@ let () =
       ( "publish",
         [ Alcotest.test_case "addr parsing" `Quick test_publish_addr_parsing;
           Alcotest.test_case "http scrape endpoint" `Quick
-            test_publish_http_scrape ] );
+            test_publish_http_scrape;
+          Alcotest.test_case "slow scraper cannot wedge" `Quick
+            test_publish_http_slow_scraper ] );
       ( "lifecycle",
         [ Alcotest.test_case "trace cap and dropped counter" `Quick
             test_trace_cap_and_dropped_counter;
           Alcotest.test_case "configure once, finalize idempotent" `Quick
-            test_obs_configure_once_finalize_idempotent ] );
+            test_obs_configure_once_finalize_idempotent;
+          Alcotest.test_case "finalize opens a new epoch" `Quick
+            test_obs_epoch_reconfigure ] );
       ( "golden",
         [ Alcotest.test_case "chrome trace exporter" `Quick
             test_golden_chrome_trace;

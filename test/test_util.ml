@@ -422,6 +422,106 @@ let prop_json_rejects_prefix =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+(* ------------------------------------------------------------------ *)
+(* Wal                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wal_tmp () =
+  let path = Filename.temp_file "dls_wal" ".jsonl" in
+  Sys.remove path;
+  path
+
+let int_line s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error "not an int"
+
+let test_wal_append_load_roundtrip () =
+  let path = wal_tmp () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let oc = Dls_util.Wal.open_append ~path in
+  List.iter (fun n -> Dls_util.Wal.append_line oc (string_of_int n)) [ 1; 2; 3 ];
+  close_out oc;
+  (* Append mode continues after the valid prefix. *)
+  let oc = Dls_util.Wal.open_append ~path in
+  Dls_util.Wal.append_line oc "4";
+  close_out oc;
+  (match Dls_util.Wal.load ~of_line:int_line ~path with
+  | Ok (entries, valid_len) ->
+    Alcotest.(check (list int)) "entries in order" [ 1; 2; 3; 4 ] entries;
+    Alcotest.(check int) "valid prefix is the whole file" valid_len
+      (let st = Unix.stat path in
+       st.Unix.st_size);
+    Alcotest.(check int) "nothing to truncate" 0
+      (Dls_util.Wal.truncate_torn ~path ~valid_len)
+  | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "embedded newline rejected"
+    (Invalid_argument "Wal.append_line: record contains a newline")
+    (fun () ->
+      let oc = Dls_util.Wal.open_append ~path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+      Dls_util.Wal.append_line oc "a\nb")
+
+let test_wal_torn_tail_dropped () =
+  let path = wal_tmp () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "1\n2\n99");
+  (match Dls_util.Wal.load ~of_line:int_line ~path with
+  | Ok (entries, valid_len) ->
+    Alcotest.(check (list int)) "torn final line dropped" [ 1; 2 ] entries;
+    Alcotest.(check int) "valid prefix excludes the tail" 4 valid_len;
+    Alcotest.(check int) "truncation drops the torn bytes" 2
+      (Dls_util.Wal.truncate_torn ~path ~valid_len);
+    let st = Unix.stat path in
+    Alcotest.(check int) "file shrunk" 4 st.Unix.st_size
+  | Error e -> Alcotest.fail e);
+  (* A newline-terminated but unparseable final line is also torn. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "1\n2\nxx\n");
+  match Dls_util.Wal.load ~of_line:int_line ~path with
+  | Ok (entries, valid_len) ->
+    Alcotest.(check (list int)) "unparseable final line dropped" [ 1; 2 ] entries;
+    Alcotest.(check int) "prefix length" 4 valid_len
+  | Error e -> Alcotest.fail e
+
+let test_wal_corrupt_middle_is_error () =
+  let path = wal_tmp () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "1\nxx\n3\n");
+  match Dls_util.Wal.load ~of_line:int_line ~path with
+  | Error msg ->
+    Alcotest.(check bool) "names the line" true
+      (let sub = "line 2" in
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+       in
+       go 0)
+  | Ok _ -> Alcotest.fail "mid-file corruption accepted"
+
+let test_wal_write_atomic () =
+  let path = wal_tmp () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Dls_util.Wal.write_atomic ~path "first";
+  Dls_util.Wal.write_atomic ~path "second";
+  Alcotest.(check string) "replaced atomically" "second"
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* No temp droppings left beside the target. *)
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let stragglers =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> f <> base && String.length f >= String.length base
+                             && String.sub f 0 (String.length base) = base)
+  in
+  Alcotest.(check (list string)) "no temp files left" [] stragglers
+
 let () =
   Alcotest.run "dls_util"
     [ ( "prng",
@@ -465,6 +565,13 @@ let () =
             test_chunked_exception_propagates;
           Alcotest.test_case "callback exception" `Quick
             test_chunked_callback_exception ] );
+      ( "wal",
+        [ Alcotest.test_case "append/load roundtrip" `Quick
+            test_wal_append_load_roundtrip;
+          Alcotest.test_case "torn tail dropped" `Quick test_wal_torn_tail_dropped;
+          Alcotest.test_case "corrupt middle is an error" `Quick
+            test_wal_corrupt_middle_is_error;
+          Alcotest.test_case "write_atomic" `Quick test_wal_write_atomic ] );
       ( "json",
         [ Alcotest.test_case "basics" `Quick test_json_basics;
           Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
