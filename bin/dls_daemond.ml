@@ -198,9 +198,29 @@ let serve_cmd =
                    the serving loop so the supervisor restart path can be \
                    exercised from a script.")
   in
+  let workers_arg =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Solver worker domains behind the event loop; 0 \
+                   (default) solves inline on the loop.")
+  in
+  let no_resident_arg =
+    Arg.(value & flag
+         & info [ "no-resident" ]
+             ~doc:"Disable the resident warm-LP handles: every \
+                   Resolve-LP rung re-encodes and cold-solves (the \
+                   pre-batching baseline; used by the load benchmark).")
+  in
+  let no_coalesce_arg =
+    Arg.(value & flag
+         & info [ "no-coalesce" ]
+             ~doc:"Disable request batching: every get_schedule gets \
+                   its own solve even when concurrent requests target \
+                   the same state seq.")
+  in
   let run addr platform_file gen_k gen_seed wal queue_cap max_conns
       conn_timeout budget_ms breaker_threshold breaker_backoff seed
-      max_restarts allow_crash obs =
+      max_restarts allow_crash workers no_resident no_coalesce obs =
     setup_logs ();
     configure_obs obs;
     at_exit Dls_obs.Obs.finalize;
@@ -220,6 +240,9 @@ let serve_cmd =
           breaker_base_backoff_s = breaker_backoff;
           seed;
           allow_crash;
+          workers;
+          resident = not no_resident;
+          coalesce = not no_coalesce;
         }
       in
       let load () =
@@ -250,7 +273,8 @@ let serve_cmd =
     Term.(const run $ addr_arg $ platform_arg $ gen_k_arg $ gen_seed_arg
           $ wal_arg $ queue_cap_arg $ max_conns_arg $ conn_timeout_arg
           $ budget_arg $ breaker_threshold_arg $ breaker_backoff_arg
-          $ seed_arg $ max_restarts_arg $ allow_crash_arg $ obs_term)
+          $ seed_arg $ max_restarts_arg $ allow_crash_arg $ workers_arg
+          $ no_resident_arg $ no_coalesce_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)

@@ -232,6 +232,10 @@ module Incremental = struct
     bottleneck : float array array;
     pairs : (int * int, pair_info) Hashtbl.t;
     link_row : int array;  (* -1 when the backbone link has no row *)
+    compute_row : int array;  (* 7b row per cluster; -1 when absent *)
+    local_row : int array;  (* 7c row per cluster; -1 when absent *)
+    cap_now : float array;  (* current per-link connection cap *)
+    pin_charge : float array;  (* pinned slots already charged per link *)
     pinned : (int * int, int) Hashtbl.t;
   }
 
@@ -243,9 +247,17 @@ module Incremental = struct
     let bottleneck = Array.make_matrix kk kk infinity in
     let pairs = Hashtbl.create 64 in
     let link_row = Array.make (P.num_backbones p) (-1) in
+    let compute_row = Array.make kk (-1) in
+    let local_row = Array.make kk (-1) in
+    let cap_now =
+      Array.init (P.num_backbones p) (fun link ->
+          float_of_int (P.backbone p link).P.max_connect)
+    in
+    let pin_charge = Array.make (P.num_backbones p) 0.0 in
     let pinned = Hashtbl.create 64 in
     if active = [] then
-      { kk; inc = None; vars; bottleneck; pairs; link_row; pinned }
+      { kk; inc = None; vars; bottleneck; pairs; link_row; compute_row;
+        local_row; cap_now; pin_charge; pinned }
     else begin
       let m = M.create () in
       List.iter
@@ -274,7 +286,10 @@ module Incremental = struct
           | Some v -> terms := (v, 1.0) :: !terms
           | None -> ()
         done;
-        if !terms <> [] then M.add_le m !terms (P.speed p l)
+        if !terms <> [] then begin
+          compute_row.(l) <- M.num_constraints m;
+          M.add_le m !terms (P.speed p l)
+        end
       done;
       (* Equation 7c: per-cluster local link, outgoing plus incoming. *)
       for k = 0 to kk - 1 do
@@ -289,7 +304,10 @@ module Incremental = struct
             | None -> ()
           end
         done;
-        if !terms <> [] then M.add_le m !terms (P.local_bw p k)
+        if !terms <> [] then begin
+          local_row.(k) <- M.num_constraints m;
+          M.add_le m !terms (P.local_bw p k)
+        end
       done;
       (* Equation 7d with betas eliminated: each crossing pair charges
          alpha/g connection slots. *)
@@ -352,7 +370,7 @@ module Incremental = struct
            active;
          M.set_objective m [ (t, 1.0) ]);
       { kk; inc = Some (M.incremental ?backend m); vars; bottleneck; pairs;
-        link_row; pinned }
+        link_row; compute_row; local_row; cap_now; pin_charge; pinned }
     end
 
   let pin h (k, l) v =
@@ -382,12 +400,71 @@ module Incremental = struct
              if h.link_row.(link) >= 0 then begin
                let row = h.link_row.(link) in
                M.inc_zero_coeff inc ~row info.var;
-               M.inc_set_rhs inc ~row (M.inc_rhs inc ~row -. float_of_int v)
+               M.inc_set_rhs inc ~row (M.inc_rhs inc ~row -. float_of_int v);
+               h.pin_charge.(link) <- h.pin_charge.(link) +. float_of_int v
              end)
            info.links;
          Ok ())
 
   let pinned h = Hashtbl.fold (fun pair v acc -> (pair, v) :: acc) h.pinned []
+
+  (* Capacity edits (daemon warm path): pure right-hand-side updates
+     that keep the matrix layout — and hence the carried basis — valid.
+     Every setter takes the new *absolute* capacity of the degraded
+     platform, not a delta, so replaying the same mutation log always
+     lands the handle in the same state. *)
+
+  let set_speed h ~cluster v =
+    if cluster < 0 || cluster >= h.kk then
+      invalid_arg "Lp_relax.Incremental.set_speed: cluster out of range";
+    if not (Float.is_finite v) || v < 0.0 then
+      invalid_arg "Lp_relax.Incremental.set_speed: invalid speed";
+    match h.inc with
+    | None -> ()
+    | Some inc ->
+      if h.compute_row.(cluster) >= 0 then
+        M.inc_set_rhs inc ~row:h.compute_row.(cluster) v
+
+  let set_local_bw h ~cluster v =
+    if cluster < 0 || cluster >= h.kk then
+      invalid_arg "Lp_relax.Incremental.set_local_bw: cluster out of range";
+    if not (Float.is_finite v) || v < 0.0 then
+      invalid_arg "Lp_relax.Incremental.set_local_bw: invalid bandwidth";
+    match h.inc with
+    | None -> ()
+    | Some inc ->
+      if h.local_row.(cluster) >= 0 then
+        M.inc_set_rhs inc ~row:h.local_row.(cluster) v
+
+  let set_max_connect h ~link n =
+    if link < 0 || link >= Array.length h.cap_now then
+      invalid_arg "Lp_relax.Incremental.set_max_connect: link out of range";
+    if n < 0 then
+      invalid_arg "Lp_relax.Incremental.set_max_connect: negative cap";
+    match h.inc with
+    | None -> h.cap_now.(link) <- float_of_int n
+    | Some inc ->
+      h.cap_now.(link) <- float_of_int n;
+      if h.link_row.(link) >= 0 then
+        M.inc_set_rhs inc ~row:h.link_row.(link)
+          (Float.max 0.0 (float_of_int n -. h.pin_charge.(link)));
+      (* The per-pair bound rows were encoded as [g * min max-connect
+         over the route]; re-derive them from the current caps so they
+         stay redundant even when a cap is *raised* past its build-time
+         value (otherwise the warm optimum could be over-constrained
+         relative to a cold rebuild). *)
+      Hashtbl.iter
+        (fun pair info ->
+          if List.mem link info.links && not (Hashtbl.mem h.pinned pair) then begin
+            let min_cap =
+              List.fold_left
+                (fun acc l -> Float.min acc h.cap_now.(l))
+                infinity info.links
+            in
+            M.inc_set_rhs inc ~row:info.bound_row
+              (Float.max 0.0 (info.g *. min_cap))
+          end)
+        h.pairs
 
   let solve ?max_iterations h =
     match h.inc with

@@ -97,6 +97,38 @@ module Incremental : sig
   val pinned : handle -> ((int * int) * int) list
   (** Pins applied so far, in no particular order. *)
 
+  (** {2 Capacity edits}
+
+      The allocation daemon keeps one handle resident across requests
+      and applies platform deltas as right-hand-side edits instead of
+      re-encoding: compute throttles and crashes move the 7b rows,
+      local-link losses move the 7c rows, and connection-cap changes
+      move the 7d rows (and re-derive the redundant per-pair bound rows
+      from the current caps).  All three take the new {e absolute}
+      capacity of the degraded platform, are no-ops on a handle with no
+      active application, and leave the carried basis warm.  Bandwidth
+      degradation changes the [1/g] {e coefficients}, not a right-hand
+      side, so it cannot be expressed here — the daemon rebuilds the
+      handle for those deltas. *)
+
+  val set_speed : handle -> cluster:int -> float -> unit
+  (** Set cluster's compute capacity (7b right-hand side).  [0.] models
+      a crash.  @raise Invalid_argument on a bad cluster id or a
+      negative/non-finite speed. *)
+
+  val set_local_bw : handle -> cluster:int -> float -> unit
+  (** Set cluster's local-link capacity (7c right-hand side).
+      @raise Invalid_argument on a bad cluster id or a negative/
+      non-finite bandwidth. *)
+
+  val set_max_connect : handle -> link:int -> int -> unit
+  (** Set a backbone link's simultaneous-connection cap (7d right-hand
+      side, net of already-pinned charges, clamped at 0).  [0] models a
+      down link: every crossing pair is forced to zero work regardless
+      of its (stale) bandwidth coefficient, which is why link failure is
+      warm-editable while degradation is not.
+      @raise Invalid_argument on a bad link id or a negative cap. *)
+
   val solve : ?max_iterations:int -> handle -> float outcome
   (** Re-optimize under the current pins.  The first call is a cold
       start; later calls warm-start (with automatic cold fallback when

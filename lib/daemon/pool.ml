@@ -1,0 +1,118 @@
+type ('job, 'res) t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  pinned : 'job Queue.t;  (* consumed by worker 0 only, FIFO *)
+  shared : 'job Queue.t;  (* consumed by any worker *)
+  results : 'res Queue.t;
+  mutable stop : bool;
+  mutable outstanding : int;  (* submitted, result not yet drained *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable domains : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let wake t =
+  (* Best-effort: a full pipe already guarantees a pending wake-up. *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) -> ()
+
+let worker_loop t ~run ~worker =
+  let rec next () =
+    if t.stop then None
+    else if worker = 0 && not (Queue.is_empty t.pinned) then
+      Some (Queue.pop t.pinned)
+    else if not (Queue.is_empty t.shared) then Some (Queue.pop t.shared)
+    else begin
+      Condition.wait t.cond t.lock;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock t.lock;
+    let job = next () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+      let res = run ~worker job in
+      locked t (fun () -> Queue.push res t.results);
+      wake t;
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~run =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      pinned = Queue.create ();
+      shared = Queue.create ();
+      results = Queue.create ();
+      stop = false;
+      outstanding = 0;
+      wake_r;
+      wake_w;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init workers (fun worker ->
+        Domain.spawn (fun () -> worker_loop t ~run ~worker));
+  t
+
+let submit ?(pinned = false) t job =
+  locked t (fun () ->
+      if t.stop then invalid_arg "Pool.submit: pool is shut down";
+      Queue.push job (if pinned then t.pinned else t.shared);
+      t.outstanding <- t.outstanding + 1;
+      if pinned then Condition.broadcast t.cond else Condition.signal t.cond)
+
+let wake_fd t = t.wake_r
+
+let drain t =
+  (* Swallow the pending wake-up bytes, then take every completed
+     result.  Order within the drain follows completion order. *)
+  let buf = Bytes.create 512 in
+  (try
+     while Unix.read t.wake_r buf 0 512 > 0 do
+       ()
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  locked t (fun () ->
+      let acc = ref [] in
+      while not (Queue.is_empty t.results) do
+        acc := Queue.pop t.results :: !acc
+      done;
+      let n = List.length !acc in
+      t.outstanding <- t.outstanding - n;
+      List.rev !acc)
+
+let outstanding t = locked t (fun () -> t.outstanding)
+
+let shutdown t =
+  let domains =
+    locked t (fun () ->
+        if t.stop then []
+        else begin
+          t.stop <- true;
+          Condition.broadcast t.cond;
+          let d = t.domains in
+          t.domains <- [];
+          d
+        end)
+  in
+  List.iter Domain.join domains;
+  if domains <> [] then begin
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,47 @@
+(** Bounded multi-domain worker pool behind the daemon's select loop.
+
+    Solves are CPU-bound, so workers are {!Domain}s, not threads: the
+    event loop keeps accepting, shedding and reaping while schedules
+    are computed in parallel.  Two queues feed the workers:
+
+    - the {e pinned} queue is consumed by worker 0 only, in strict FIFO
+      order.  The server routes every resident-handle edit and every
+      warm solve through it, which serializes the warm LP state's
+      history — the property that keeps warm serving a pure function of
+      the mutation log;
+    - the {e shared} queue is consumed by any worker (worker 0 included
+      when its pinned queue is empty) and carries cold solves, which
+      touch no shared solver state.
+
+    Completion is edge-triggered through a self-pipe: each finished job
+    pushes its result and writes one byte to {!wake_fd}, which the
+    event loop includes in its [select] read set; {!drain} then swallows
+    the bytes and returns the completed results. *)
+
+type ('job, 'res) t
+
+val create : workers:int -> run:(worker:int -> 'job -> 'res) -> ('job, 'res) t
+(** Spawn [workers] domains running [run].  [run] must not raise —
+    wrap failures into ['res].
+    @raise Invalid_argument when [workers < 1]. *)
+
+val submit : ?pinned:bool -> ('job, 'res) t -> 'job -> unit
+(** Enqueue a job ([pinned] routes it to worker 0's FIFO; default the
+    shared queue).  @raise Invalid_argument after {!shutdown}. *)
+
+val wake_fd : ('job, 'res) t -> Unix.file_descr
+(** Read end of the completion self-pipe; becomes readable when at
+    least one result is waiting.  Never read it directly — {!drain}
+    does. *)
+
+val drain : ('job, 'res) t -> 'res list
+(** Collect every completed result (in completion order) and clear the
+    wake-up bytes.  Non-blocking; returns [[]] when nothing finished. *)
+
+val outstanding : ('job, 'res) t -> int
+(** Jobs submitted whose results have not been drained yet (queued or
+    running) — the server's drain handshake waits for 0. *)
+
+val shutdown : ('job, 'res) t -> unit
+(** Stop accepting work, let running jobs finish, drop queued unstarted
+    jobs, join the domains and close the pipe.  Idempotent. *)

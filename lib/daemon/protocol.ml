@@ -121,6 +121,7 @@ let request_of_json j =
 (* ------------------------------------------------------------------ *)
 
 type schedule_reply = {
+  sr_seq : int;
   sr_objective : float;
   sr_rung : string;
   sr_degraded : bool;
@@ -132,7 +133,8 @@ type schedule_reply = {
 let schedule_reply_to_json r =
   let triple k l v = J.Arr [ J.Num (float_of_int k); J.Num (float_of_int l); v ] in
   J.Obj
-    [ ("objective", J.Num r.sr_objective); ("rung", J.Str r.sr_rung);
+    [ ("seq", J.Num (float_of_int r.sr_seq));
+      ("objective", J.Num r.sr_objective); ("rung", J.Str r.sr_rung);
       ("degraded", J.Bool r.sr_degraded); ("breaker", J.Str r.sr_breaker);
       ( "alpha",
         J.Arr (List.map (fun (k, l, v) -> triple k l (J.Num v)) r.sr_alpha) );
@@ -152,6 +154,13 @@ let triple_of_json conv j =
   | _ -> Error "schedule: entry is not a [k, l, value] triple"
 
 let schedule_reply_of_json j =
+  (* [seq] joined the reply with the batching layer; default 0 keeps
+     pre-batching frames decodable. *)
+  let* sr_seq =
+    match J.member "seq" j with
+    | None | Some J.Null -> Ok 0
+    | Some v -> J.to_int v
+  in
   let* sr_objective = field "objective" J.to_num j in
   let* sr_rung = field "rung" J.to_str j in
   let* sr_degraded = field "degraded" J.to_bool j in
@@ -168,10 +177,12 @@ let schedule_reply_of_json j =
   in
   let* sr_alpha = entries "alpha" J.to_num in
   let* sr_beta = entries "beta" J.to_int in
-  Ok { sr_objective; sr_rung; sr_degraded; sr_breaker; sr_alpha; sr_beta }
+  Ok { sr_seq; sr_objective; sr_rung; sr_degraded; sr_breaker; sr_alpha;
+       sr_beta }
 
 let equal_schedule a b =
-  a.sr_objective = b.sr_objective
+  a.sr_seq = b.sr_seq
+  && a.sr_objective = b.sr_objective
   && a.sr_rung = b.sr_rung
   && a.sr_degraded = b.sr_degraded
   && a.sr_alpha = b.sr_alpha

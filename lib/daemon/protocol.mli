@@ -54,6 +54,11 @@ val request_of_json : Dls_util.Json.t -> (request, string) result
     wall-clock fields ([attempts] timings). *)
 
 type schedule_reply = {
+  sr_seq : int;
+      (** state sequence number the solve was computed against — with
+          request batching, the proof a reply is not stale: a delta
+          arriving mid-batch bumps the state seq, and later requests
+          land in a fresh batch carrying the new seq *)
   sr_objective : float;  (** objective value of the returned allocation *)
   sr_rung : string;  (** ladder rung that produced it *)
   sr_degraded : bool;  (** a better rung was skipped (budget/breaker) *)
@@ -71,8 +76,9 @@ val schedule_reply_of_json :
 (** Decodes a full [get_schedule] reply object (extra fields ignored). *)
 
 val equal_schedule : schedule_reply -> schedule_reply -> bool
-(** Equality on the schedule-defining fields only (not breaker state),
-    exact on floats — replayed solves are bit-deterministic. *)
+(** Equality on the schedule-defining fields only (seq, objective,
+    rung, degraded flag, alpha, beta — not breaker state), exact on
+    floats — replayed solves are bit-deterministic. *)
 
 (** {1 Framing} *)
 

@@ -17,6 +17,9 @@ type config = {
   breaker_base_backoff_s : float;
   seed : int;
   allow_crash : bool;
+  workers : int;  (* solver domains; 0 = solve on the event loop *)
+  resident : bool;  (* keep warm LP handles across requests *)
+  coalesce : bool;  (* batch same-seq get_schedule requests *)
 }
 
 let default_config addr =
@@ -31,6 +34,9 @@ let default_config addr =
     breaker_base_backoff_s = 1.0;
     seed = 0;
     allow_crash = false;
+    workers = 0;
+    resident = true;
+    coalesce = true;
   }
 
 type conn = {
@@ -51,7 +57,36 @@ type stats = {
   mutable reaped : int;
   mutable errors : int;
   mutable conns_shed : int;
+  mutable solves : int;  (* ladder solves actually executed *)
+  mutable coalesced : int;  (* get_schedule requests that joined a batch *)
 }
+
+(* A batch is one solve serving every get_schedule request admitted at
+   the same state seq (and objective).  The problem is snapshotted at
+   batch creation so a delta arriving before the batch is dispatched
+   cannot leak into it: the batch still answers for the state its
+   waiters asked about, stamped with [b_seq]. *)
+type batch = {
+  b_seq : int;
+  b_objective : Dls_core.Lp_relax.objective;
+  b_problem : Dls_core.Problem.t;
+  mutable b_budget_s : float;  (* max budget among waiters *)
+  mutable b_waiters : (conn * float) list;  (* (conn, admit time), newest first *)
+}
+
+type job =
+  | J_edit of State.capacity_edit list option
+      (* resident update for one accepted mutation; pinned to worker 0 *)
+  | J_solve of {
+      batch : batch;
+      warm : bool;  (* solve from the resident handle (pinned) *)
+      budget_s : float;
+      base : Allocation.t;
+    }
+
+type job_result =
+  | R_edit
+  | R_solve of batch * bool (* pinned *) * (Solver.outcome, string) result
 
 (* Registry mirrors of [stats] — health replies read the local ints
    (always live), the registry exposes the same counts through
@@ -67,6 +102,8 @@ let m_conns_shed = M.counter "daemon.conns.shed"
 let m_queue_depth = M.gauge "daemon.queue.depth"
 let m_conns = M.gauge "daemon.conns"
 let m_request_s = M.histogram "daemon.request.seconds"
+let m_solves = M.counter "daemon.solves"
+let m_coalesced = M.counter "daemon.coalesced"
 
 let validate config =
   if config.queue_cap < 1 then Error "daemon: queue_cap must be >= 1"
@@ -77,6 +114,8 @@ let validate config =
     Error "daemon: default_budget_s must be >= 0"
   else if config.max_requests_per_tick < 1 then
     Error "daemon: max_requests_per_tick must be >= 1"
+  else if config.workers < 0 || config.workers > 128 then
+    Error "daemon: workers must be in [0, 128]"
   else Ok ()
 
 let bind_listen addr =
@@ -157,7 +196,7 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
     in
     let stats =
       { requests = 0; mutations = 0; schedules = 0; shed = 0; degraded = 0;
-        reaped = 0; errors = 0; conns_shed = 0 }
+        reaped = 0; errors = 0; conns_shed = 0; solves = 0; coalesced = 0 }
     in
     let conns : conn list ref = ref [] in
     let queue : (conn * Protocol.request) Queue.t = Queue.create () in
@@ -165,17 +204,129 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
     let accepting = ref true in
     let draining = ref false in
     let running = ref true in
-    (* Cached last-good allocation: the warm base the rescale/refine
-       rungs repair.  Kept across platform deltas (that is the repair
-       scenario), dropped when the application set changes (the cached
-       matrix may ship work for a retired application). *)
-    let cached = ref None in
+    (* Cached last-good allocation, stamped with the seq it was computed
+       against: the warm base the rescale/refine rungs repair.  Kept
+       across platform deltas (that is the repair scenario), dropped
+       when the application set changes (the cached matrix may ship
+       work for a retired application).  The stamp keeps a slow stale
+       batch from clobbering a fresher result. *)
+    let cached : (int * Allocation.t) option ref = ref None in
+    (* Resident warm LP handles.  With workers, the resident is owned
+       by worker 0 and every edit/warm-solve reaches it through the
+       pool's pinned FIFO; inline, the event loop owns it. *)
+    let resident =
+      if config.resident then Some (Solver.resident ()) else None
+    in
+    (* Batching: one pending batch per (state seq, objective) collects
+       every same-seq get_schedule until it is dispatched; its one
+       solve fans out to all waiters.  A waiter can only join a batch
+       that has not been dispatched yet — once a job is submitted, its
+       batch record crosses a domain boundary and only the event loop
+       keeps touching the waiter list, which the worker never reads. *)
+    let pending : batch Queue.t = Queue.create () in
+    let in_flight = ref 0 in
+    let pinned_in_flight = ref 0 in
+    let run ~worker:_ job =
+      match job with
+      | J_edit e ->
+        (match resident with
+        | Some r -> Solver.resident_apply r e
+        | None -> ());
+        R_edit
+      | J_solve { batch; warm; budget_s; base } ->
+        let res =
+          try
+            Solver.solve
+              ?resident:(if warm then resident else None)
+              ~breaker ~objective:batch.b_objective ~budget_s ~base
+              batch.b_problem
+          with exn -> Error ("solve: " ^ Printexc.to_string exn)
+        in
+        R_solve (batch, warm, res)
+    in
+    let pool =
+      if config.workers > 0 then Some (Pool.create ~workers:config.workers ~run)
+      else None
+    in
     let close_conn c =
       if c.alive then begin
         c.alive <- false;
         conns := List.filter (fun c' -> c' != c) !conns;
         try Unix.close c.fd with Unix.Unix_error _ -> ()
       end
+    in
+    (* Deliver one finished batch solve to every still-live waiter. *)
+    let complete_batch b result =
+      let now = Unix.gettimeofday () in
+      let waiters = List.rev b.b_waiters in
+      stats.solves <- stats.solves + 1;
+      M.incr m_solves;
+      match result with
+      | Ok outcome ->
+        (match !cached with
+        | Some (s, _) when s > b.b_seq -> ()
+        | _ -> cached := Some (b.b_seq, outcome.Solver.allocation));
+        let alpha, beta = schedule_entries outcome.Solver.allocation in
+        let sr =
+          {
+            Protocol.sr_seq = b.b_seq;
+            sr_objective = outcome.Solver.objective_value;
+            sr_rung = Solver.rung_name outcome.Solver.rung;
+            sr_degraded = outcome.Solver.degraded;
+            sr_breaker =
+              Solver.breaker_state_name (Solver.breaker_state breaker ~now);
+            sr_alpha = alpha;
+            sr_beta = beta;
+          }
+        in
+        let attempts =
+          J.Arr
+            (List.map
+               (fun (a : Solver.attempt) ->
+                 J.Obj
+                   [ ("rung", J.Str (Solver.rung_name a.Solver.a_rung));
+                     ("seconds", J.Num a.Solver.a_seconds);
+                     ("within_budget", J.Bool a.Solver.a_within_budget);
+                     ("feasible", J.Bool a.Solver.a_feasible);
+                     ("objective", J.Num a.Solver.a_objective) ])
+               outcome.Solver.attempts)
+        in
+        let skipped =
+          J.Arr
+            (List.map
+               (fun r -> J.Str (Solver.rung_name r))
+               outcome.Solver.skipped)
+        in
+        let reply =
+          match Protocol.schedule_reply_to_json sr with
+          | J.Obj fields ->
+            ok_fields "get_schedule"
+              (fields @ [ ("attempts", attempts); ("skipped", skipped) ])
+          | j -> j
+        in
+        List.iter
+          (fun (c, t0) ->
+            if c.alive then begin
+              stats.schedules <- stats.schedules + 1;
+              M.incr m_schedules;
+              if outcome.Solver.degraded then begin
+                stats.degraded <- stats.degraded + 1;
+                M.incr m_degraded
+              end;
+              send c reply;
+              M.observe m_request_s (now -. t0)
+            end)
+          waiters
+      | Error msg ->
+        List.iter
+          (fun (c, t0) ->
+            if c.alive then begin
+              stats.errors <- stats.errors + 1;
+              M.incr m_errors;
+              send c (error_reply msg);
+              M.observe m_request_s (now -. t0)
+            end)
+          waiters
     in
     let handle_request c req =
       let t0 = Unix.gettimeofday () in
@@ -189,6 +340,17 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
           (match m with
           | Protocol.Register_app _ | Protocol.Retire_app _ -> cached := None
           | Protocol.Platform_delta _ -> ());
+          (* Keep the resident handles in step with the state: capacity
+             deltas become RHS edits, structural mutations invalidate.
+             With workers this goes through the pinned FIFO, so edits
+             and warm solves reach worker 0 in mutation order. *)
+          (match resident with
+          | None -> ()
+          | Some r -> (
+            let edits = State.warm_edits state m in
+            match pool with
+            | Some p -> Pool.submit ~pinned:true p (J_edit edits)
+            | None -> Solver.resident_apply r edits));
           stats.mutations <- stats.mutations + 1;
           M.incr m_mutations;
           send c
@@ -204,64 +366,33 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
           | Some ms -> ms /. 1000.0
           | None -> config.default_budget_s
         in
-        let problem = State.problem state in
-        let base =
-          match !cached with
-          | Some a -> a
-          | None -> Allocation.zero (Dls_core.Problem.num_clusters problem)
+        let seq = State.seq state in
+        let joined =
+          config.coalesce
+          && Queue.fold
+               (fun hit b ->
+                 hit
+                 ||
+                 if b.b_seq = seq && b.b_objective = objective then begin
+                   b.b_budget_s <- Float.max b.b_budget_s budget_s;
+                   b.b_waiters <- (c, t0) :: b.b_waiters;
+                   stats.coalesced <- stats.coalesced + 1;
+                   M.incr m_coalesced;
+                   true
+                 end
+                 else false)
+               false pending
         in
-        (match
-           Solver.solve ~breaker ~objective ~budget_s ~base problem
-         with
-        | Ok outcome ->
-          stats.schedules <- stats.schedules + 1;
-          M.incr m_schedules;
-          if outcome.Solver.degraded then begin
-            stats.degraded <- stats.degraded + 1;
-            M.incr m_degraded
-          end;
-          cached := Some outcome.Solver.allocation;
-          let alpha, beta = schedule_entries outcome.Solver.allocation in
-          let sr =
+        if not joined then
+          Queue.push
             {
-              Protocol.sr_objective = outcome.Solver.objective_value;
-              sr_rung = Solver.rung_name outcome.Solver.rung;
-              sr_degraded = outcome.Solver.degraded;
-              sr_breaker =
-                Solver.breaker_state_name
-                  (Solver.breaker_state breaker ~now:(Unix.gettimeofday ()));
-              sr_alpha = alpha;
-              sr_beta = beta;
+              b_seq = seq;
+              b_objective = objective;
+              b_problem = State.problem state;
+              b_budget_s = budget_s;
+              b_waiters = [ (c, t0) ];
             }
-          in
-          let attempts =
-            J.Arr
-              (List.map
-                 (fun (a : Solver.attempt) ->
-                   J.Obj
-                     [ ("rung", J.Str (Solver.rung_name a.Solver.a_rung));
-                       ("seconds", J.Num a.Solver.a_seconds);
-                       ("within_budget", J.Bool a.Solver.a_within_budget);
-                       ("feasible", J.Bool a.Solver.a_feasible);
-                       ("objective", J.Num a.Solver.a_objective) ])
-                 outcome.Solver.attempts)
-          in
-          let skipped =
-            J.Arr
-              (List.map
-                 (fun r -> J.Str (Solver.rung_name r))
-                 outcome.Solver.skipped)
-          in
-          (match Protocol.schedule_reply_to_json sr with
-          | J.Obj fields ->
-            send c
-              (ok_fields "get_schedule"
-                 (fields @ [ ("attempts", attempts); ("skipped", skipped) ]))
-          | j -> send c j)
-        | Error msg ->
-          stats.errors <- stats.errors + 1;
-          M.incr m_errors;
-          send c (error_reply msg))
+            pending
       | Protocol.Health ->
         send c
           (ok_fields "health"
@@ -286,6 +417,27 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
                ("reaped", J.Num (float_of_int stats.reaped));
                ("errors", J.Num (float_of_int stats.errors));
                ("conns_shed", J.Num (float_of_int stats.conns_shed));
+               ("solves", J.Num (float_of_int stats.solves));
+               ("coalesced", J.Num (float_of_int stats.coalesced));
+               ("workers", J.Num (float_of_int config.workers));
+               ("pending_batches", J.Num (float_of_int (Queue.length pending)));
+               ("inflight_solves", J.Num (float_of_int !in_flight));
+               ( "warm_hits",
+                 J.Num
+                   (float_of_int
+                      (match resident with
+                      | Some r ->
+                        let w, _, _ = Solver.resident_stats r in
+                        w
+                      | None -> 0)) );
+               ( "rebuilds",
+                 J.Num
+                   (float_of_int
+                      (match resident with
+                      | Some r ->
+                        let _, rb, _ = Solver.resident_stats r in
+                        rb
+                      | None -> 0)) );
                ("restarts", J.Num (float_of_int restarts));
                ( "breaker",
                  J.Str
@@ -314,7 +466,9 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
           M.incr m_errors;
           send c (error_reply "crash: not enabled on this server")
         end);
-      M.observe m_request_s (Unix.gettimeofday () -. t0)
+      match req with
+      | Protocol.Get_schedule _ -> ()  (* observed at batch completion *)
+      | _ -> M.observe m_request_s (Unix.gettimeofday () -. t0)
     in
     let admit c req =
       if Queue.length queue >= config.queue_cap then begin
@@ -431,8 +585,73 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
         ~fields:
           [ ("addr", Olog.Str (Dls_obs.Publish.addr_to_string config.addr));
             ("restarts", Olog.Int restarts) ];
+    (* Dispatch pending batches: inline when there is no pool (the
+       batch solves on the event loop, end of tick), otherwise submit
+       up to the worker count and let completions come back through
+       the self-pipe.  A batch is warm only if its seq is still
+       current — a stale batch (delta arrived while it waited) solves
+       cold against its problem snapshot, so it can never read resident
+       state that is ahead of it. *)
+    let base_for b =
+      match !cached with
+      | Some (_, a) -> Allocation.copy a
+      | None ->
+        Allocation.zero (Dls_core.Problem.num_clusters b.b_problem)
+    in
+    let dispatch () =
+      match pool with
+      | None ->
+        while not (Queue.is_empty pending) do
+          let b = Queue.pop pending in
+          let warm = resident <> None && b.b_seq = State.seq state in
+          match
+            run ~worker:0
+              (J_solve
+                 { batch = b; warm; budget_s = b.b_budget_s;
+                   base = base_for b })
+          with
+          | R_solve (b, _, r) -> complete_batch b r
+          | R_edit -> ()
+        done
+      | Some p ->
+        (* Warm solves serialize on worker 0's FIFO, so while one is in
+           flight a later warm batch stays pending — and joinable — and
+           every request arriving during the solve window coalesces
+           into it instead of queueing behind the pin as a singleton.
+           Cold (stale-seq) batches fan out to any free worker. *)
+        let keep = Queue.create () in
+        while not (Queue.is_empty pending) do
+          let b = Queue.pop pending in
+          let warm = resident <> None && b.b_seq = State.seq state in
+          if !in_flight >= config.workers || (warm && !pinned_in_flight > 0)
+          then Queue.push b keep
+          else begin
+            Pool.submit ~pinned:warm p
+              (J_solve
+                 { batch = b; warm; budget_s = b.b_budget_s;
+                   base = base_for b });
+            incr in_flight;
+            if warm then incr pinned_in_flight
+          end
+        done;
+        Queue.transfer keep pending
+    in
+    let drain_pool () =
+      match pool with
+      | None -> ()
+      | Some p ->
+        List.iter
+          (function
+            | R_edit -> ()
+            | R_solve (b, pinned, r) ->
+              decr in_flight;
+              if pinned then decr pinned_in_flight;
+              complete_batch b r)
+          (Pool.drain p)
+    in
     Fun.protect
       ~finally:(fun () ->
+        (match pool with Some p -> Pool.shutdown p | None -> ());
         List.iter (fun c -> close_conn c) !conns;
         if !accepting then begin
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
@@ -442,6 +661,7 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
         while !running do
           let reads =
             (if !accepting then [ listen_fd ] else [])
+            @ (match pool with Some p -> [ Pool.wake_fd p ] | None -> [])
             @ List.map (fun c -> c.fd) !conns
           in
           let writes =
@@ -451,6 +671,7 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
           in
           (match Unix.select reads writes [] 0.05 with
           | rs, ws, _ ->
+            drain_pool ();
             if !accepting && List.memq listen_fd rs then do_accept ();
             List.iter
               (fun c -> if c.alive && List.memq c.fd rs then do_read c)
@@ -461,6 +682,7 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
               let c, req = Queue.pop queue in
               if c.alive then handle_request c req
             done;
+            dispatch ();
             List.iter
               (fun c -> if c.alive && (List.memq c.fd ws || c.out <> "") then do_write c)
               !conns
@@ -472,6 +694,8 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ())
           if
             !draining
             && Queue.is_empty queue
+            && Queue.is_empty pending
+            && !in_flight = 0
             && List.for_all (fun c -> c.out = "") !conns
           then running := false
         done);

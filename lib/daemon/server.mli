@@ -1,10 +1,21 @@
-(** Single-threaded event-loop allocation server.
+(** Event-loop allocation server with batched, worker-offloaded solves.
 
     One [select]-driven loop owns the listen socket and every client
-    connection; solves run inline (their cost is bounded by the
-    per-request deadline budget, which is the point of the ladder), so
-    there is no locking anywhere and the WAL sees mutations in exactly
-    the order clients were answered.
+    connection, and remains the only writer of daemon state: it applies
+    mutations (so the WAL sees them in exactly the order clients were
+    answered), coalesces concurrent [get_schedule] requests against the
+    same state seq into one {e batch} whose single solve fans out to
+    every waiter, and — when [workers > 0] — hands batches to a
+    {!Pool} of solver domains so the loop keeps accepting, shedding
+    and reaping while schedules are computed.  Resident warm-LP edits
+    and warm solves travel through the pool's pinned FIFO, which keeps
+    the warm handle's history a pure function of the mutation log; a
+    batch whose seq went stale before dispatch solves cold against its
+    own problem snapshot and its reply still carries the seq it was
+    asked at.  With [workers = 0] batches solve inline at the end of
+    the tick (their cost bounded by the per-request deadline budget),
+    which is also the reference path the determinism tests compare
+    against.
 
     Robustness properties, each pinned by the test suite:
     - {b admission control}: a bounded request queue; when full, the
@@ -44,6 +55,16 @@ type config = {
   breaker_base_backoff_s : float;  (** first open interval (1.0) *)
   seed : int;  (** breaker jitter stream *)
   allow_crash : bool;  (** honour the [crash] request (tests/CI only) *)
+  workers : int;
+      (** solver domains behind the loop; 0 (default) solves inline on
+          the event loop *)
+  resident : bool;
+      (** keep warm {!Dls_core.Lp_relax.Incremental} handles resident
+          across requests (default true); disable for the cold
+          single-threaded baseline the load benchmark compares against *)
+  coalesce : bool;
+      (** batch same-seq [get_schedule] requests into one solve
+          (default true) *)
 }
 
 val default_config : Dls_obs.Publish.addr -> config

@@ -30,6 +30,10 @@ type breaker = {
   base_backoff : float;
   max_backoff : float;
   rng : Prng.t;
+  lock : Mutex.t;
+      (* solves may run on worker domains; every state transition holds
+         the lock so the event loop's health reads and a worker's
+         failure notes never race *)
   mutable failures : int;  (* consecutive Resolve-LP failures *)
   mutable reopens : int;  (* opens since the last close — backoff exponent *)
   mutable trips : int;  (* total opens, for metrics *)
@@ -49,6 +53,7 @@ let breaker ?(threshold = 3) ?(base_backoff_s = 1.0) ?(max_backoff_s = 60.0)
     base_backoff = base_backoff_s;
     max_backoff = max_backoff_s;
     rng = Prng.derive ~seed ~index:0;
+    lock = Mutex.create ();
     failures = 0;
     reopens = 0;
     trips = 0;
@@ -56,13 +61,19 @@ let breaker ?(threshold = 3) ?(base_backoff_s = 1.0) ?(max_backoff_s = 60.0)
     st = Closed;
   }
 
-let breaker_state b ~now =
+let locked b f =
+  Mutex.lock b.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+
+let breaker_state_unlocked b ~now =
   (match b.st with
   | Open when now >= b.open_until -> b.st <- Half_open
   | _ -> ());
   b.st
 
-let breaker_trips b = b.trips
+let breaker_state b ~now = locked b (fun () -> breaker_state_unlocked b ~now)
+
+let breaker_trips b = locked b (fun () -> b.trips)
 
 let trip b ~now =
   (* Exponential backoff with multiplicative jitter in [1, 1.5]: the
@@ -84,16 +95,113 @@ let trip b ~now =
         [ ("failures", Olog.Int b.failures); ("backoff_s", Olog.Float backoff) ]
 
 let note_lp_failure b ~now =
-  b.failures <- b.failures + 1;
-  match breaker_state b ~now with
-  | Half_open -> trip b ~now  (* failed probe: straight back open *)
-  | Closed when b.failures >= b.threshold -> trip b ~now
-  | Closed | Open -> ()
+  locked b (fun () ->
+      b.failures <- b.failures + 1;
+      match breaker_state_unlocked b ~now with
+      | Half_open -> trip b ~now  (* failed probe: straight back open *)
+      | Closed when b.failures >= b.threshold -> trip b ~now
+      | Closed | Open -> ())
 
 let note_lp_success b =
-  b.failures <- 0;
-  b.reopens <- 0;
-  b.st <- Closed
+  locked b (fun () ->
+      b.failures <- 0;
+      b.reopens <- 0;
+      b.st <- Closed)
+
+(* ------------------------------------------------------------------ *)
+(* Resident warm LP handle                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Lp_relax = Dls_core.Lp_relax
+module Lpr = Dls_core.Lpr
+module Residual = Dls_core.Residual
+module Greedy = Dls_core.Greedy
+
+(* One warm simplex state per objective, kept alive across requests.
+   The breaker deliberately lives *outside* this record: handle
+   rebuilds (structural mutations, failed warm solves) must never
+   reset the breaker's failure history or its open/half-open cycle.
+
+   Not internally synchronized — the server confines each resident to
+   a single owner (the event loop, or the pinned warm worker), and the
+   FIFO edit/solve discipline there makes the handle's history a pure
+   function of the mutation log. *)
+type resident = {
+  r_backend : Dls_lp.Backend.t option;
+  mutable r_handles : (Lp_relax.objective * Lp_relax.Incremental.handle) list;
+  mutable r_warm_hits : int;
+  mutable r_rebuilds : int;
+  mutable r_edits : int;
+}
+
+let m_warm_hits = M.counter "daemon.warm_hits"
+let m_rebuilds = M.counter "daemon.rebuilds"
+
+let resident ?backend () =
+  { r_backend = backend; r_handles = []; r_warm_hits = 0; r_rebuilds = 0;
+    r_edits = 0 }
+
+let resident_invalidate r = r.r_handles <- []
+
+let resident_edit r (edits : State.capacity_edit list) =
+  List.iter
+    (fun (_, h) ->
+      List.iter
+        (function
+          | State.Set_speed (c, v) ->
+            Lp_relax.Incremental.set_speed h ~cluster:c v
+          | State.Set_local_bw (c, v) ->
+            Lp_relax.Incremental.set_local_bw h ~cluster:c v
+          | State.Set_link_cap (l, n) ->
+            Lp_relax.Incremental.set_max_connect h ~link:l n)
+        edits)
+    r.r_handles;
+  r.r_edits <- r.r_edits + List.length edits
+
+let resident_apply r = function
+  | Some edits -> resident_edit r edits
+  | None -> resident_invalidate r
+
+let resident_stats r = (r.r_warm_hits, r.r_rebuilds, r.r_edits)
+
+let resident_pivots r =
+  List.fold_left
+    (fun acc (_, h) ->
+      acc + (Lp_relax.Incremental.counters h).Dls_lp.Revised_simplex.pivots)
+    0 r.r_handles
+
+(* The warm Resolve-LP rung: the resident handle's relaxation solution
+   fed through the same round-down + greedy-refine pipeline as the cold
+   LPRG path.  A failed warm solve drops the handle (the carried basis
+   may be poisoned) and falls back to the objective-free greedy, like
+   the cold rung does. *)
+let warm_resolve r ~objective problem =
+  let h =
+    match List.assoc_opt objective r.r_handles with
+    | Some h ->
+      r.r_warm_hits <- r.r_warm_hits + 1;
+      M.incr m_warm_hits;
+      h
+    | None ->
+      let h =
+        Lp_relax.Incremental.create ~objective ?backend:r.r_backend problem
+      in
+      r.r_handles <- (objective, h) :: r.r_handles;
+      r.r_rebuilds <- r.r_rebuilds + 1;
+      M.incr m_rebuilds;
+      h
+  in
+  match Lp_relax.Incremental.solve h with
+  | Lp_relax.Solution sol ->
+    let rounded = Lpr.round_down problem sol in
+    let residual =
+      Residual.of_allocation (Problem.platform problem) rounded
+    in
+    Ok (Greedy.refine problem residual rounded)
+  | Lp_relax.Failed _ ->
+    r.r_handles <- List.remove_assoc objective r.r_handles;
+    Repair.run_stage ~objective ~heuristic:Heuristics.G Repair.Resolve
+      problem (Allocation.zero (Problem.num_clusters problem))
 
 (* ------------------------------------------------------------------ *)
 (* The ladder                                                          *)
@@ -127,8 +235,8 @@ let total_throughput problem a =
 let m_solve_s = M.histogram "daemon.solve.seconds"
 let m_blowouts = M.counter "daemon.solve.blowouts"
 
-let solve ?(now = Unix.gettimeofday) ~breaker:b ~objective ~budget_s ~base
-    problem =
+let solve ?(now = Unix.gettimeofday) ?resident ~breaker:b ~objective ~budget_s
+    ~base problem =
   let obj_kind = match objective with Dls_core.Lp_relax.Sum -> `Sum | _ -> `Maxmin in
   let t0 = now () in
   let elapsed () = now () -. t0 in
@@ -170,34 +278,68 @@ let solve ?(now = Unix.gettimeofday) ~breaker:b ~objective ~budget_s ~base
   let run_stage stage heuristic =
     Repair.run_stage ~objective ~heuristic stage problem base
   in
-  (* Rung 1: always — the zero-budget floor. *)
-  ignore (attempt Rescale (fun () -> run_stage Repair.Rescale Heuristics.LPRG));
-  (* Rung 2: greedy refinement, if budget remains. *)
-  if elapsed () < budget_s then
-    ignore (attempt Refine (fun () -> run_stage Repair.Refine Heuristics.LPRG))
-  else skipped := Refine :: !skipped;
-  (* Rung 3: the LP re-solve, gated by both budget and breaker. *)
   let lp_ok = ref false in
-  let budget_left = elapsed () < budget_s in
-  let breaker_allows = breaker_state b ~now:(now ()) <> Open in
-  if budget_left && breaker_allows then begin
-    let feasible, within =
-      attempt Resolve_lp (fun () -> run_stage Repair.Resolve Heuristics.LPRG)
-    in
+  let lp_attempted = ref false in
+  let try_lp resolve_lp =
+    lp_attempted := true;
+    let feasible, within = attempt Resolve_lp resolve_lp in
     lp_ok := feasible && within;
     if !lp_ok then note_lp_success b
     else begin
       M.incr m_blowouts;
       note_lp_failure b ~now:(now ())
     end
-  end
-  else skipped := Resolve_lp :: !skipped;
-  (* Rung 4: the greedy full re-solve — the backstop when the LP rung
-     was skipped or blew out, never needed after a clean LP solve. *)
-  if (not !lp_ok) && elapsed () < budget_s then
+  in
+  (* Rung 0 — the warm fast path.  With a live resident handle the LP
+     rung is the *cheapest* rung (an incremental re-pivot, not a cold
+     solve), so it runs first and a clean solve skips the heuristic
+     prelude entirely.  Without a handle (first solve, or just after a
+     structural rebuild) the cold ladder below keeps its PR-9 order:
+     rescale floor first, LP only after the cheap rungs. *)
+  (match resident with
+  | Some r
+    when List.mem_assoc objective r.r_handles
+         && elapsed () < budget_s
+         && breaker_state b ~now:(now ()) <> Open ->
+    try_lp (fun () -> warm_resolve r ~objective problem)
+  | _ -> ());
+  if !lp_ok then
+    (* Warm solve succeeded: the heuristic rungs were never needed.
+       Rescale/Refine are reported as skipped (mirroring how a budget
+       cut reports unreached rungs); Resolve_greedy is not, matching
+       the cold path after a clean LP solve. *)
+    skipped := [ Refine; Rescale ]
+  else begin
+    (* Rung 1: always — the zero-budget floor. *)
     ignore
-      (attempt Resolve_greedy (fun () -> run_stage Repair.Resolve Heuristics.G))
-  else if not !lp_ok then skipped := Resolve_greedy :: !skipped;
+      (attempt Rescale (fun () -> run_stage Repair.Rescale Heuristics.LPRG));
+    (* Rung 2: greedy refinement, if budget remains. *)
+    if elapsed () < budget_s then
+      ignore
+        (attempt Refine (fun () -> run_stage Repair.Refine Heuristics.LPRG))
+    else skipped := Refine :: !skipped;
+    (* Rung 3: the LP re-solve, gated by both budget and breaker.  A
+       warm attempt that already failed above is not retried — its
+       handle was dropped, so a second attempt would pay a cold
+       rebuild on a budget that is already strained. *)
+    if not !lp_attempted then begin
+      let budget_left = elapsed () < budget_s in
+      let breaker_allows = breaker_state b ~now:(now ()) <> Open in
+      if budget_left && breaker_allows then
+        try_lp (fun () ->
+            match resident with
+            | Some r -> warm_resolve r ~objective problem
+            | None -> run_stage Repair.Resolve Heuristics.LPRG)
+      else skipped := Resolve_lp :: !skipped
+    end;
+    (* Rung 4: the greedy full re-solve — the backstop when the LP rung
+       was skipped or blew out, never needed after a clean LP solve. *)
+    if (not !lp_ok) && elapsed () < budget_s then
+      ignore
+        (attempt Resolve_greedy (fun () ->
+             run_stage Repair.Resolve Heuristics.G))
+    else if not !lp_ok then skipped := Resolve_greedy :: !skipped
+  end;
   let attempts = List.rev !attempts in
   let skipped = List.rev !skipped in
   match !best with

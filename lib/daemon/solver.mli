@@ -28,7 +28,15 @@
 
     Rungs are never aborted mid-flight (budgets gate {e starting} a
     rung), so a single pathological LP can overrun once — that overrun
-    is precisely what feeds the breaker. *)
+    is precisely what feeds the breaker.
+
+    {b Warm fast path.}  When a resident handle is live for the
+    requested objective, the ladder inverts: the Resolve-LP rung is an
+    incremental re-pivot — the {e cheapest} rung — so it runs first,
+    and a clean in-budget solve skips the heuristic prelude entirely
+    (Rescale/Refine reported in [skipped]).  A failed warm attempt
+    drops the handle and falls through to the cold ladder in its usual
+    order, without retrying the LP rung on the strained budget. *)
 
 type rung = Rescale | Refine | Resolve_lp | Resolve_greedy
 
@@ -74,6 +82,51 @@ val note_lp_success : breaker -> unit
 (** Record a clean in-budget Resolve-LP; resets failures and closes the
     breaker. *)
 
+(** {1 Resident warm LP}
+
+    One {!Dls_core.Lp_relax.Incremental} handle per objective, kept
+    alive across requests so a capacity delta followed by
+    [get_schedule] pays an incremental pivot count instead of a cold
+    re-encode + all-slack solve.  Accepted mutations classified by
+    {!State.warm_edits} are applied with {!resident_apply}: capacity
+    deltas become right-hand-side edits on every live handle;
+    structural mutations invalidate the handles, which lazily rebuild
+    on the next solve (counted in [daemon.rebuilds], vs
+    [daemon.warm_hits] for solves served from a live handle).
+
+    The breaker is intentionally {e not} part of a resident: a handle
+    rebuild carries the breaker's failure count, backoff exponent and
+    open/half-open state over unchanged.
+
+    A resident is not internally synchronized.  The server confines
+    each resident to one owner and funnels edits and solves through a
+    single FIFO, which is what makes the warm path a pure function of
+    the mutation log (the WAL determinism guarantee). *)
+
+type resident
+
+val resident : ?backend:Dls_lp.Backend.t -> unit -> resident
+(** Fresh resident with no live handle.  [backend] picks the
+    revised-simplex core for future handles (default
+    [Dls_lp.Backend.default], i.e. the sparse Markowitz-LU core unless
+    overridden process-wide). *)
+
+val resident_apply :
+  resident -> State.capacity_edit list option -> unit
+(** Feed one accepted mutation's {!State.warm_edits} classification:
+    [Some edits] updates every live handle in place (a no-op when none
+    is live); [None] invalidates them all. *)
+
+val resident_invalidate : resident -> unit
+(** Drop every live handle; the next solve rebuilds. *)
+
+val resident_stats : resident -> int * int * int
+(** [(warm_hits, rebuilds, edits)] since creation. *)
+
+val resident_pivots : resident -> int
+(** Cumulative simplex pivots across the live handles (drops to 0 when
+    the handles are invalidated). *)
+
 (** {1 Solving} *)
 
 type attempt = {
@@ -97,6 +150,7 @@ type outcome = {
 
 val solve :
   ?now:(unit -> float) ->
+  ?resident:resident ->
   breaker:breaker ->
   objective:Dls_core.Lp_relax.objective ->
   budget_s:float ->
@@ -104,9 +158,13 @@ val solve :
   Dls_core.Problem.t ->
   (outcome, string) result
 (** Climb the ladder under [budget_s] seconds, starting from [base]
-    (the daemon's cached last-good allocation, or zero).  [now]
-    overrides the clock (tests drive the breaker through its
-    open/half-open cycle with a fake clock; default
-    [Unix.gettimeofday]).  [Error] only if no rung produced a feasible
-    allocation, which Rescale's totality rules out for well-formed
-    problems. *)
+    (the daemon's cached last-good allocation, or zero).  With
+    [resident], the Resolve-LP rung solves from the resident warm
+    handle (building it from [problem] if necessary) and feeds the
+    relaxation through the same round-down + refine pipeline as the
+    cold LPRG path; a failed warm solve drops the handle and falls
+    back to the objective-free greedy.  [now] overrides the clock
+    (tests drive the breaker through its open/half-open cycle with a
+    fake clock; default [Unix.gettimeofday]).  [Error] only if no rung
+    produced a feasible allocation, which Rescale's totality rules out
+    for well-formed problems. *)

@@ -3,12 +3,20 @@ module Platform_io = Dls_platform.Platform_io
 module Faults = Dls_flowsim.Faults
 module Problem = Dls_core.Problem
 
+type capacity_edit =
+  | Set_speed of int * float
+  | Set_local_bw of int * float
+  | Set_link_cap of int * int
+
 type t = {
   pf : Platform.t;
   pf_fingerprint : string;
   mutable app_list : (string * (int * float)) list;  (* insertion order *)
   mutable delta_rev : Faults.kind list;  (* newest first *)
   mutable n_mutations : int;
+  cursor : Faults.state;  (* materialized view of the delta log *)
+  mutable cached_degraded : Platform.t option;  (* dropped per delta *)
+  mutable cached_problem : Problem.t option;  (* dropped per mutation *)
 }
 
 let create pf =
@@ -18,6 +26,9 @@ let create pf =
     app_list = [];
     delta_rev = [];
     n_mutations = 0;
+    cursor = Faults.start pf Faults.empty;
+    cached_degraded = None;
+    cached_problem = None;
   }
 
 let platform t = t.pf
@@ -54,6 +65,7 @@ let apply t (m : Protocol.mutation) =
       | None ->
         t.app_list <- t.app_list @ [ (app, (cluster, payoff)) ];
         t.n_mutations <- t.n_mutations + 1;
+        t.cached_problem <- None;
         Ok ())
   | Protocol.Retire_app { app } ->
     if not (List.mem_assoc app t.app_list) then
@@ -61,6 +73,7 @@ let apply t (m : Protocol.mutation) =
     else begin
       t.app_list <- List.remove_assoc app t.app_list;
       t.n_mutations <- t.n_mutations + 1;
+      t.cached_problem <- None;
       Ok ()
     end
   | Protocol.Platform_delta kinds ->
@@ -68,7 +81,8 @@ let apply t (m : Protocol.mutation) =
     else (
       (* Faults.make performs the entity-range and factor validation;
          the synthetic times (0, 1, 2, ...) only fix application
-         order. *)
+         order.  Validation must complete before the first kind touches
+         the cursor so a rejected mutation leaves the state unchanged. *)
       match
         Faults.make t.pf
           (List.mapi
@@ -76,29 +90,68 @@ let apply t (m : Protocol.mutation) =
              kinds)
       with
       | _plan ->
+        List.iter (Faults.apply_kind t.cursor) kinds;
         t.delta_rev <- List.rev_append kinds t.delta_rev;
         t.n_mutations <- t.n_mutations + 1;
+        t.cached_degraded <- None;
+        t.cached_problem <- None;
         Ok ()
       | exception Invalid_argument msg -> Error msg)
 
 let degraded_platform t =
   match t.delta_rev with
   | [] -> t.pf
-  | _ ->
-    let kinds = List.rev t.delta_rev in
-    let n = List.length kinds in
-    let plan =
-      Faults.make t.pf
-        (List.mapi
-           (fun i k -> { Faults.time = float_of_int i; kind = k })
-           kinds)
-    in
-    Faults.degraded_at t.pf plan ~time:(float_of_int (n - 1))
+  | _ -> (
+    match t.cached_degraded with
+    | Some p -> p
+    | None ->
+      let p = Faults.degraded_platform t.cursor in
+      t.cached_degraded <- Some p;
+      p)
 
 let problem t =
-  let payoffs = Array.make (Platform.num_clusters t.pf) 0.0 in
-  List.iter (fun (_, (c, p)) -> payoffs.(c) <- p) t.app_list;
-  Problem.make (degraded_platform t) ~payoffs
+  match t.cached_problem with
+  | Some pr -> pr
+  | None ->
+    let payoffs = Array.make (Platform.num_clusters t.pf) 0.0 in
+    List.iter (fun (_, (c, p)) -> payoffs.(c) <- p) t.app_list;
+    let pr = Problem.make (degraded_platform t) ~payoffs in
+    t.cached_problem <- Some pr;
+    pr
+
+(* Post-apply classification of an accepted mutation for the daemon's
+   resident LP handle.  A mutation is warm-editable when every kind
+   only moves a right-hand side of the relaxation: compute throttles
+   and crashes (7b / 7c), connection-cap changes and link failures
+   (7d).  Bandwidth degradation rescales [1/g] coefficients, and a
+   link recovery clears any degradation along with the failure, so
+   both force a rebuild — as do registry changes, which alter the
+   variable layout.  The emitted edits carry absolute capacities read
+   from the cursor, so replaying the same mutation log produces the
+   same edit stream. *)
+let warm_edits t (m : Protocol.mutation) =
+  match m with
+  | Protocol.Register_app _ | Protocol.Retire_app _ -> None
+  | Protocol.Platform_delta kinds ->
+    let edit = function
+      | Faults.Cluster_throttle { cluster; _ } ->
+        Some
+          [ Set_speed
+              ( cluster,
+                Platform.speed t.pf cluster
+                *. Faults.speed_factor t.cursor cluster ) ]
+      | Faults.Cluster_crash c ->
+        Some [ Set_speed (c, 0.0); Set_local_bw (c, 0.0) ]
+      | Faults.Max_connect { link; _ } | Faults.Link_down link ->
+        Some [ Set_link_cap (link, Faults.link_max_connect t.cursor link) ]
+      | Faults.Link_up _ | Faults.Link_degrade _ -> None
+    in
+    List.fold_left
+      (fun acc k ->
+        match (acc, edit k) with
+        | Some es, Some e -> Some (es @ e)
+        | _ -> None)
+      (Some []) kinds
 
 let equal a b =
   a.pf_fingerprint = b.pf_fingerprint

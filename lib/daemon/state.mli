@@ -20,6 +20,15 @@
 
 type t
 
+type capacity_edit =
+  | Set_speed of int * float  (** cluster, effective compute speed *)
+  | Set_local_bw of int * float  (** cluster, effective local bandwidth *)
+  | Set_link_cap of int * int  (** backbone link, effective cap *)
+      (** A platform delta expressed as absolute capacities of the
+          degraded platform — the right-hand-side edits
+          {!Dls_core.Lp_relax.Incremental} applies to a resident warm
+          handle. *)
+
 val create : Dls_platform.Platform.t -> t
 (** Fresh state: no applications, no deltas. *)
 
@@ -46,12 +55,22 @@ val apply : t -> Protocol.mutation -> (unit, string) result
     factor). *)
 
 val degraded_platform : t -> Dls_platform.Platform.t
-(** The nominal platform with every accepted delta applied. *)
+(** The nominal platform with every accepted delta applied.  Served
+    from a materialized fault cursor and cached between deltas, so the
+    request hot path pays O(1) instead of refolding the delta log. *)
 
 val problem : t -> Dls_core.Problem.t
 (** The multi-application scheduling problem right now: degraded
     platform, payoff [p] at each registered application's cluster, 0
-    elsewhere. *)
+    elsewhere.  Cached between mutations. *)
+
+val warm_edits : t -> Protocol.mutation -> capacity_edit list option
+(** Classify an {e accepted} mutation (call after a successful
+    {!apply}) for the resident LP handle: [Some edits] when every kind
+    is a pure capacity change (throttle, crash, max-connect, link
+    failure) — the edits carry post-apply absolute values — or [None]
+    when the mutation is structural (registry change, bandwidth
+    degradation, link recovery) and the handle must be rebuilt. *)
 
 val fingerprint : t -> string
 (** Hex digest of the nominal platform's canonical serialization; the

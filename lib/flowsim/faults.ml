@@ -247,7 +247,10 @@ let advance st ~now =
   in
   go [] st.pending
 
+let apply_kind = apply
+
 let link_factor st i = if st.link_down.(i) then 0.0 else st.link_deg.(i)
+let link_degradation st i = st.link_deg.(i)
 let link_max_connect st i = if st.link_down.(i) then 0 else st.link_maxcon.(i)
 let speed_factor st c = st.speed_fac.(c)
 let crashed st c = st.crashed_.(c)

@@ -109,9 +109,20 @@ val advance : state -> now:float -> event list
     application order.  Each event is applied exactly once — a second
     [advance] to the same [now] returns []. *)
 
+val apply_kind : state -> kind -> unit
+(** Apply one event kind to the cursor immediately, outside any plan —
+    the allocation daemon uses this to maintain a materialized view of
+    its delta log instead of refolding the log per request.  Applying
+    the same kinds in the same order as {!advance} would leaves the
+    cursor in the identical state. *)
+
 val link_factor : state -> int -> float
 (** Current per-connection bandwidth multiplier of a backbone link: 0
     when down, the degradation factor otherwise. *)
+
+val link_degradation : state -> int -> float
+(** The raw degradation factor of a backbone link, ignoring whether the
+    link is down (unlike {!link_factor}). *)
 
 val link_max_connect : state -> int -> int
 (** Current connection cap of a backbone link (0 when down). *)

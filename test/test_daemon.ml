@@ -153,13 +153,15 @@ let test_request_rejects_junk () =
 
 let test_schedule_reply_roundtrip () =
   let sr =
-    { P.sr_objective = 12.5; sr_rung = "refine"; sr_degraded = true;
-      sr_breaker = "open"; sr_alpha = [ (0, 1, 2.5); (2, 2, 0.125) ];
-      sr_beta = [ (0, 1, 3) ] }
+    { P.sr_seq = 7; sr_objective = 12.5; sr_rung = "refine";
+      sr_degraded = true; sr_breaker = "open";
+      sr_alpha = [ (0, 1, 2.5); (2, 2, 0.125) ]; sr_beta = [ (0, 1, 3) ] }
   in
   match P.schedule_reply_of_json (P.schedule_reply_to_json sr) with
   | Ok sr' ->
     Alcotest.(check bool) "roundtrip equal" true (P.equal_schedule sr sr');
+    Alcotest.(check bool) "seq differences detected" false
+      (P.equal_schedule sr { sr' with P.sr_seq = 8 });
     Alcotest.(check bool) "breaker ignored by equal_schedule" true
       (P.equal_schedule sr { sr' with P.sr_breaker = "closed" });
     Alcotest.(check bool) "alpha differences detected" false
@@ -261,15 +263,18 @@ let gen_mutations pf rng n =
         List.init
           (Prng.int rng ~lo:1 ~hi:3)
           (fun _ ->
-            match Prng.int rng ~lo:0 ~hi:4 with
-            | 0 -> Faults.Link_down (link ())
-            | 1 -> Faults.Link_up (link ())
-            | 2 ->
+            match Prng.int rng ~lo:0 ~hi:10 with
+            | 0 | 1 -> Faults.Link_down (link ())
+            | 2 | 3 -> Faults.Link_up (link ())
+            | 4 | 5 ->
               Faults.Link_degrade
                 { link = link (); factor = Prng.float rng ~lo:0.1 ~hi:0.9 }
-            | 3 ->
+            | 6 | 7 ->
               Faults.Max_connect
                 { link = link (); limit = Prng.int rng ~lo:0 ~hi:5 }
+            | 8 ->
+              (* rare: permanent, so too many leave a trivial platform *)
+              Faults.Cluster_crash (Prng.int rng ~lo:0 ~hi:(num_clusters - 1))
             | _ ->
               Faults.Cluster_throttle
                 { cluster = Prng.int rng ~lo:0 ~hi:(num_clusters - 1);
@@ -1047,6 +1052,595 @@ let test_soak_mixed_clients () =
         (D.State.equal state state')
 
 (* ------------------------------------------------------------------ *)
+(* Resident warm LP: warm-vs-cold equivalence, pivots, breaker carry   *)
+(* ------------------------------------------------------------------ *)
+
+module Lp_relax = Dls_core.Lp_relax
+
+let apply_edits h edits =
+  List.iter
+    (function
+      | D.State.Set_speed (c, v) ->
+        Lp_relax.Incremental.set_speed h ~cluster:c v
+      | D.State.Set_local_bw (c, v) ->
+        Lp_relax.Incremental.set_local_bw h ~cluster:c v
+      | D.State.Set_link_cap (l, n) ->
+        Lp_relax.Incremental.set_max_connect h ~link:l n)
+    edits
+
+(* The daemon's resident-handle lifecycle modelled directly against
+   Lp_relax: one handle kept across a random mutation-log prefix
+   (capacity deltas applied as RHS edits via State.warm_edits,
+   structural mutations dropping the handle), checked after EVERY
+   mutation against a cold re-solve of the current problem.  The
+   relaxation optima must agree to float tolerance on both LP
+   backends. *)
+let prop_warm_equals_cold backend =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "warm-incremental equals cold re-solve (%s)"
+         (Dls_lp.Backend.to_string backend))
+    ~count:12
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 12))
+    (fun (seed, n) ->
+      let pf = platform () in
+      let st = D.State.create pf in
+      let handle = ref None in
+      let solve_warm () =
+        let h =
+          match !handle with
+          | Some h -> h
+          | None ->
+            let h =
+              Lp_relax.Incremental.create ~objective:Lp_relax.Maxmin ~backend
+                (D.State.problem st)
+            in
+            handle := Some h;
+            h
+        in
+        match Lp_relax.Incremental.solve h with
+        | Lp_relax.Solution s -> s.Lp_relax.objective_value
+        | Lp_relax.Failed m -> Alcotest.failf "warm solve failed: %s" m
+      in
+      let solve_cold () =
+        match
+          Lp_relax.solve ~objective:Lp_relax.Maxmin ~backend
+            (D.State.problem st)
+        with
+        | Lp_relax.Solution s -> s.Lp_relax.objective_value
+        | Lp_relax.Failed m -> Alcotest.failf "cold solve failed: %s" m
+      in
+      let close a b =
+        Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+      in
+      ignore (solve_warm ());
+      let mutations = gen_mutations pf (Prng.create ~seed) n in
+      List.for_all
+        (fun m ->
+          (match D.State.apply st m with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "generated mutation rejected: %s" e);
+          (match D.State.warm_edits st m with
+          | Some edits -> (
+            match !handle with Some h -> apply_edits h edits | None -> ())
+          | None -> handle := None);
+          close (solve_warm ()) (solve_cold ()))
+        mutations)
+
+(* Warm re-solves after capacity edits must pay fewer simplex pivots
+   than cold solves of the same problems — the whole point of keeping
+   the handle resident.  Aggregated over a run of throttle edits so a
+   single degenerate case cannot flip the comparison. *)
+let test_resident_pivots_warm_lt_cold () =
+  let pf = platform ~k:10 () in
+  let st = D.State.create pf in
+  List.iter
+    (fun (app, cluster) ->
+      match
+        D.State.apply st (P.Register_app { app; cluster; payoff = 1.0 })
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ ("a", 0); ("b", 3); ("c", 6) ];
+  let h =
+    Lp_relax.Incremental.create ~objective:Lp_relax.Maxmin
+      (D.State.problem st)
+  in
+  (match Lp_relax.Incremental.solve h with
+  | Lp_relax.Solution _ -> ()
+  | Lp_relax.Failed m -> Alcotest.failf "initial solve: %s" m);
+  let sum_warm = ref 0 and sum_cold = ref 0 in
+  for i = 1 to 6 do
+    let cluster = i mod 10 in
+    let m =
+      P.Platform_delta
+        [ Faults.Cluster_throttle { cluster; factor = 0.8 } ]
+    in
+    (match D.State.apply st m with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    (match D.State.warm_edits st m with
+    | Some edits -> apply_edits h edits
+    | None -> Alcotest.fail "throttle must be a warm edit");
+    let before = (Lp_relax.Incremental.counters h).Dls_lp.Revised_simplex.pivots in
+    (match Lp_relax.Incremental.solve h with
+    | Lp_relax.Solution _ -> ()
+    | Lp_relax.Failed m -> Alcotest.failf "warm solve: %s" m);
+    sum_warm :=
+      !sum_warm
+      + (Lp_relax.Incremental.counters h).Dls_lp.Revised_simplex.pivots
+      - before;
+    match Lp_relax.solve ~objective:Lp_relax.Maxmin (D.State.problem st) with
+    | Lp_relax.Solution s -> sum_cold := !sum_cold + s.Lp_relax.iterations
+    | Lp_relax.Failed m -> Alcotest.failf "cold solve: %s" m
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "warm pivots (%d) < cold pivots (%d)" !sum_warm !sum_cold)
+    true
+    (!sum_warm < !sum_cold)
+
+(* The resident lifecycle through Solver.solve: first solve is a
+   rebuild on the cold ladder, later solves take the warm fast path
+   (single Resolve-LP attempt, heuristic prelude skipped), capacity
+   deltas keep the handle warm and agree with a cold outcome, and
+   structural deltas force a rebuild. *)
+let test_resident_solver_warm_path () =
+  let pf = platform () in
+  let st = D.State.create pf in
+  List.iter
+    (fun m ->
+      match D.State.apply st m with Ok () -> () | Error e -> Alcotest.fail e)
+    [ P.Register_app { app = "a"; cluster = 0; payoff = 1.0 };
+      P.Register_app { app = "b"; cluster = 3; payoff = 2.0 } ];
+  let r = D.Solver.resident () in
+  let breaker = D.Solver.breaker () in
+  let base =
+    Dls_core.Allocation.zero (Dls_platform.Platform.num_clusters pf)
+  in
+  let solve ?resident () =
+    match
+      D.Solver.solve ?resident ~breaker ~objective:Dls_core.Lp_relax.Maxmin
+        ~budget_s:30.0 ~base (D.State.problem st)
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "solve: %s" e
+  in
+  (* First resident solve: no handle yet, so the cold ladder runs in
+     its usual order and the LP rung builds the handle (a rebuild). *)
+  let o1 = solve ~resident:r () in
+  Alcotest.(check string) "first solve won by LP" "resolve_lp"
+    (D.Solver.rung_name o1.D.Solver.rung);
+  (match o1.D.Solver.attempts with
+  | { D.Solver.a_rung = D.Solver.Rescale; _ } :: _ -> ()
+  | _ -> Alcotest.fail "first solve must start at the rescale floor");
+  let w, rb, _ = D.Solver.resident_stats r in
+  Alcotest.(check (pair int int)) "first solve is a rebuild" (0, 1) (w, rb);
+  (* Second solve: the warm fast path — one attempt, prelude skipped,
+     not degraded. *)
+  let o2 = solve ~resident:r () in
+  Alcotest.(check int) "warm fast path: single attempt" 1
+    (List.length o2.D.Solver.attempts);
+  (match o2.D.Solver.attempts with
+  | [ { D.Solver.a_rung = D.Solver.Resolve_lp; _ } ] -> ()
+  | _ -> Alcotest.fail "warm fast path must attempt only Resolve_lp");
+  Alcotest.(check bool) "prelude reported skipped" true
+    (List.mem D.Solver.Rescale o2.D.Solver.skipped
+    && List.mem D.Solver.Refine o2.D.Solver.skipped);
+  Alcotest.(check bool) "warm fast path not degraded" false
+    o2.D.Solver.degraded;
+  let w, rb, _ = D.Solver.resident_stats r in
+  Alcotest.(check (pair int int)) "second solve is a warm hit" (1, 1) (w, rb);
+  (* Capacity deltas (throttle, then a crash) stay warm and match the
+     cold solve on the mutated problem. *)
+  List.iter
+    (fun kinds ->
+      let m = P.Platform_delta kinds in
+      (match D.State.apply st m with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (match D.State.warm_edits st m with
+      | Some _ as edits -> D.Solver.resident_apply r edits
+      | None -> Alcotest.fail "capacity delta must be warm");
+      let ow = solve ~resident:r () in
+      let oc = solve () in
+      Alcotest.(check bool) "warm allocation feasible" true
+        (Dls_core.Allocation.is_feasible (D.State.problem st)
+           ow.D.Solver.allocation);
+      (* The warm fast path rounds the LP rung only, while the cold
+         ladder keeps the best across all rungs — final outcomes agree
+         to rounding noise, not bit-exactly (the exact warm=cold claim
+         holds at the relaxation level, see the QCheck property). *)
+      Alcotest.(check bool)
+        (Printf.sprintf "warm objective within 5%% of cold (%g vs %g)"
+           ow.D.Solver.objective_value oc.D.Solver.objective_value)
+        true
+        (Float.abs
+           (ow.D.Solver.objective_value -. oc.D.Solver.objective_value)
+        <= 0.05 *. Float.max 1.0 oc.D.Solver.objective_value))
+    [ [ Faults.Cluster_throttle { cluster = 0; factor = 0.5 } ];
+      [ Faults.Cluster_crash 5 ] ];
+  let _, rb, edits = D.Solver.resident_stats r in
+  Alcotest.(check int) "still one rebuild" 1 rb;
+  Alcotest.(check bool) "edits accounted" true (edits >= 3);
+  (* A structural delta invalidates; the next solve rebuilds. *)
+  let m =
+    P.Platform_delta [ Faults.Link_degrade { link = 1; factor = 0.5 } ]
+  in
+  (match D.State.apply st m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match D.State.warm_edits st m with
+  | None -> D.Solver.resident_apply r None
+  | Some _ -> Alcotest.fail "degradation must be structural");
+  ignore (solve ~resident:r ());
+  let _, rb, _ = D.Solver.resident_stats r in
+  Alcotest.(check int) "structural delta forces a rebuild" 2 rb
+
+(* Satellite regression: the circuit breaker's state must carry over a
+   resident-handle rebuild.  Drive the breaker Half_open with a fake
+   clock, invalidate the resident (the structural-delta path), and
+   check the breaker is still Half_open with its trip count intact —
+   then let the rebuilt handle's solve act as the half-open probe. *)
+let test_breaker_half_open_across_rebuild () =
+  let pf = platform () in
+  let st = D.State.create pf in
+  (match
+     D.State.apply st (P.Register_app { app = "a"; cluster = 0; payoff = 1.0 })
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let b =
+    D.Solver.breaker ~threshold:1 ~base_backoff_s:1.0 ~max_backoff_s:60.0 ()
+  in
+  let r = D.Solver.resident () in
+  let now = ref 0.0 in
+  let clock () = !now in
+  let base =
+    Dls_core.Allocation.zero (Dls_platform.Platform.num_clusters pf)
+  in
+  let solve () =
+    match
+      D.Solver.solve ~now:clock ~resident:r ~breaker:b
+        ~objective:Dls_core.Lp_relax.Maxmin ~budget_s:30.0 ~base
+        (D.State.problem st)
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "solve: %s" e
+  in
+  ignore (solve ());  (* builds the handle, closes the breaker *)
+  D.Solver.note_lp_failure b ~now:!now;  (* threshold 1: trips open *)
+  Alcotest.(check string) "tripped open" "open"
+    (D.Solver.breaker_state_name (D.Solver.breaker_state b ~now:!now));
+  (* While open, even a live warm handle must not be solved. *)
+  let o = solve () in
+  Alcotest.(check bool) "open breaker skips the warm fast path" true
+    (List.mem D.Solver.Resolve_lp o.D.Solver.skipped);
+  Alcotest.(check bool) "degraded while open" true o.D.Solver.degraded;
+  (* Backoff is 1.0 stretched by jitter in [1, 1.5]: half-open by 2 s. *)
+  now := 2.0;
+  Alcotest.(check string) "half-open after backoff" "half_open"
+    (D.Solver.breaker_state_name (D.Solver.breaker_state b ~now:!now));
+  let trips = D.Solver.breaker_trips b in
+  (* THE regression: a resident rebuild must not reset the breaker. *)
+  D.Solver.resident_invalidate r;
+  Alcotest.(check string) "still half-open across the rebuild" "half_open"
+    (D.Solver.breaker_state_name (D.Solver.breaker_state b ~now:!now));
+  Alcotest.(check int) "trip count carried over" trips
+    (D.Solver.breaker_trips b);
+  (* The rebuilt handle's solve is the half-open probe; success closes. *)
+  let o = solve () in
+  Alcotest.(check string) "probe solved by LP" "resolve_lp"
+    (D.Solver.rung_name o.D.Solver.rung);
+  Alcotest.(check string) "probe success re-closes" "closed"
+    (D.Solver.breaker_state_name (D.Solver.breaker_state b ~now:!now));
+  Alcotest.(check int) "no extra trip" trips (D.Solver.breaker_trips b)
+
+(* ------------------------------------------------------------------ *)
+(* Batching: same-seq coalescing and stale-seq isolation               *)
+(* ------------------------------------------------------------------ *)
+
+let send_burst fd reqs =
+  let wire =
+    String.concat ""
+      (List.map (fun r -> P.frame (J.to_string (P.request_to_json r))) reqs)
+  in
+  ignore (Unix.write_substring fd wire 0 (String.length wire))
+
+let read_replies fd n =
+  let buf = Buffer.create 1024 in
+  List.init n (fun i ->
+      match P.read_frame ~timeout:10.0 ~buf fd with
+      | Ok reply -> (
+        match J.of_string reply with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "unparseable reply %d: %s" i e)
+      | Error e -> Alcotest.failf "missing reply %d: %s" i e)
+
+let op_of j = match J.member "op" j with Some (J.Str s) -> s | _ -> "?"
+
+let schedule_of j =
+  match P.schedule_reply_of_json j with
+  | Ok sr -> sr
+  | Error e -> Alcotest.failf "schedule reply: %s" e
+
+let registered_state pf =
+  let st = D.State.create pf in
+  List.iter
+    (fun m ->
+      match D.State.apply st m with Ok () -> () | Error e -> Alcotest.fail e)
+    [ P.Register_app { app = "a"; cluster = 0; payoff = 1.0 };
+      P.Register_app { app = "b"; cluster = 3; payoff = 2.0 } ];
+  st
+
+(* N gets pipelined in ONE write land in one tick, form one batch and
+   are served by ONE solve whose reply fans out to every waiter. *)
+let test_batching_coalesces () =
+  List.iter
+    (fun workers ->
+      with_dir @@ fun dir ->
+      let state = registered_state (platform ()) in
+      let h =
+        start_server
+          ~configure:(fun c ->
+            { c with D.Server.workers; max_requests_per_tick = 16 })
+          dir state None
+      in
+      Fun.protect ~finally:(fun () -> stop_server h) @@ fun () ->
+      let fd = connect h in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let get =
+        P.Get_schedule
+          { objective = Dls_core.Lp_relax.Maxmin; budget_ms = Some 5000.0 }
+      in
+      send_burst fd [ get; get; get; get ];
+      let replies = read_replies fd 4 in
+      let schedules = List.map schedule_of replies in
+      (match schedules with
+      | first :: rest ->
+        List.iteri
+          (fun i sr ->
+            Alcotest.(check bool)
+              (Printf.sprintf "reply %d equals the first (workers=%d)"
+                 (i + 1) workers)
+              true
+              (P.equal_schedule first sr))
+          rest
+      | [] -> Alcotest.fail "no replies");
+      let r = request fd P.Health in
+      Alcotest.(check (float 0.0)) "one solve served the batch" 1.0
+        (num_field "solves" r);
+      Alcotest.(check (float 0.0)) "three requests coalesced" 3.0
+        (num_field "coalesced" r);
+      Alcotest.(check (float 0.0)) "four schedules delivered" 4.0
+        (num_field "schedules" r))
+    [ 0; 1 ]
+
+(* A delta arriving mid-burst splits the batch: requests admitted
+   before it answer for the old seq (solved against the snapshot taken
+   at batch creation), the request after it for the new seq — no
+   stale-seq reply ever leaks across. *)
+let test_batching_stale_seq_isolation () =
+  List.iter
+    (fun workers ->
+      with_dir @@ fun dir ->
+      let state = registered_state (platform ()) in
+      let seq0 = D.State.seq state in
+      let h =
+        start_server
+          ~configure:(fun c ->
+            { c with D.Server.workers; max_requests_per_tick = 16 })
+          dir state None
+      in
+      Fun.protect ~finally:(fun () -> stop_server h) @@ fun () ->
+      let fd = connect h in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let get =
+        P.Get_schedule
+          { objective = Dls_core.Lp_relax.Maxmin; budget_ms = Some 5000.0 }
+      in
+      let delta =
+        P.Mutate
+          (P.Platform_delta
+             [ Faults.Cluster_throttle { cluster = 0; factor = 0.5 } ])
+      in
+      send_burst fd [ get; get; delta; get ];
+      let replies = read_replies fd 4 in
+      let mutates, scheds =
+        List.partition (fun j -> op_of j = "mutate") replies
+      in
+      Alcotest.(check int) "one mutate reply" 1 (List.length mutates);
+      let srs = List.map schedule_of scheds in
+      let old_seq, new_seq =
+        List.partition (fun sr -> sr.P.sr_seq = seq0) srs
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "two replies at the admit seq (workers=%d)" workers)
+        2 (List.length old_seq);
+      Alcotest.(check int) "one reply at the post-delta seq" 1
+        (List.length new_seq);
+      List.iter
+        (fun sr ->
+          Alcotest.(check int) "post-delta seq value" (seq0 + 1) sr.P.sr_seq)
+        new_seq;
+      (match old_seq with
+      | [ a; b ] ->
+        Alcotest.(check bool) "same-batch replies equal" true
+          (P.equal_schedule a b)
+      | _ -> ());
+      let r = request fd P.Health in
+      Alcotest.(check (float 0.0)) "two solves: one per seq" 2.0
+        (num_field "solves" r);
+      Alcotest.(check (float 0.0)) "one coalesced join" 1.0
+        (num_field "coalesced" r))
+    [ 0; 1 ]
+
+(* With coalescing off, every get pays its own solve. *)
+let test_batching_disabled () =
+  with_dir @@ fun dir ->
+  let state = registered_state (platform ()) in
+  let h =
+    start_server
+      ~configure:(fun c ->
+        { c with D.Server.coalesce = false; max_requests_per_tick = 16 })
+      dir state None
+  in
+  Fun.protect ~finally:(fun () -> stop_server h) @@ fun () ->
+  let fd = connect h in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let get =
+    P.Get_schedule
+      { objective = Dls_core.Lp_relax.Maxmin; budget_ms = Some 5000.0 }
+  in
+  send_burst fd [ get; get ];
+  ignore (read_replies fd 2);
+  let r = request fd P.Health in
+  Alcotest.(check (float 0.0)) "two solves without coalescing" 2.0
+    (num_field "solves" r);
+  Alcotest.(check (float 0.0)) "nothing coalesced" 0.0
+    (num_field "coalesced" r)
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool: soak + crash drill at workers in {1, 4}                *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic client population against a live multi-domain server:
+   zero failed requests (no wedged connections), bounded tail latency,
+   the warm path actually exercised, and a clean post-load server. *)
+let test_worker_soak () =
+  List.iter
+    (fun workers ->
+      with_dir @@ fun dir ->
+      let pf = platform () in
+      let state = registered_state pf in
+      let h =
+        start_server
+          ~configure:(fun c -> { c with D.Server.workers })
+          dir state None
+      in
+      Fun.protect ~finally:(fun () -> stop_server h) @@ fun () ->
+      let stats =
+        D.Load.run ~mutate_every:8 ~addr:h.h_addr ~seed:21 ~clients:6
+          ~duration_s:1.2
+          ~k:(Dls_platform.Platform.num_clusters pf)
+          ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "progress under load (workers=%d)" workers)
+        true (stats.D.Load.ok > 0);
+      Alcotest.(check int) "zero failed requests" 0 stats.D.Load.errors;
+      Alcotest.(check bool) "p99 bounded" true (D.Load.p99 stats < 5.0);
+      (* Load clients closed their connections; the loop notices on its
+         next tick and the server is left quiescent. *)
+      Unix.sleepf 0.3;
+      let fd = connect h in
+      Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+      let r = request fd P.Health in
+      Alcotest.(check (float 0.0)) "no wedged connections" 1.0
+        (num_field "conns" r);
+      Alcotest.(check (float 0.0)) "queue drained" 0.0
+        (num_field "queue_depth" r);
+      Alcotest.(check (float 0.0)) "no pending batches" 0.0
+        (num_field "pending_batches" r);
+      Alcotest.(check (float 0.0)) "no in-flight solves" 0.0
+        (num_field "inflight_solves" r);
+      Alcotest.(check bool) "warm path exercised" true
+        (num_field "warm_hits" r > 0.0);
+      Alcotest.(check bool) "solves batched below request count" true
+        (num_field "solves" r <= num_field "schedules" r))
+    [ 1; 4 ]
+
+(* Crash drill: kill the serving loop mid-load, then prove the WAL
+   determinism guarantee survived the worker pool — the journal
+   replays to the live state, twice-replayed states agree, and the
+   single-threaded cold solve over the replay is byte-identical. *)
+let test_worker_crash_drill () =
+  List.iter
+    (fun workers ->
+      with_dir @@ fun dir ->
+      let pf = platform () in
+      let wal = Filename.concat dir "wal.jsonl" in
+      match D.Journal.open_ ~path:wal ~platform:pf with
+      | Error e -> Alcotest.fail e
+      | Ok (state, journal) ->
+        List.iter
+          (fun m ->
+            match D.State.apply state m with
+            | Ok () -> D.Journal.append journal m
+            | Error e -> Alcotest.fail e)
+          [ P.Register_app { app = "a"; cluster = 0; payoff = 1.0 };
+            P.Register_app { app = "b"; cluster = 3; payoff = 2.0 } ];
+        let h =
+          start_server
+            ~configure:(fun c -> { c with D.Server.workers })
+            dir state (Some journal)
+        in
+        let crasher =
+          Thread.create
+            (fun () ->
+              Thread.delay 0.7;
+              match connect h with
+              | fd ->
+                (try
+                   P.write_frame fd (J.to_string (P.request_to_json P.Crash))
+                 with _ -> ());
+                (try Unix.close fd with _ -> ())
+              | exception _ -> ())
+            ()
+        in
+        let _stats =
+          D.Load.run ~mutate_every:4 ~addr:h.h_addr ~seed:7 ~clients:4
+            ~duration_s:1.0
+            ~k:(Dls_platform.Platform.num_clusters pf)
+            ()
+        in
+        Thread.join crasher;
+        Thread.join h.h_thread;
+        (match Atomic.get h.h_result with
+        | Some (Error e) ->
+          Alcotest.(check bool) "died by crash request" true
+            (contains "Crash_requested" e)
+        | _ -> Alcotest.fail "server should have crashed");
+        D.Journal.close journal;
+        let reopen () =
+          match D.Journal.open_ ~path:wal ~platform:pf with
+          | Error e -> Alcotest.failf "replay: %s" e
+          | Ok (st, j) ->
+            D.Journal.close j;
+            st
+        in
+        let st1 = reopen () in
+        let st2 = reopen () in
+        Alcotest.(check bool) "replay equals the live state" true
+          (D.State.equal state st1);
+        Alcotest.(check bool) "replay is deterministic" true
+          (D.State.equal st1 st2);
+        (* Single-threaded cold path over the replayed log: same
+           mutation log => byte-identical schedules. *)
+        let solve st =
+          let breaker = D.Solver.breaker () in
+          match
+            D.Solver.solve ~breaker ~objective:Dls_core.Lp_relax.Maxmin
+              ~budget_s:30.0
+              ~base:
+                (Dls_core.Allocation.zero
+                   (Dls_platform.Platform.num_clusters pf))
+              (D.State.problem st)
+          with
+          | Ok o -> o
+          | Error e -> Alcotest.failf "solve: %s" e
+        in
+        let o1 = solve st1 and o2 = solve st2 in
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "identical objective (workers=%d)" workers)
+          o1.D.Solver.objective_value o2.D.Solver.objective_value;
+        Alcotest.(check bool) "identical allocation" true
+          (o1.D.Solver.allocation.Dls_core.Allocation.alpha
+           = o2.D.Solver.allocation.Dls_core.Allocation.alpha
+          && o1.D.Solver.allocation.Dls_core.Allocation.beta
+             = o2.D.Solver.allocation.Dls_core.Allocation.beta))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "dls_daemon"
@@ -1097,4 +1691,25 @@ let () =
             test_supervisor_restarts_from_wal;
           Alcotest.test_case "gives up at the cap" `Quick
             test_supervisor_gives_up ] );
-      ("soak", [ Alcotest.test_case "mixed clients" `Slow test_soak_mixed_clients ]) ]
+      ("soak", [ Alcotest.test_case "mixed clients" `Slow test_soak_mixed_clients ]);
+      qsuite "resident-prop"
+        [ prop_warm_equals_cold Dls_lp.Backend.Dense;
+          prop_warm_equals_cold Dls_lp.Backend.Sparse ];
+      ( "resident",
+        [ Alcotest.test_case "warm pivots below cold" `Slow
+            test_resident_pivots_warm_lt_cold;
+          Alcotest.test_case "solver warm fast path" `Slow
+            test_resident_solver_warm_path;
+          Alcotest.test_case "breaker half-open across rebuild" `Slow
+            test_breaker_half_open_across_rebuild ] );
+      ( "batching",
+        [ Alcotest.test_case "same-seq burst coalesces" `Slow
+            test_batching_coalesces;
+          Alcotest.test_case "mid-batch delta isolates seqs" `Slow
+            test_batching_stale_seq_isolation;
+          Alcotest.test_case "disabled coalescing solves per request" `Slow
+            test_batching_disabled ] );
+      ( "workers",
+        [ Alcotest.test_case "soak at 1 and 4 workers" `Slow test_worker_soak;
+          Alcotest.test_case "crash drill replays deterministically" `Slow
+            test_worker_crash_drill ] ) ]
